@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared output helpers for the experiment binaries. Each binary prints a
+// header, one row per configuration, and a PASS/FAIL summary; it exits
+// nonzero if any checked property failed, so `for b in build/bench/*; do $b;
+// done` doubles as an acceptance run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace psph::bench {
+
+class Report {
+ public:
+  Report(std::string experiment, std::string claim)
+      : experiment_(std::move(experiment)) {
+    std::printf("=== %s ===\n", experiment_.c_str());
+    std::printf("claim: %s\n", claim.c_str());
+  }
+
+  void header(const std::string& columns) {
+    std::printf("%s\n", columns.c_str());
+  }
+
+  template <typename... Args>
+  void row(const char* format, Args... args) {
+    std::printf(format, args...);
+    std::printf("\n");
+  }
+
+  /// Records one checked property; prints a marker on failure.
+  void check(bool ok, const std::string& what) {
+    ++checks_;
+    if (!ok) {
+      ++failures_;
+      std::printf("  CHECK FAILED: %s\n", what.c_str());
+    }
+  }
+
+  /// Prints the summary; returns the process exit code.
+  int finish() {
+    std::printf("%s: %zu/%zu checks passed\n\n", experiment_.c_str(),
+                checks_ - failures_, checks_);
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  std::string experiment_;
+  std::size_t checks_ = 0;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace psph::bench

@@ -1,0 +1,85 @@
+// Corollary 22: wait-free semi-synchronous k-set agreement requires time
+// ⌊f/k⌋·d + C·d. Two regenerations:
+//   1. the round-structure core — k-set agreement is impossible on the
+//      r-round complex M^r while n >= (r+1)k (exhaustive search on a small
+//      instance);
+//   2. the timed simulator — the FloodMin-over-timeouts protocol is run
+//      under the slowest-execution adversary across sweeps of f/k (with d
+//      fixed) and of C (= c2/c1); measured decision times always dominate
+//      the bound and scale the same way (columns: bound vs measured).
+
+#include "bench_util.h"
+#include "core/theorems.h"
+#include "protocols/semisync_kset.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Corollary 22",
+      "wait-free semi-sync k-set agreement takes time >= floor(f/k) d + C d");
+
+  report.header("  complex core: n+1 f k mu r -> verdict");
+  {
+    util::Timer timer;
+    const core::AgreementCheck check =
+        core::check_semisync_agreement(3, 1, 1, 2, 1);
+    report.row("                 3  1 1  2 1 -> %s (%llu nodes, %s)",
+               check.impossible ? "impossible" : "UNEXPECTED",
+               static_cast<unsigned long long>(check.nodes),
+               timer.pretty().c_str());
+    report.check(check.search_exhausted && check.impossible,
+                 "one-round semi-sync consensus impossible at n+1=3");
+  }
+
+  report.header(
+      "  timing sweep (d=30, c1=1): f  k  C   bound  measured  ratio");
+  for (const auto& [f, k, c2] : std::vector<std::array<int, 3>>{
+           {1, 1, 1}, {1, 1, 2}, {1, 1, 4}, {1, 1, 8},
+           {2, 1, 2}, {3, 1, 2}, {4, 1, 2},
+           {2, 2, 2}, {4, 2, 2}, {6, 2, 2}}) {
+    protocols::SemiSyncKSetConfig config;
+    config.timing = {.c1 = 1,
+                     .c2 = static_cast<sim::Time>(c2),
+                     .d = 30,
+                     .num_processes = f + 2,
+                     .max_time = 100'000'000};
+    config.max_failures = f;
+    config.k = k;
+    sim::ScriptedSemiSyncAdversary slowest(config.timing.c2, config.timing.d);
+    std::vector<std::int64_t> inputs;
+    for (int p = 0; p < config.timing.num_processes; ++p) inputs.push_back(p);
+    const sim::SemiSyncResult result = sim::run_semisync(
+        inputs, config.timing, protocols::make_semisync_kset(config),
+        slowest);
+    const protocols::SemiSyncAudit audit =
+        protocols::audit_semisync(result, inputs, k);
+    const double c_ratio = static_cast<double>(c2);
+    const double bound = (f / k) * 30.0 + c_ratio * 30.0;
+    const double measured = static_cast<double>(audit.last_decision_time);
+    report.row("            %24d %2d %2.0f %7.0f %9.0f %6.2f", f, k, c_ratio,
+               bound, measured, measured / bound);
+    report.check(audit.ok(), "protocol correct under slowest adversary");
+    report.check(measured >= bound,
+                 "measured time dominates the Cor 22 bound at f=" +
+                     std::to_string(f) + " k=" + std::to_string(k) + " C=" +
+                     std::to_string(c2));
+  }
+
+  report.header("  crash soak (random adversaries): n+1 f k -> ok?");
+  for (const auto& [n1, f, k] : std::vector<std::array<int, 3>>{
+           {3, 1, 1}, {4, 2, 1}, {4, 2, 2}, {5, 3, 2}}) {
+    util::Timer timer;
+    protocols::SemiSyncKSetConfig config;
+    config.timing = {.c1 = 1, .c2 = 2, .d = 5, .num_processes = n1};
+    config.max_failures = f;
+    config.k = k;
+    const protocols::SemiSyncAudit audit =
+        protocols::soak_semisync_kset(config, 2200 + n1, 200);
+    report.row("                            %3d %2d %2d -> %s (%s)", n1, f, k,
+               audit.ok() ? "ok" : audit.failure.c_str(),
+               timer.pretty().c_str());
+    report.check(audit.ok(), "soak at n+1=" + std::to_string(n1));
+  }
+  return report.finish();
+}

@@ -1,0 +1,89 @@
+// Corollaries 6 and 8: every pseudosphere ψ(S^m; U_0..U_m) with nonempty
+// value sets is (m-1)-connected, and unions ∪_i ψ(S^m; A_i) with a common
+// value remain (m-1)-connected. Swept over dimensions and value-set shapes;
+// connectivity measured homologically.
+
+#include "bench_util.h"
+#include "core/pseudosphere.h"
+#include "topology/homology.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Corollaries 6 and 8",
+      "pseudospheres are (m-1)-connected; unions sharing a value stay so");
+  report.header("  m+1 shape          facets  conn>=  expect  build");
+  util::Rng rng(607);
+
+  for (int m1 = 1; m1 <= 4; ++m1) {
+    for (int variant = 0; variant < 3; ++variant) {
+      util::Timer timer;
+      topology::VertexArena arena;
+      std::vector<core::ProcessId> pids;
+      std::vector<std::vector<core::StateId>> sets;
+      std::string shape;
+      for (int i = 0; i < m1; ++i) {
+        pids.push_back(i);
+        const int size = variant == 0 ? 2
+                         : variant == 1
+                             ? 3
+                             : 1 + static_cast<int>(rng.next_below(4));
+        std::vector<core::StateId> values;
+        for (int v = 0; v < size; ++v) {
+          values.push_back(static_cast<core::StateId>(8 * i + v));
+        }
+        shape += (i ? "," : "") + std::to_string(size);
+        sets.push_back(std::move(values));
+      }
+      const topology::SimplicialComplex psi =
+          core::pseudosphere(pids, sets, arena);
+      const int expected = m1 - 2;  // (m - 1) with m = m1 - 1
+      const int measured =
+          topology::homological_connectivity(psi, std::max(expected, 0));
+      report.row("  %3d {%-12s} %6zu %7d %7d  %s", m1, shape.c_str(),
+                 psi.facet_count(), measured, expected,
+                 timer.pretty().c_str());
+      report.check(measured >= expected || expected < -1,
+                   "Cor 6 at m+1=" + std::to_string(m1) + " shape " + shape);
+      // Stronger than Cor 6: the exact wedge-of-spheres profile,
+      // β̃_{m} = Π(|U_i| - 1) and 0 below.
+      long long expected_top = 1;
+      for (const auto& set : sets) {
+        expected_top *= static_cast<long long>(set.size()) - 1;
+      }
+      const topology::HomologyReport h =
+          topology::reduced_homology(psi, {.max_dim = m1 - 1});
+      report.check(h.reduced_betti[static_cast<std::size_t>(m1 - 1)] ==
+                       expected_top,
+                   "wedge profile at m+1=" + std::to_string(m1) + " shape " +
+                       shape);
+    }
+  }
+
+  // Corollary 8: unions with a shared value.
+  report.header("  union sweep: m+1 families  facets  conn>=  expect");
+  for (int m1 = 2; m1 <= 4; ++m1) {
+    for (int families = 2; families <= 4; ++families) {
+      topology::VertexArena arena;
+      std::vector<core::ProcessId> pids;
+      for (int i = 0; i < m1; ++i) pids.push_back(i);
+      topology::SimplicialComplex u;
+      for (int a = 0; a < families; ++a) {
+        // Family A_a = {0 (shared), 10 + a}.
+        u.merge(core::pseudosphere_uniform(
+            pids, {0, static_cast<core::StateId>(10 + a)}, arena));
+      }
+      const int expected = m1 - 2;
+      const int measured =
+          topology::homological_connectivity(u, std::max(expected, 0));
+      report.row("               %3d %8d %7zu %7d %7d", m1, families,
+                 u.facet_count(), measured, expected);
+      report.check(measured >= expected,
+                   "Cor 8 at m+1=" + std::to_string(m1) + " families=" +
+                       std::to_string(families));
+    }
+  }
+  return report.finish();
+}

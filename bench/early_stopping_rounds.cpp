@@ -1,0 +1,90 @@
+// Early-stopping consensus vs FloodSet: rounds used as a function of the
+// *actual* failure count f' (FloodSet always pays f+1; the clean-round rule
+// pays min(f'+2, f+1)). Exhaustive validation at small sizes plus a
+// rounds-used table from scripted adversaries.
+
+#include "bench_util.h"
+#include "protocols/early_stopping.h"
+#include "protocols/floodset.h"
+#include "util/timer.h"
+
+namespace {
+
+// Crashes `count` fixed victims in round 1, delivering nothing.
+class CrashSome : public psph::sim::SyncAdversary {
+ public:
+  explicit CrashSome(int count) : count_(count) {}
+  psph::sim::SyncRoundPlan plan_round(
+      int round, const std::vector<psph::sim::ProcessId>& alive) override {
+    psph::sim::SyncRoundPlan plan;
+    if (round != 1) return plan;
+    for (int i = 0; i < count_ && i + 1 < static_cast<int>(alive.size());
+         ++i) {
+      plan.crash.push_back(alive[static_cast<std::size_t>(i)]);
+      plan.delivered_to[alive[static_cast<std::size_t>(i)]] = {};
+    }
+    return plan;
+  }
+
+ private:
+  int count_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Early-stopping consensus",
+      "decides in min(f'+2, f+1) rounds vs FloodSet's fixed f+1");
+
+  report.header("  n+1  f  f'   floodset-rounds  early-rounds  agree?");
+  for (const auto& [n1, f] :
+       std::vector<std::array<int, 2>>{{4, 2}, {5, 3}, {6, 4}}) {
+    for (int actual = 0; actual <= f; ++actual) {
+      core::ViewRegistry views;
+      CrashSome adversary(actual);
+      std::vector<std::int64_t> inputs;
+      for (int p = 0; p < n1; ++p) inputs.push_back(p);
+      const protocols::EarlyStoppingOutcome outcome =
+          protocols::run_early_stopping(inputs, {n1, f}, adversary, views);
+      const protocols::EarlyAudit audit =
+          protocols::audit_early(outcome, inputs, f);
+      const int expected = std::min(actual + 2, f + 1);
+      report.row("  %3d %2d %3d %16d %13d  %s", n1, f, actual, f + 1,
+                 outcome.max_round_used, audit.ok() ? "yes" : "NO");
+      report.check(audit.ok(), "audit at n+1=" + std::to_string(n1) + " f'=" +
+                                   std::to_string(actual));
+      report.check(outcome.max_round_used <= expected,
+                   "rounds <= min(f'+2, f+1) at f'=" + std::to_string(actual));
+    }
+  }
+
+  report.header("  exhaustive validation: n+1  f  cap -> ok?");
+  for (const auto& [n1, f, cap] : std::vector<std::array<int, 3>>{
+           {3, 1, 1}, {3, 2, 2}, {4, 1, 1}, {4, 2, 1}}) {
+    util::Timer timer;
+    std::vector<std::int64_t> inputs;
+    for (int p = 0; p < n1; ++p) inputs.push_back(p);
+    const protocols::EarlyAudit audit =
+        protocols::exhaustive_early_check(inputs, f, cap);
+    report.row("            %3d %2d %4d -> %s (%s)", n1, f, cap,
+               audit.ok() ? "ok" : audit.failure.c_str(),
+               timer.pretty().c_str());
+    report.check(audit.ok(), "exhaustive at n+1=" + std::to_string(n1) +
+                                 " f=" + std::to_string(f));
+  }
+
+  report.header("  soak: n+1 f executions -> ok?");
+  for (const auto& [n1, f] :
+       std::vector<std::array<int, 2>>{{3, 1}, {4, 2}, {5, 2}, {6, 3}}) {
+    util::Timer timer;
+    const protocols::EarlyAudit audit =
+        protocols::soak_early_stopping({n1, f}, 7700 + n1, 400);
+    report.row("        %3d %d %10d -> %s (%s)", n1, f, 400,
+               audit.ok() ? "ok" : audit.failure.c_str(),
+               timer.pretty().c_str());
+    report.check(audit.ok(), "soak at n+1=" + std::to_string(n1));
+  }
+  return report.finish();
+}

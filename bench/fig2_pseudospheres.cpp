@@ -1,0 +1,38 @@
+// Figure 2: the two-process pseudospheres ψ(S¹; {0,1}) and ψ(S¹; {0,1,2}).
+// We regenerate both, report their structure, and sweep |V| further: for
+// two processes ψ is the complete bipartite graph K_{|V|,|V|}, so
+// facets = |V|², vertices = 2|V|, and β̃₁ = (|V|-1)².
+
+#include "bench_util.h"
+#include "core/pseudosphere.h"
+#include "topology/homology.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Figure 2",
+      "psi(S^1; V) is K_{|V|,|V|}: facets |V|^2, beta1 = (|V|-1)^2; "
+      "|V| = 2 is the circle");
+  report.header("  |V|   facets vertices  beta0~ beta1~   build");
+
+  for (int v = 1; v <= 6; ++v) {
+    util::Timer timer;
+    topology::VertexArena arena;
+    std::vector<core::StateId> values;
+    for (int i = 0; i < v; ++i) values.push_back(static_cast<core::StateId>(i));
+    const topology::SimplicialComplex psi =
+        core::pseudosphere_uniform({0, 1}, values, arena);
+    const topology::HomologyReport h =
+        topology::reduced_homology(psi, {.max_dim = 1});
+    report.row("  %3d %8zu %8zu %7lld %6lld   %s", v, psi.facet_count(),
+               psi.count_of_dim(0), h.reduced_betti[0], h.reduced_betti[1],
+               timer.pretty().c_str());
+    report.check(psi.facet_count() == static_cast<std::size_t>(v) * v,
+                 "facets = |V|^2 at |V|=" + std::to_string(v));
+    report.check(h.reduced_betti[0] == 0, "connected at |V|=" + std::to_string(v));
+    report.check(h.reduced_betti[1] == static_cast<long long>(v - 1) * (v - 1),
+                 "beta1 = (|V|-1)^2 at |V|=" + std::to_string(v));
+  }
+  return report.finish();
+}

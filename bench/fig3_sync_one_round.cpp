@@ -1,0 +1,70 @@
+// Figure 3: the one-round three-process synchronous protocol complex with
+// at most one failure, assembled as the union of the failure-free
+// pseudosphere and the three single-failure pseudospheres. We regenerate
+// each piece and the union, reporting the counts visible in the figure,
+// then sweep the number of processes.
+
+#include "bench_util.h"
+#include "core/sync_complex.h"
+#include "core/theorems.h"
+#include "topology/homology.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Figure 3",
+      "S^1(S^2) with k=1 = failure-free pseudosphere ∪ three single-failure "
+      "pseudospheres: 1 triangle + 9 maximal edges on 9 vertices");
+
+  {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(3, views, arena);
+    report.header("  piece                facets vertices dim");
+    const topology::SimplicialComplex none =
+        core::sync_round_complex_for_failset(input, {}, views, arena);
+    report.row("  no failures        %7zu %8zu %3d", none.facet_count(),
+               none.count_of_dim(0), none.dimension());
+    report.check(none.facet_count() == 1, "failure-free piece is one facet");
+    for (core::ProcessId victim = 0; victim < 3; ++victim) {
+      const topology::SimplicialComplex piece =
+          core::sync_round_complex_for_failset(input, {victim}, views, arena);
+      report.row("  K = {P%d}           %7zu %8zu %3d", victim,
+                 piece.facet_count(), piece.count_of_dim(0),
+                 piece.dimension());
+      report.check(piece.facet_count() == 4,
+                   "single-failure piece is a 4-facet pseudosphere");
+    }
+    const topology::SimplicialComplex all = core::sync_round_complex(
+        input, {3, 1, 1, 1}, views, arena);
+    report.row("  union              %7zu %8zu %3d", all.facet_count(),
+               all.count_of_dim(0), all.dimension());
+    report.check(all.facet_count() == 10, "union has 10 maximal simplexes");
+    report.check(all.count_of_dim(0) == 9, "union has 9 vertices");
+    report.check(topology::homological_connectivity(all, 0) >= 0,
+                 "union is connected (Lemma 16 at m=n=2, k=1)");
+  }
+
+  report.header("  sweep: n+1  k   facets vertices  conn>=  build");
+  for (const auto& [n1, k] :
+       std::vector<std::array<int, 2>>{{3, 1}, {4, 1}, {4, 2}, {5, 1}}) {
+    util::Timer timer;
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    const topology::SimplicialComplex s1 = core::sync_round_complex(
+        input, {n1, k, k, 1}, views, arena);
+    const int expected = (n1 - 1) - ((n1 - 1) - k) - 1;  // k - 1
+    const int measured =
+        topology::homological_connectivity(s1, std::max(expected, 0));
+    report.row("        %3d %3d %8zu %8zu %7d  %s", n1, k, s1.facet_count(),
+               s1.count_of_dim(0), measured, timer.pretty().c_str());
+    if ((n1 - 1) >= 2 * k) {
+      report.check(measured >= expected,
+                   "Lemma 16 connectivity at n+1=" + std::to_string(n1) +
+                       " k=" + std::to_string(k));
+    }
+  }
+  return report.finish();
+}

@@ -1,0 +1,65 @@
+// Lemma 11: the one-round asynchronous complex A¹(S) is a single
+// pseudosphere ψ(S; 2^{P-{P_0}}_{>=n-f}, ...). We regenerate A¹ for a sweep
+// of (n, f), check the facet/vertex counts predicted by the pseudosphere
+// shape, and confirm purity (a pseudosphere over m+1 live positions is pure
+// of dimension m).
+
+#include "bench_util.h"
+#include "core/async_complex.h"
+#include "core/theorems.h"
+#include "math/combinatorics.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Lemma 11",
+      "A^1(S) is one pseudosphere: facets = prod_i |2^{others}_{>=n-f}|");
+  report.header("  n+1  f   facets predicted vertices  pure  build");
+
+  for (const auto& [n1, f] : std::vector<std::array<int, 2>>{
+           {3, 1}, {3, 2}, {4, 1}, {4, 2}, {4, 3}, {5, 1}, {5, 2}}) {
+    util::Timer timer;
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    const topology::SimplicialComplex a1 =
+        core::async_round_complex(input, {n1, f, 1}, views, arena);
+    const std::uint64_t predicted = core::async_round_facet_count(n1, n1, f);
+    // Vertices: per process, the number of admissible heard-sets.
+    std::uint64_t per_process = 0;
+    for (int j = std::max(n1 - 1 - f, 0); j <= n1 - 1; ++j) {
+      per_process += math::binomial(n1 - 1, j);
+    }
+    report.row("  %3d %2d %8zu %9llu %8zu  %4s  %s", n1, f, a1.facet_count(),
+               static_cast<unsigned long long>(predicted),
+               a1.count_of_dim(0), a1.is_pure() ? "yes" : "NO",
+               timer.pretty().c_str());
+    report.check(a1.facet_count() == predicted,
+                 "facet count matches Lemma 11 at n+1=" + std::to_string(n1) +
+                     " f=" + std::to_string(f));
+    report.check(
+        a1.count_of_dim(0) == static_cast<std::size_t>(n1) * per_process,
+        "vertex count matches at n+1=" + std::to_string(n1) +
+            " f=" + std::to_string(f));
+    report.check(a1.is_pure() && a1.dimension() == n1 - 1,
+                 "pure of dimension n");
+  }
+
+  // Sub-participation: A^1(S^m) empty iff m+1 < n+1-f.
+  report.header("  participation: n+1 f m+1 -> empty?");
+  for (const auto& [n1, f, m1] : std::vector<std::array<int, 3>>{
+           {4, 1, 2}, {4, 1, 3}, {4, 2, 2}, {4, 2, 1}, {3, 1, 1}}) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(m1, views, arena);
+    const topology::SimplicialComplex a1 =
+        core::async_round_complex(input, {n1, f, 1}, views, arena);
+    const bool expect_empty = m1 < n1 - f;
+    report.row("                %3d %2d %3d -> %s", n1, f, m1,
+               a1.empty() ? "empty" : "nonempty");
+    report.check(a1.empty() == expect_empty,
+                 "emptiness threshold at m+1=" + std::to_string(m1));
+  }
+  return report.finish();
+}

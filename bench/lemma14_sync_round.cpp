@@ -1,0 +1,69 @@
+// Lemmas 14 and 15: S¹_K(S) ≅ ψ(S\K; 2^K) (facet count 2^{|K|·survivors}),
+// and the lexicographic intersections are unions of restricted
+// pseudospheres — checked as literal complex equality for every K in lex
+// order, for several process counts.
+
+#include "bench_util.h"
+#include "core/sync_complex.h"
+#include "core/theorems.h"
+#include "topology/operations.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Lemmas 14 and 15",
+      "S^1_K(S) = psi(S\\K; 2^K); prefix intersections are unions of "
+      "psi(S\\K; 2^{K-{j}})");
+
+  report.header("  n+1 |K|   facets predicted vertices");
+  for (int n1 : {3, 4, 5}) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    for (int ksize = 0; ksize < n1 && ksize <= 2; ++ksize) {
+      std::vector<core::ProcessId> fail_set;
+      for (int i = 0; i < ksize; ++i) fail_set.push_back(i);
+      const topology::SimplicialComplex piece =
+          core::sync_round_complex_for_failset(input, fail_set, views, arena);
+      const int survivors = n1 - ksize;
+      std::uint64_t predicted = 1;
+      for (int s = 0; s < survivors; ++s) predicted <<= ksize;
+      report.row("  %3d %3d %8zu %9llu %8zu", n1, ksize, piece.facet_count(),
+                 static_cast<unsigned long long>(predicted),
+                 piece.count_of_dim(0));
+      report.check(piece.facet_count() == predicted,
+                   "Lemma 14 facet count at n+1=" + std::to_string(n1) +
+                       " |K|=" + std::to_string(ksize));
+    }
+  }
+
+  report.header("  Lemma 15 verification: n+1 cap  #fail-sets  checked");
+  for (const auto& [n1, cap] :
+       std::vector<std::array<int, 2>>{{3, 2}, {4, 2}, {5, 2}}) {
+    util::Timer timer;
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    std::vector<core::ProcessId> pids;
+    for (int p = 0; p < n1; ++p) pids.push_back(p);
+    const auto fail_sets = core::lexicographic_fail_sets(pids, cap);
+    topology::SimplicialComplex earlier;
+    bool all_equal = true;
+    for (const auto& fail_set : fail_sets) {
+      const topology::SimplicialComplex current =
+          core::sync_round_complex_for_failset(input, fail_set, views, arena);
+      const topology::SimplicialComplex lhs =
+          topology::intersection_of(earlier, current);
+      const topology::SimplicialComplex rhs =
+          core::sync_lemma15_rhs(input, fail_set, views, arena);
+      if (!(lhs == rhs)) all_equal = false;
+      earlier.merge(current);
+    }
+    report.row("                             %3d %3d %11zu  %s (%s)", n1,
+               cap, fail_sets.size(), all_equal ? "all equal" : "MISMATCH",
+               timer.pretty().c_str());
+    report.check(all_equal, "Lemma 15 at n+1=" + std::to_string(n1));
+  }
+  return report.finish();
+}

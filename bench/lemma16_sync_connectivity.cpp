@@ -1,0 +1,42 @@
+// Lemmas 16 and 17: S^r(S^m) is (m - (n - k) - 1)-connected when
+// n >= rk + k. The sweep includes boundary cases where the hypothesis
+// *fails* (marked "n/a"), showing the hypothesis is doing real work.
+
+#include "bench_util.h"
+#include "core/theorems.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Lemmas 16 and 17",
+      "S^r(S^m) is (m - (n - k) - 1)-connected when n >= rk + k");
+  report.header(
+      "  n+1 m+1  k  r hyp?   facets vertices  expect conn  build");
+
+  for (const auto& [n1, m1, k, r] : std::vector<std::array<int, 4>>{
+           {3, 3, 1, 1},
+           {4, 4, 1, 1},
+           {4, 4, 1, 2},
+           {4, 3, 1, 1},
+           {5, 5, 1, 1},
+           {5, 5, 2, 1},
+           {5, 5, 1, 2},
+           {3, 3, 1, 2},   // hypothesis violated: n = 2 < rk + k = 3
+           {5, 5, 2, 2}}) {  // hypothesis violated: n = 4 < 6
+    util::Timer timer;
+    const bool hypothesis = (n1 - 1) >= r * k + k;
+    const core::ConnectivityCheck check =
+        core::check_sync_connectivity(n1, m1, k, r);
+    report.row("  %3d %3d %2d %2d %4s %8zu %8zu %7d %4d  %s", n1, m1, k, r,
+               hypothesis ? "yes" : "no", check.facet_count,
+               check.vertex_count, check.expected, check.measured,
+               timer.pretty().c_str());
+    if (hypothesis) {
+      report.check(check.satisfied,
+                   "Lemma 16/17 at n+1=" + std::to_string(n1) + " k=" +
+                       std::to_string(k) + " r=" + std::to_string(r));
+    }
+  }
+  return report.finish();
+}

@@ -1,0 +1,85 @@
+// Lemmas 19 and 20: M¹_{K,F}(S) ≅ ψ(S\K; [F]) with |[F]| = 2^{|K|}, and the
+// prefix intersections in the paper's (K, F) order are unions of the pinned
+// pseudospheres ψ(S\K; [F ↑ j]) — checked as literal complex equality over
+// the full enumeration for several (n, μ).
+
+#include "bench_util.h"
+#include "core/semisync_complex.h"
+#include "core/theorems.h"
+#include "topology/operations.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Lemmas 19 and 20",
+      "M^1_{K,F}(S) = psi(S\\K; [F]); prefix intersections are unions of "
+      "psi(S\\K; [F up j])");
+
+  report.header("  n+1 mu |K| F        facets predicted");
+  for (const auto& [n1, mu] :
+       std::vector<std::array<int, 2>>{{3, 2}, {3, 3}, {4, 2}}) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    // Sample: fail {0} at each microround; fail {0,1} at (mu, 1).
+    std::vector<core::FailurePattern> samples;
+    for (int micro = 1; micro <= mu; ++micro) {
+      samples.push_back({{0}, {micro}});
+    }
+    samples.push_back({{0, 1}, {mu, 1}});
+    for (const core::FailurePattern& pattern : samples) {
+      const topology::SimplicialComplex piece =
+          core::semisync_round_complex_for_pattern(input, pattern, mu, views,
+                                                   arena);
+      const int survivors = n1 - static_cast<int>(pattern.fail_set.size());
+      std::uint64_t predicted = 1;
+      for (int s = 0; s < survivors; ++s) {
+        predicted *= core::view_count(pattern);
+      }
+      std::string f_str;
+      for (std::size_t i = 0; i < pattern.fail_set.size(); ++i) {
+        f_str += "P" + std::to_string(pattern.fail_set[i]) + "@" +
+                 std::to_string(pattern.fail_micro[i]) + " ";
+      }
+      report.row("  %3d %2d %3zu %-9s %6zu %9llu", n1, mu,
+                 pattern.fail_set.size(), f_str.c_str(), piece.facet_count(),
+                 static_cast<unsigned long long>(predicted));
+      report.check(piece.facet_count() == predicted,
+                   "Lemma 19 count at n+1=" + std::to_string(n1) + " F=" +
+                       f_str);
+    }
+  }
+
+  report.header("  Lemma 20 verification: n+1 mu cap  #patterns  checked");
+  for (const auto& [n1, mu, cap] :
+       std::vector<std::array<int, 3>>{{3, 2, 1}, {3, 2, 2}, {3, 3, 1},
+                                       {4, 2, 1}}) {
+    util::Timer timer;
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    std::vector<core::ProcessId> pids;
+    for (int p = 0; p < n1; ++p) pids.push_back(p);
+    const auto patterns = core::enumerate_failure_patterns(pids, cap, mu);
+    topology::SimplicialComplex earlier;
+    bool all_equal = true;
+    for (const core::FailurePattern& pattern : patterns) {
+      const topology::SimplicialComplex current =
+          core::semisync_round_complex_for_pattern(input, pattern, mu, views,
+                                                   arena);
+      const topology::SimplicialComplex lhs =
+          topology::intersection_of(earlier, current);
+      const topology::SimplicialComplex rhs =
+          core::semisync_lemma20_rhs(input, pattern, mu, views, arena);
+      if (!(lhs == rhs)) all_equal = false;
+      earlier.merge(current);
+    }
+    report.row("                          %3d %2d %3d %10zu  %s (%s)", n1,
+               mu, cap, patterns.size(),
+               all_equal ? "all equal" : "MISMATCH", timer.pretty().c_str());
+    report.check(all_equal, "Lemma 20 at n+1=" + std::to_string(n1) + " mu=" +
+                                std::to_string(mu));
+  }
+  return report.finish();
+}

@@ -1,0 +1,42 @@
+// Lemma 21: M^r(S^m) is (m - (n - k) - 1)-connected when n >= (r+1)k.
+// Swept over (n, k, μ, r) with hypothesis-violating rows marked.
+
+#include "bench_util.h"
+#include "core/theorems.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Lemma 21",
+      "M^r(S^m) is (m - (n - k) - 1)-connected when n >= (r+1)k");
+  report.header(
+      "  n+1 m+1  k mu  r hyp?   facets vertices  expect conn  build");
+
+  for (const auto& [n1, m1, k, mu, r] : std::vector<std::array<int, 5>>{
+           {3, 3, 1, 2, 1},
+           {3, 3, 1, 3, 1},
+           {3, 3, 1, 4, 1},
+           {4, 4, 1, 2, 1},
+           {4, 4, 1, 2, 2},
+           {4, 3, 1, 2, 1},
+           {4, 4, 1, 3, 1},
+           {3, 3, 1, 2, 2},  // hypothesis violated: n = 2 < (r+1)k = 3
+       }) {
+    util::Timer timer;
+    const bool hypothesis = (n1 - 1) >= (r + 1) * k;
+    const core::ConnectivityCheck check =
+        core::check_semisync_connectivity(n1, m1, k, mu, r);
+    report.row("  %3d %3d %2d %2d %2d %4s %8zu %8zu %7d %4d  %s", n1, m1, k,
+               mu, r, hypothesis ? "yes" : "no", check.facet_count,
+               check.vertex_count, check.expected, check.measured,
+               timer.pretty().c_str());
+    if (hypothesis) {
+      report.check(check.satisfied,
+                   "Lemma 21 at n+1=" + std::to_string(n1) + " k=" +
+                       std::to_string(k) + " mu=" + std::to_string(mu) +
+                       " r=" + std::to_string(r));
+    }
+  }
+  return report.finish();
+}

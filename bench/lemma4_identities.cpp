@@ -1,0 +1,113 @@
+// Lemma 4: the pseudosphere identities. Property 1 (singleton sets give the
+// simplex), property 2 (empty value set deletes the position), property 3
+// (pseudospheres intersect position-wise), each swept over randomized
+// instances. Identities are checked as literal complex equality over a
+// shared vertex arena.
+
+#include "bench_util.h"
+#include "core/pseudosphere.h"
+#include "topology/operations.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  using topology::SimplicialComplex;
+  bench::Report report("Lemma 4", "pseudosphere combinatorial identities");
+  util::Rng rng(20260705);
+  util::Timer timer;
+
+  int trials = 0;
+  // Property 1: singletons.
+  for (int m1 = 1; m1 <= 5; ++m1) {
+    topology::VertexArena arena;
+    std::vector<core::ProcessId> pids;
+    std::vector<std::vector<core::StateId>> sets;
+    for (int i = 0; i < m1; ++i) {
+      pids.push_back(i);
+      sets.push_back({static_cast<core::StateId>(100 + i)});
+    }
+    const SimplicialComplex psi = core::pseudosphere(pids, sets, arena);
+    report.check(psi.facet_count() == 1 && psi.dimension() == m1 - 1,
+                 "property 1 at m+1=" + std::to_string(m1));
+    ++trials;
+  }
+
+  // Property 2: empty sets delete positions (randomized).
+  for (int trial = 0; trial < 40; ++trial) {
+    topology::VertexArena arena;
+    const int m1 = 2 + static_cast<int>(rng.next_below(4));
+    std::vector<core::ProcessId> pids, kept_pids;
+    std::vector<std::vector<core::StateId>> sets, kept_sets;
+    for (int i = 0; i < m1; ++i) {
+      pids.push_back(i);
+      std::vector<core::StateId> values;
+      if (!rng.next_bool(0.3)) {  // 30% empty
+        const int size = 1 + static_cast<int>(rng.next_below(3));
+        for (int v = 0; v < size; ++v) {
+          values.push_back(static_cast<core::StateId>(10 * i + v));
+        }
+      }
+      if (!values.empty()) {
+        kept_pids.push_back(i);
+        kept_sets.push_back(values);
+      }
+      sets.push_back(std::move(values));
+    }
+    const SimplicialComplex with_gaps = core::pseudosphere(pids, sets, arena);
+    const SimplicialComplex compacted =
+        core::pseudosphere(kept_pids, kept_sets, arena);
+    report.check(with_gaps == compacted,
+                 "property 2 trial " + std::to_string(trial));
+    ++trials;
+  }
+
+  // Property 3: position-wise intersection (randomized).
+  for (int trial = 0; trial < 40; ++trial) {
+    topology::VertexArena arena;
+    std::vector<std::vector<core::StateId>> universe(5);
+    std::vector<std::vector<core::StateId>> universe_b(5);
+    const auto draw = [&]() {
+      std::vector<core::StateId> vals;
+      for (core::StateId v = 0; v < 4; ++v) {
+        if (rng.next_bool(0.55)) vals.push_back(v);
+      }
+      if (vals.empty()) vals.push_back(rng.next_below(4));
+      return vals;
+    };
+    for (auto& u : universe) u = draw();
+    for (auto& u : universe_b) u = draw();
+    const std::vector<int> ia = rng.sample_without_replacement(5, 3);
+    const std::vector<int> ib = rng.sample_without_replacement(5, 3);
+    std::vector<core::ProcessId> pa(ia.begin(), ia.end());
+    std::vector<core::ProcessId> pb(ib.begin(), ib.end());
+    std::vector<std::vector<core::StateId>> va, vb;
+    for (core::ProcessId p : pa) va.push_back(universe[static_cast<std::size_t>(p)]);
+    for (core::ProcessId p : pb) vb.push_back(universe_b[static_cast<std::size_t>(p)]);
+    const SimplicialComplex psi_a = core::pseudosphere(pa, va, arena);
+    const SimplicialComplex psi_b = core::pseudosphere(pb, vb, arena);
+    std::vector<core::ProcessId> common;
+    std::vector<std::vector<core::StateId>> meets;
+    for (core::ProcessId p : pa) {
+      if (std::find(pb.begin(), pb.end(), p) == pb.end()) continue;
+      common.push_back(p);
+      std::vector<core::StateId> meet;
+      for (core::StateId v : universe[static_cast<std::size_t>(p)]) {
+        const auto& other = universe_b[static_cast<std::size_t>(p)];
+        if (std::find(other.begin(), other.end(), v) != other.end()) {
+          meet.push_back(v);
+        }
+      }
+      meets.push_back(std::move(meet));
+    }
+    const SimplicialComplex expected =
+        core::pseudosphere(common, meets, arena);
+    report.check(topology::intersection_of(psi_a, psi_b) == expected,
+                 "property 3 trial " + std::to_string(trial));
+    ++trials;
+  }
+
+  report.row("  %d randomized identity instances verified in %s", trials,
+             timer.pretty().c_str());
+  return report.finish();
+}

@@ -1,0 +1,123 @@
+// Performance of the protocol-complex constructions and the simulator
+// (google-benchmark): r-round complex builds in all three models, the
+// decision-map search, and executor throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/async_complex.h"
+#include "core/decision_search.h"
+#include "core/pseudosphere.h"
+#include "core/semisync_complex.h"
+#include "core/sync_complex.h"
+#include "core/theorems.h"
+#include "protocols/floodset.h"
+#include "protocols/semisync_kset.h"
+#include "sim/semisync_executor.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace psph;
+
+void BM_AsyncRoundComplex(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(
+        core::async_round_complex(input, {n1, 1, 1}, views, arena));
+  }
+}
+BENCHMARK(BM_AsyncRoundComplex)->DenseRange(3, 5);
+
+void BM_AsyncTwoRoundComplex(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(
+        core::async_protocol_complex(input, {n1, 1, 2}, views, arena));
+  }
+}
+BENCHMARK(BM_AsyncTwoRoundComplex)->DenseRange(3, 4);
+
+void BM_SyncRoundComplex(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::sync_round_complex(
+        input, {n1, 1, 1, 1}, views, arena));
+  }
+}
+BENCHMARK(BM_SyncRoundComplex)->DenseRange(3, 6);
+
+void BM_SemiSyncRoundComplex(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::semisync_round_complex(
+        input, {n1, 1, 1, 2, 1}, views, arena));
+  }
+}
+BENCHMARK(BM_SemiSyncRoundComplex)->DenseRange(3, 5);
+
+void BM_DecisionSearchSolvable(benchmark::State& state) {
+  // k = f + 1: a witness exists; measures time-to-first-witness.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::check_async_agreement(3, 1, 2, 1));
+  }
+}
+BENCHMARK(BM_DecisionSearchSolvable);
+
+void BM_DecisionSearchImpossible(benchmark::State& state) {
+  // Exhaustive refutation of 2-process consensus.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::check_async_agreement(2, 1, 1, 1));
+  }
+}
+BENCHMARK(BM_DecisionSearchImpossible);
+
+void BM_FloodSetExecution(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  util::Rng rng(77);
+  std::vector<std::int64_t> inputs;
+  for (int p = 0; p < n1; ++p) inputs.push_back(p);
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    sim::RandomSyncAdversary adversary(util::Rng(rng.next()), 2);
+    benchmark::DoNotOptimize(protocols::run_floodset(
+        inputs, {n1, 2, 1}, adversary, views));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FloodSetExecution)->DenseRange(3, 8);
+
+void BM_SemiSyncExecution(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  util::Rng rng(78);
+  protocols::SemiSyncKSetConfig config;
+  config.timing = {.c1 = 1, .c2 = 2, .d = 5, .num_processes = n1};
+  config.max_failures = 1;
+  config.k = 1;
+  std::vector<std::int64_t> inputs;
+  for (int p = 0; p < n1; ++p) inputs.push_back(p);
+  for (auto _ : state) {
+    sim::RandomSemiSyncAdversary adversary(util::Rng(rng.next()),
+                                           config.timing, 1, 0.3, 20);
+    benchmark::DoNotOptimize(
+        sim::run_semisync(inputs, config.timing,
+                          protocols::make_semisync_kset(config), adversary));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SemiSyncExecution)->DenseRange(3, 8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

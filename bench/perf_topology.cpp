@@ -1,0 +1,119 @@
+// Performance of the topology engine (google-benchmark): pseudosphere
+// construction, face enumeration, boundary matrices, GF(p) homology, exact
+// SNF, barycentric subdivision, and collapse.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pseudosphere.h"
+#include "math/smith.h"
+#include "topology/collapse.h"
+#include "topology/homology.h"
+#include "topology/operations.h"
+#include "topology/subdivision.h"
+
+namespace {
+
+using namespace psph;
+
+topology::SimplicialComplex binary_pseudosphere(int n1) {
+  topology::VertexArena arena;
+  std::vector<core::ProcessId> pids;
+  for (int i = 0; i < n1; ++i) pids.push_back(i);
+  return core::pseudosphere_uniform(pids, {0, 1}, arena);
+}
+
+void BM_PseudosphereConstruct(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  std::vector<core::ProcessId> pids;
+  for (int i = 0; i < n1; ++i) pids.push_back(i);
+  for (auto _ : state) {
+    topology::VertexArena arena;
+    benchmark::DoNotOptimize(
+        core::pseudosphere_uniform(pids, {0, 1, 2}, arena));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PseudosphereConstruct)->DenseRange(2, 6);
+
+void BM_FaceEnumeration(benchmark::State& state) {
+  const topology::SimplicialComplex k =
+      binary_pseudosphere(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.simplices_of_dim(1));
+  }
+}
+BENCHMARK(BM_FaceEnumeration)->DenseRange(3, 6);
+
+void BM_BoundaryMatrix(benchmark::State& state) {
+  const topology::SimplicialComplex k =
+      binary_pseudosphere(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::boundary_matrix(k, 2));
+  }
+}
+BENCHMARK(BM_BoundaryMatrix)->DenseRange(3, 6);
+
+void BM_HomologyGFp(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const topology::SimplicialComplex k = binary_pseudosphere(n1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topology::reduced_homology(k, {.max_dim = n1 - 1}));
+  }
+}
+BENCHMARK(BM_HomologyGFp)->DenseRange(3, 6);
+
+void BM_HomologyExactSNF(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const topology::SimplicialComplex k = binary_pseudosphere(n1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topology::reduced_homology(k, {.max_dim = 2, .exact = true}));
+  }
+}
+BENCHMARK(BM_HomologyExactSNF)->DenseRange(3, 5);
+
+void BM_BarycentricSubdivision(benchmark::State& state) {
+  topology::SimplicialComplex k;
+  std::vector<topology::VertexId> vertices;
+  for (int i = 0; i <= state.range(0); ++i) {
+    vertices.push_back(static_cast<topology::VertexId>(i));
+  }
+  k.add_facet(topology::Simplex(vertices));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::barycentric_subdivision(k));
+  }
+}
+BENCHMARK(BM_BarycentricSubdivision)->DenseRange(2, 5);
+
+void BM_GreedyCollapse(benchmark::State& state) {
+  topology::SimplicialComplex k;
+  std::vector<topology::VertexId> vertices;
+  for (int i = 0; i <= state.range(0); ++i) {
+    vertices.push_back(static_cast<topology::VertexId>(i));
+  }
+  k.add_facet(topology::Simplex(vertices));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::collapse_greedily(k));
+  }
+}
+BENCHMARK(BM_GreedyCollapse)->DenseRange(3, 8);
+
+void BM_IntersectionOfPseudospheres(benchmark::State& state) {
+  topology::VertexArena arena;
+  const int n1 = static_cast<int>(state.range(0));
+  std::vector<core::ProcessId> pids;
+  for (int i = 0; i < n1; ++i) pids.push_back(i);
+  const topology::SimplicialComplex a =
+      core::pseudosphere_uniform(pids, {0, 1, 2}, arena);
+  const topology::SimplicialComplex b =
+      core::pseudosphere_uniform(pids, {1, 2, 3}, arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::intersection_of(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionOfPseudospheres)->DenseRange(2, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

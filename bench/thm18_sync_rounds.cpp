@@ -1,0 +1,96 @@
+// Theorem 18: synchronous f-resilient k-set agreement needs ⌊f/k⌋ + 1
+// rounds when n > f + k, and ⌊f/k⌋ rounds when n < f + k (the easier case:
+// fewer processes than failures-plus-degree). Three independent
+// regenerations of the bound:
+//   1. the decision-map search proves impossibility at r = ⌊f/k⌋ on small
+//      instances and finds a witness at r = ⌊f/k⌋ + 1;
+//   2. the FloodMin rule fails below the bound and succeeds at it on the
+//      full constructed complex;
+//   3. the FloodSet protocol, run through the simulator against random
+//      adversaries, never violates k-agreement at the bound.
+
+#include "bench_util.h"
+#include "core/theorems.h"
+#include "protocols/floodset.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Theorem 18",
+      "sync k-set agreement takes exactly floor(f/k)+1 rounds");
+
+  report.header(
+      "  search: n+1  f  k  r    facets      nodes   verdict      build");
+  struct Case {
+    int n1, f, k, r;
+    bool expect_impossible;
+  };
+  for (const Case& c : std::vector<Case>{
+           {3, 1, 1, 1, true},    // n >= f+k, r = floor(f/k): impossible
+           {3, 1, 1, 2, false},   // r = floor(f/k)+1: solvable
+           {4, 1, 1, 1, true},
+           {4, 1, 1, 2, false},
+           {4, 2, 2, 1, false},   // n = 3 < f+k = 4: floor(f/k) rounds do
+           {4, 2, 2, 2, false},   //   suffice (Theorem 18, second case)
+       }) {
+    util::Timer timer;
+    const core::AgreementCheck check =
+        core::check_sync_agreement(c.n1, c.f, c.k, c.r);
+    const char* verdict = check.impossible ? "impossible"
+                          : check.possible ? "solvable"
+                                           : "inconclusive";
+    report.row("          %3d %2d %2d %2d %9zu %10llu   %-10s %s", c.n1, c.f,
+               c.k, c.r, check.protocol_facets,
+               static_cast<unsigned long long>(check.nodes), verdict,
+               timer.pretty().c_str());
+    report.check(check.search_exhausted &&
+                 check.impossible == c.expect_impossible,
+                 "search verdict at n+1=" + std::to_string(c.n1) + " f=" +
+                     std::to_string(c.f) + " k=" + std::to_string(c.k) +
+                     " r=" + std::to_string(c.r));
+  }
+
+  report.header("  FloodMin on the complex: n+1  f  k case  rounds -> ok?");
+  for (const auto& [n1, f, k] : std::vector<std::array<int, 3>>{
+           {3, 1, 1}, {4, 1, 1}, {4, 2, 2}, {3, 2, 2}, {4, 2, 1}}) {
+    const int n = n1 - 1;
+    // n >= f + k: the hard case, floor(f/k)+1 rounds needed; n < f + k:
+    // floor(f/k) rounds suffice (Theorem 18's case split).
+    const bool hard_case = n >= f + k;
+    const int bound = f / k + (hard_case ? 1 : 0);
+    const bool below =
+        bound >= 2 ? core::floodmin_solves_sync(n1, f, k, bound - 1) : false;
+    const bool at = core::floodmin_solves_sync(n1, f, k, bound);
+    report.row("                 %3d %2d %2d %-6s %d->%-3s %d->%s", n1, f, k,
+               hard_case ? "hard" : "easy", bound - 1,
+               bound >= 2 ? (below ? "ok" : "fail") : "n/a", bound,
+               at ? "ok" : "fail");
+    if (bound >= 2) {
+      report.check(!below, "FloodMin fails below the bound (n+1=" +
+                               std::to_string(n1) + " f=" +
+                               std::to_string(f) + " k=" + std::to_string(k) +
+                               ")");
+    }
+    report.check(at, "FloodMin succeeds at the bound (n+1=" +
+                         std::to_string(n1) + " f=" + std::to_string(f) +
+                         " k=" + std::to_string(k) + ")");
+  }
+
+  report.header("  protocol soak: n+1  f  k rounds executions -> ok?");
+  for (const auto& [n1, f, k] : std::vector<std::array<int, 3>>{
+           {3, 1, 1}, {4, 2, 1}, {4, 2, 2}, {5, 3, 2}, {6, 4, 2}}) {
+    util::Timer timer;
+    const protocols::FloodSetConfig config{n1, f, k};
+    const protocols::AgreementAudit result =
+        protocols::soak_floodset(config, 180000 + n1, 400);
+    report.row("               %3d %2d %2d %6d %10d -> %s (%s)", n1, f, k,
+               protocols::floodset_rounds(config), 400,
+               result.ok() ? "ok" : result.failure.c_str(),
+               timer.pretty().c_str());
+    report.check(result.ok(), "soak at n+1=" + std::to_string(n1) + " f=" +
+                                  std::to_string(f) + " k=" +
+                                  std::to_string(k));
+  }
+  return report.finish();
+}

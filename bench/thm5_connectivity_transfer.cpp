@@ -1,0 +1,86 @@
+// Theorems 5 and 7: if a protocol preserves connectivity on every face of a
+// simplex, it preserves it on any input pseudosphere (Thm 5) and on unions
+// of pseudospheres with a common value (Thm 7). Instantiated with the
+// one-round asynchronous protocol (c = n - f): the hypothesis is measured
+// per face dimension, the conclusion on a sweep of value-set shapes and
+// family collections.
+
+#include "bench_util.h"
+#include "core/theorems.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace psph;
+  bench::Report report(
+      "Theorems 5 and 7",
+      "per-face connectivity transfers to pseudospheres and their unions");
+
+  report.header(
+      "  Thm 5: n+1  f  c  shape           hyp?  facets expect conn  build");
+  struct Shape {
+    const char* name;
+    std::vector<std::vector<std::int64_t>> sets;
+  };
+  for (const auto& [n1, f] :
+       std::vector<std::array<int, 2>>{{3, 1}, {3, 2}, {4, 2}}) {
+    std::vector<Shape> shapes;
+    std::vector<std::vector<std::int64_t>> binary, mixed, singleton;
+    for (int i = 0; i < n1; ++i) {
+      binary.push_back({0, 1});
+      mixed.push_back(i % 2 == 0 ? std::vector<std::int64_t>{0, 1, 2}
+                                 : std::vector<std::int64_t>{3});
+      singleton.push_back({7});
+    }
+    shapes.push_back({"binary", binary});
+    shapes.push_back({"mixed", mixed});
+    shapes.push_back({"singleton", singleton});
+    for (const Shape& shape : shapes) {
+      util::Timer timer;
+      const core::Theorem5Check check =
+          core::check_theorem5_async(n1, f, shape.sets);
+      report.row("        %3d %2d %2d  %-14s %-4s %7zu %6d %4d  %s", n1, f,
+                 check.c, shape.name,
+                 check.hypothesis_holds ? "yes" : "NO",
+                 check.conclusion.facet_count, check.conclusion.expected,
+                 check.conclusion.measured, timer.pretty().c_str());
+      report.check(check.hypothesis_holds,
+                   "hypothesis (Lemma 12 r=1) at n+1=" + std::to_string(n1) +
+                       " f=" + std::to_string(f));
+      report.check(check.conclusion.satisfied,
+                   "Thm 5 conclusion for " + std::string(shape.name) +
+                       " at n+1=" + std::to_string(n1) + " f=" +
+                       std::to_string(f));
+    }
+  }
+
+  report.header("  Thm 7: n+1  f  families            facets expect conn");
+  struct FamilyCase {
+    const char* name;
+    std::vector<std::vector<std::int64_t>> families;
+    bool expect;  // whether the common-value condition holds
+  };
+  for (int n1 : {3, 4}) {
+    for (const FamilyCase& fc : std::vector<FamilyCase>{
+             {"{0,1},{0,2}", {{0, 1}, {0, 2}}, true},
+             {"{0,1},{0,2},{0,3}", {{0, 1}, {0, 2}, {0, 3}}, true},
+             {"{0,1,2},{0,3}", {{0, 1, 2}, {0, 3}}, true},
+             {"{0},{1}  (no common)", {{0}, {1}}, false},
+         }) {
+      const core::Theorem5Check check =
+          core::check_theorem7_async(n1, 1, fc.families);
+      report.row("        %3d %2d  %-20s %6zu %6d %4d", n1, 1, fc.name,
+                 check.conclusion.facet_count, check.conclusion.expected,
+                 check.conclusion.measured);
+      if (fc.expect) {
+        report.check(check.conclusion.satisfied,
+                     "Thm 7 at n+1=" + std::to_string(n1) + " families " +
+                         fc.name);
+      } else {
+        report.check(!check.conclusion.satisfied,
+                     "common-value condition is necessary at n+1=" +
+                         std::to_string(n1));
+      }
+    }
+  }
+  return report.finish();
+}

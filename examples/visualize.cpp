@@ -1,0 +1,80 @@
+// Visualize: write the paper's figures as Graphviz DOT / OFF / facet
+// listings. Vertices are labeled with their full-information views, so the
+// rendered picture is literally the paper's Figure 1 / Figure 3 labeling.
+//
+//   ./visualize --figure 1 --format dot > fig1.dot && dot -Tsvg fig1.dot
+//   ./visualize --figure 3 --format dot
+//   ./visualize --figure iis --format listing
+
+#include <cstdio>
+#include <string>
+
+#include "core/iis_complex.h"
+#include "core/pseudosphere.h"
+#include "core/sync_complex.h"
+#include "core/theorems.h"
+#include "topology/export.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace psph;
+
+  std::string figure = "1";
+  std::string format = "dot";
+  int n = 3;
+  util::Cli cli("visualize", "export paper figures as DOT / OFF / listings");
+  cli.flag("figure", &figure, "1 | 2 | 3 | iis");
+  cli.flag("format", &format, "dot | off | listing");
+  cli.flag("n", &n, "number of processes");
+  cli.parse(argc, argv);
+
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  topology::SimplicialComplex complex;
+  bool labeled_with_views = false;
+
+  if (figure == "1") {
+    std::vector<core::ProcessId> pids;
+    for (int i = 0; i < n; ++i) pids.push_back(i);
+    complex = core::pseudosphere_uniform(pids, {0, 1}, arena);
+  } else if (figure == "2") {
+    complex = core::pseudosphere_uniform({0, 1}, {0, 1, 2}, arena);
+  } else if (figure == "3") {
+    const topology::Simplex input = core::rainbow_input(n, views, arena);
+    complex = core::sync_round_complex(input, {n, 1, 1, 1}, views, arena);
+    labeled_with_views = true;
+  } else if (figure == "iis") {
+    const topology::Simplex input = core::rainbow_input(n, views, arena);
+    complex = core::iis_round_complex(input, views, arena);
+    labeled_with_views = true;
+  } else {
+    std::fprintf(stderr, "unknown figure '%s'\n", figure.c_str());
+    return 2;
+  }
+
+  std::string output;
+  if (format == "dot") {
+    if (labeled_with_views) {
+      output = topology::to_dot(complex, [&](topology::VertexId v) {
+        return views.to_string(arena.state(v));
+      });
+    } else {
+      output = topology::to_dot(complex, [&](topology::VertexId v) {
+        return "P" + std::to_string(arena.pid(v)) + "=" +
+               std::to_string(arena.state(v));
+      });
+    }
+  } else if (format == "off") {
+    output = topology::to_off(complex);
+  } else if (format == "listing") {
+    output = topology::to_facet_listing(complex);
+  } else {
+    std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  std::fputs(output.c_str(), stdout);
+  std::fprintf(stderr, "# %zu facets, %zu vertices, dim %d\n",
+               complex.facet_count(), complex.vertex_ids().size(),
+               complex.dimension());
+  return 0;
+}

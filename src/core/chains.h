@@ -1,0 +1,64 @@
+#pragma once
+
+// Indistinguishability chains — Section 1's similarity structure, made
+// executable.
+//
+// Two global states (facets) are similar when some process has the same
+// local state in both, i.e. the facets share a vertex. The facet-adjacency
+// graph under this relation is the classical engine of consensus lower
+// bounds: a decision map for consensus must be constant along any chain of
+// similar facets (each shared vertex forces the shared process's decision
+// on both sides), so a chain connecting a facet forced to decide 0 to a
+// facet forced to decide 1 is a *witness of impossibility* — independent of
+// both the homological argument (Theorem 9) and the exhaustive search.
+//
+// This module builds the similarity graph, measures degrees of similarity
+// (the number of shared vertices, Section 1's "higher degrees"), and
+// extracts explicit witness chains for consensus on any protocol complex.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/view.h"
+#include "topology/arena.h"
+#include "topology/complex.h"
+
+namespace psph::core {
+
+struct SimilarityGraph {
+  std::vector<topology::Simplex> facets;
+  /// adjacency[i] = facets sharing at least one vertex with facets[i].
+  std::vector<std::vector<std::size_t>> adjacency;
+  /// degree_histogram[s] = number of unordered facet pairs sharing exactly
+  /// s vertices (s >= 1).
+  std::vector<std::size_t> degree_histogram;
+};
+
+/// Builds the similarity graph of a complex's facets.
+SimilarityGraph similarity_graph(const topology::SimplicialComplex& k);
+
+struct ChainWitness {
+  /// Indices (into SimilarityGraph::facets) of a chain whose first facet is
+  /// forced to decide `low_value` and whose last is forced to `high_value`;
+  /// consecutive facets share a vertex.
+  std::vector<std::size_t> chain;
+  std::int64_t low_value = 0;
+  std::int64_t high_value = 0;
+};
+
+/// Consensus impossibility by chain argument: finds a facet every one of
+/// whose vertices can only decide `v` (all views saw only v) for two
+/// distinct values, connected by a similarity chain. Returns the witness if
+/// found. A witness proves binary consensus unsolvable on this complex:
+/// along the chain every facet must carry the same single decision, but
+/// the endpoints force different ones.
+std::optional<ChainWitness> consensus_chain_witness(
+    const topology::SimplicialComplex& protocol, const ViewRegistry& views,
+    const topology::VertexArena& arena);
+
+/// Largest number of vertices shared by any two distinct facets (0 when
+/// fewer than two facets) — the maximum degree of similarity realized.
+std::size_t max_similarity_degree(const topology::SimplicialComplex& k);
+
+}  // namespace psph::core

@@ -1,0 +1,141 @@
+#include "core/iis_complex.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "math/combinatorics.h"
+#include "topology/simplex.h"
+
+namespace psph::core {
+
+namespace {
+
+// Enumerates all ordered partitions of `items` (each block nonempty),
+// calling `visit` with the block list.
+void for_each_ordered_partition(
+    const std::vector<int>& items,
+    const std::function<void(const std::vector<std::vector<int>>&)>& visit) {
+  std::vector<std::vector<int>> blocks;
+  std::vector<int> remaining = items;
+  const std::function<void()> recurse = [&]() {
+    if (remaining.empty()) {
+      visit(blocks);
+      return;
+    }
+    // Choose the next block: any nonempty subset of `remaining` that
+    // contains remaining[0]? No — blocks are unordered sets but their
+    // *sequence* matters, and every nonempty subset may come first. To
+    // avoid double counting we enumerate all nonempty subsets of
+    // `remaining` as the next block.
+    const std::vector<std::vector<int>> subsets =
+        math::subsets_with_size_between(remaining, 1,
+                                        static_cast<int>(remaining.size()));
+    for (const std::vector<int>& block : subsets) {
+      std::vector<int> rest;
+      for (int item : remaining) {
+        bool in_block = false;
+        for (int b : block) {
+          if (b == item) in_block = true;
+        }
+        if (!in_block) rest.push_back(item);
+      }
+      blocks.push_back(block);
+      std::vector<int> saved = std::move(remaining);
+      remaining = std::move(rest);
+      recurse();
+      remaining = std::move(saved);
+      blocks.pop_back();
+    }
+  };
+  recurse();
+}
+
+}  // namespace
+
+std::uint64_t ordered_bell(int m) {
+  if (m < 0) throw std::invalid_argument("ordered_bell: m < 0");
+  // a(m) = sum_{j=1..m} C(m, j) a(m-j), a(0) = 1.
+  std::vector<std::uint64_t> a(static_cast<std::size_t>(m) + 1, 0);
+  a[0] = 1;
+  for (int i = 1; i <= m; ++i) {
+    std::uint64_t total = 0;
+    for (int j = 1; j <= i; ++j) {
+      const std::uint64_t term = math::binomial(i, j) *
+                                 a[static_cast<std::size_t>(i - j)];
+      if (total > std::numeric_limits<std::uint64_t>::max() - term) {
+        throw std::overflow_error("ordered_bell: overflow");
+      }
+      total += term;
+    }
+    a[static_cast<std::size_t>(i)] = total;
+  }
+  return a[static_cast<std::size_t>(m)];
+}
+
+topology::SimplicialComplex iis_round_complex(const topology::Simplex& input,
+                                              ViewRegistry& views,
+                                              topology::VertexArena& arena) {
+  topology::SimplicialComplex result;
+  std::vector<ProcessId> pids;
+  std::vector<StateId> states;
+  for (topology::VertexId v : input.vertices()) {
+    pids.push_back(arena.pid(v));
+    states.push_back(arena.state(v));
+  }
+  if (pids.empty()) return result;
+  const int round = views.round(states[0]) + 1;
+
+  std::vector<int> indices;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    indices.push_back(static_cast<int>(i));
+  }
+  for_each_ordered_partition(
+      indices, [&](const std::vector<std::vector<int>>& blocks) {
+        // Process p in block B_j snapshots blocks B_1..B_j.
+        std::vector<topology::VertexId> facet;
+        std::vector<HeardEntry> seen_so_far;
+        for (const std::vector<int>& block : blocks) {
+          for (int i : block) {
+            seen_so_far.push_back({pids[static_cast<std::size_t>(i)],
+                                   states[static_cast<std::size_t>(i)],
+                                   kNoMicro});
+          }
+          for (int i : block) {
+            const StateId state = views.intern_round(
+                pids[static_cast<std::size_t>(i)], round, seen_so_far);
+            facet.push_back(
+                arena.intern(pids[static_cast<std::size_t>(i)], state));
+          }
+        }
+        result.add_facet(topology::Simplex(std::move(facet)));
+      });
+  return result;
+}
+
+topology::SimplicialComplex iis_protocol_complex(
+    const topology::Simplex& input, int rounds, ViewRegistry& views,
+    topology::VertexArena& arena) {
+  if (rounds < 1) {
+    throw std::invalid_argument("iis_protocol_complex: rounds < 1");
+  }
+  topology::SimplicialComplex one_round =
+      iis_round_complex(input, views, arena);
+  if (rounds == 1) return one_round;
+  topology::SimplicialComplex result;
+  for (const topology::Simplex& facet : one_round.facets()) {
+    result.merge(iis_protocol_complex(facet, rounds - 1, views, arena));
+  }
+  return result;
+}
+
+topology::SimplicialComplex iis_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, int rounds,
+    ViewRegistry& views, topology::VertexArena& arena) {
+  topology::SimplicialComplex result;
+  for (const topology::Simplex& facet : inputs.facets()) {
+    result.merge(iis_protocol_complex(facet, rounds, views, arena));
+  }
+  return result;
+}
+
+}  // namespace psph::core

@@ -1,0 +1,69 @@
+#pragma once
+
+// Pseudospheres (Definition 3) — the paper's central construct.
+//
+// Given a base simplex whose vertices carry process ids, and one finite
+// value set per position, the pseudosphere ψ(S; U_0, ..., U_m) has a vertex
+// (P_i, u) for every u ∈ U_i, and a simplex for every choice of at most one
+// value per process. Its facets are exactly the |U_0| × ... × |U_m| tuples
+// of independent choices.
+//
+// Properties verified by tests and the Lemma-4 bench:
+//   * singleton value sets give back the simplex (Lemma 4, property 1);
+//   * an empty U_i simply deletes position i (property 2);
+//   * pseudospheres intersect position-wise (property 3);
+//   * ψ(S^n; {0,1}) is homeomorphic to the n-sphere (checked homologically).
+//
+// Values are opaque StateIds; for input complexes they are interned round-0
+// views (see input_complex below).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/view.h"
+#include "topology/arena.h"
+#include "topology/complex.h"
+
+namespace psph::core {
+
+using topology::SimplicialComplex;
+using topology::VertexArena;
+
+/// ψ(S; U_0, ..., U_m) with per-position value sets. `pids` and
+/// `value_sets` must have equal length; positions with empty value sets are
+/// dropped (Lemma 4, property 2). Distinct pids are required.
+SimplicialComplex pseudosphere(const std::vector<ProcessId>& pids,
+                               const std::vector<std::vector<StateId>>& value_sets,
+                               VertexArena& arena);
+
+/// ψ(S; U) with the same value set at every position.
+SimplicialComplex pseudosphere_uniform(const std::vector<ProcessId>& pids,
+                                       const std::vector<StateId>& values,
+                                       VertexArena& arena);
+
+/// The number of facets ψ(S; U_0..U_m) must have: Π over nonempty positions
+/// of |U_i| (0 if all positions are empty).
+std::uint64_t pseudosphere_facet_count(
+    const std::vector<std::vector<StateId>>& value_sets);
+
+/// The k-set-agreement input complex ψ(P^n; V) (Section 5): every process
+/// independently starts with any value in V. Vertices are labeled with
+/// interned round-0 views.
+SimplicialComplex input_complex(int num_processes,
+                                const std::vector<std::int64_t>& values,
+                                ViewRegistry& views, VertexArena& arena);
+
+/// The general input pseudosphere ψ(Pⁿ; U_0, ..., U_n): process i draws its
+/// input independently from per_process_values[i] (Theorems 5 and 7 quantify
+/// over exactly these). Positions with empty value sets are dropped.
+SimplicialComplex input_pseudosphere(
+    const std::vector<std::vector<std::int64_t>>& per_process_values,
+    ViewRegistry& views, VertexArena& arena);
+
+/// The single input facet where process i starts with values[i]
+/// (values.size() == num_processes). Useful for fixing one initial
+/// configuration, e.g. the "rainbow" simplex with all-distinct inputs.
+topology::Simplex input_facet(const std::vector<std::int64_t>& values,
+                              ViewRegistry& views, VertexArena& arena);
+
+}  // namespace psph::core

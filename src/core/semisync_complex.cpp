@@ -1,0 +1,233 @@
+#include "core/semisync_complex.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/pseudosphere.h"
+#include "math/combinatorics.h"
+
+namespace psph::core {
+
+namespace {
+
+struct DecodedInput {
+  std::vector<ProcessId> pids;
+  std::unordered_map<ProcessId, StateId> state_of;
+};
+
+DecodedInput decode(const topology::Simplex& input,
+                    const topology::VertexArena& arena) {
+  DecodedInput decoded;
+  for (topology::VertexId v : input.vertices()) {
+    decoded.pids.push_back(arena.pid(v));
+    decoded.state_of[arena.pid(v)] = arena.state(v);
+  }
+  std::sort(decoded.pids.begin(), decoded.pids.end());
+  return decoded;
+}
+
+// One view from [F]: `delivered_last[i]` says whether the choice for the
+// i-th failing process is μ_j = F(P_j) (true) or F(P_j) - 1 (false).
+// `forced` optionally pins one failing process's choice to delivered
+// (Lemma 20's [F ↑ j]).
+StateId make_view(const DecodedInput& input, const FailurePattern& pattern,
+                  int mu, ProcessId receiver,
+                  const std::vector<bool>& delivered_last, int round,
+                  ViewRegistry& views) {
+  std::vector<HeardEntry> heard;
+  // Survivors: last message in microround μ.
+  for (ProcessId sender : input.pids) {
+    if (std::binary_search(pattern.fail_set.begin(), pattern.fail_set.end(),
+                           sender)) {
+      continue;
+    }
+    heard.push_back({sender, input.state_of.at(sender), mu});
+  }
+  // Failing processes: μ_j ∈ {F(P_j)-1, F(P_j)}; μ_j == 0 means nothing was
+  // received, so no entry.
+  for (std::size_t i = 0; i < pattern.fail_set.size(); ++i) {
+    const int micro =
+        delivered_last[i] ? pattern.fail_micro[i] : pattern.fail_micro[i] - 1;
+    if (micro >= 1) {
+      heard.push_back(
+          {pattern.fail_set[i], input.state_of.at(pattern.fail_set[i]), micro});
+    }
+  }
+  return views.intern_round(receiver, round, std::move(heard));
+}
+
+topology::SimplicialComplex pattern_pseudosphere(
+    const DecodedInput& input, const FailurePattern& pattern, int mu,
+    int force_delivered_index,  // -1 for none; else index into fail_set
+    ViewRegistry& views, topology::VertexArena& arena) {
+  std::vector<ProcessId> survivors;
+  for (ProcessId p : input.pids) {
+    if (!std::binary_search(pattern.fail_set.begin(), pattern.fail_set.end(),
+                            p)) {
+      survivors.push_back(p);
+    }
+  }
+  if (survivors.empty()) return topology::SimplicialComplex();
+
+  const int round = views.round(input.state_of.at(survivors[0])) + 1;
+
+  // Enumerate [F] (optionally with one coordinate pinned): all 0/1 choices
+  // per failing process.
+  const std::size_t k = pattern.fail_set.size();
+  std::vector<std::vector<bool>> all_choices;
+  std::vector<std::size_t> sizes;
+  for (std::size_t i = 0; i < k; ++i) {
+    sizes.push_back(static_cast<std::size_t>(i) ==
+                            static_cast<std::size_t>(force_delivered_index)
+                        ? 1u
+                        : 2u);
+  }
+  math::for_each_product(sizes, [&](const std::vector<std::size_t>& odo) {
+    std::vector<bool> choice(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (static_cast<int>(i) == force_delivered_index) {
+        choice[i] = true;  // pinned: the last message was delivered
+      } else {
+        choice[i] = odo[i] == 1;
+      }
+    }
+    all_choices.push_back(std::move(choice));
+  });
+
+  std::vector<std::vector<StateId>> per_survivor;
+  per_survivor.reserve(survivors.size());
+  for (ProcessId receiver : survivors) {
+    std::vector<StateId> options;
+    options.reserve(all_choices.size());
+    for (const std::vector<bool>& choice : all_choices) {
+      options.push_back(
+          make_view(input, pattern, mu, receiver, choice, round, views));
+    }
+    per_survivor.push_back(std::move(options));
+  }
+  return pseudosphere(survivors, per_survivor, arena);
+}
+
+}  // namespace
+
+std::uint64_t view_count(const FailurePattern& pattern) {
+  return 1ULL << pattern.fail_set.size();
+}
+
+std::vector<FailurePattern> enumerate_failure_patterns(
+    const std::vector<ProcessId>& participants, int max_failures, int mu) {
+  if (mu < 1) throw std::invalid_argument("enumerate_failure_patterns: mu<1");
+  std::vector<FailurePattern> result;
+  for (const std::vector<ProcessId>& fail_set :
+       math::subsets_with_size_between(participants, 0, max_failures)) {
+    const std::size_t k = fail_set.size();
+    if (k == 0) {
+      result.push_back({fail_set, {}});
+      continue;
+    }
+    // Reverse lexicographic over microrounds: all-μ first, all-1 last.
+    std::vector<std::size_t> sizes(k, static_cast<std::size_t>(mu));
+    std::vector<std::vector<int>> micro_choices;
+    math::for_each_product(sizes, [&](const std::vector<std::size_t>& odo) {
+      std::vector<int> micro(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        micro[i] = mu - static_cast<int>(odo[i]);  // μ, μ-1, ..., 1
+      }
+      micro_choices.push_back(std::move(micro));
+    });
+    for (std::vector<int>& micro : micro_choices) {
+      result.push_back({fail_set, std::move(micro)});
+    }
+  }
+  return result;
+}
+
+topology::SimplicialComplex semisync_round_complex_for_pattern(
+    const topology::Simplex& input, const FailurePattern& pattern, int mu,
+    ViewRegistry& views, topology::VertexArena& arena) {
+  FailurePattern sorted = pattern;
+  // Keep (fail_set, fail_micro) aligned while sorting by pid.
+  std::vector<std::size_t> order(sorted.fail_set.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pattern.fail_set[a] < pattern.fail_set[b];
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted.fail_set[i] = pattern.fail_set[order[i]];
+    sorted.fail_micro[i] = pattern.fail_micro[order[i]];
+  }
+  for (int micro : sorted.fail_micro) {
+    if (micro < 1 || micro > mu) {
+      throw std::invalid_argument("failure pattern: microround out of range");
+    }
+  }
+  const DecodedInput decoded = decode(input, arena);
+  return pattern_pseudosphere(decoded, sorted, mu, -1, views, arena);
+}
+
+topology::SimplicialComplex semisync_lemma20_rhs(
+    const topology::Simplex& input, const FailurePattern& pattern, int mu,
+    ViewRegistry& views, topology::VertexArena& arena) {
+  const DecodedInput decoded = decode(input, arena);
+  topology::SimplicialComplex result;
+  for (std::size_t j = 0; j < pattern.fail_set.size(); ++j) {
+    result.merge(pattern_pseudosphere(decoded, pattern, mu,
+                                      static_cast<int>(j), views, arena));
+  }
+  return result;
+}
+
+topology::SimplicialComplex semisync_round_complex(
+    const topology::Simplex& input, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena) {
+  const DecodedInput decoded = decode(input, arena);
+  const int cap = std::min(params.failures_per_round, params.total_failures);
+  topology::SimplicialComplex result;
+  for (const FailurePattern& pattern : enumerate_failure_patterns(
+           decoded.pids, cap, params.micro_rounds)) {
+    result.merge(pattern_pseudosphere(decoded, pattern, params.micro_rounds,
+                                      -1, views, arena));
+  }
+  return result;
+}
+
+topology::SimplicialComplex semisync_protocol_complex(
+    const topology::Simplex& input, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena) {
+  if (params.rounds < 1) {
+    throw std::invalid_argument("semisync_protocol_complex: rounds < 1");
+  }
+  const DecodedInput decoded = decode(input, arena);
+  const int cap = std::min(params.failures_per_round, params.total_failures);
+  topology::SimplicialComplex result;
+  for (const FailurePattern& pattern : enumerate_failure_patterns(
+           decoded.pids, cap, params.micro_rounds)) {
+    const topology::SimplicialComplex round_complex = pattern_pseudosphere(
+        decoded, pattern, params.micro_rounds, -1, views, arena);
+    if (params.rounds == 1) {
+      result.merge(round_complex);
+      continue;
+    }
+    SemiSyncParams next = params;
+    next.rounds = params.rounds - 1;
+    next.total_failures =
+        params.total_failures - static_cast<int>(pattern.fail_set.size());
+    for (const topology::Simplex& facet : round_complex.facets()) {
+      result.merge(semisync_protocol_complex(facet, next, views, arena));
+    }
+  }
+  return result;
+}
+
+topology::SimplicialComplex semisync_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena) {
+  topology::SimplicialComplex result;
+  for (const topology::Simplex& facet : inputs.facets()) {
+    result.merge(semisync_protocol_complex(facet, params, views, arena));
+  }
+  return result;
+}
+
+}  // namespace psph::core

@@ -1,0 +1,51 @@
+#pragma once
+
+// Sperner's lemma machinery (the engine behind Theorem 9, via
+// [Lef49, Lemma 5.5]).
+//
+// Take the solid simplex Δ^n, subdivide it barycentrically `rounds` times,
+// and color every subdivision vertex with one of the original n+1 corners —
+// subject to the Sperner condition that a vertex's color must lie in its
+// *carrier* (the smallest face of Δ^n containing it). Sperner's lemma says
+// the number of panchromatic facets (all n+1 colors) is odd — in particular
+// nonzero. This is the combinatorial fact that turns "the protocol complex
+// is (k-1)-connected" into "no decision map exists".
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/complex.h"
+#include "util/random.h"
+
+namespace psph::core {
+
+struct SpernerInstance {
+  /// The subdivided complex.
+  topology::SimplicialComplex complex;
+  /// carrier[v]: sorted original corner ids that span v's carrier face.
+  std::vector<std::vector<topology::VertexId>> carriers;
+  /// coloring[v] ∈ carrier[v].
+  std::vector<topology::VertexId> coloring;
+  int dim = 0;
+};
+
+/// Builds the `rounds`-fold barycentric subdivision of Δ^dim with carriers
+/// composed back to the original corners; the coloring is left empty.
+SpernerInstance make_subdivided_simplex(int dim, int rounds);
+
+/// Colors every vertex with a uniformly random element of its carrier
+/// (always a legal Sperner coloring).
+void color_randomly(SpernerInstance& instance, util::Rng& rng);
+
+/// Colors every vertex with the *minimum* corner of its carrier (a
+/// canonical deterministic Sperner coloring).
+void color_min_carrier(SpernerInstance& instance);
+
+/// True if the coloring satisfies the Sperner condition.
+bool is_sperner_coloring(const SpernerInstance& instance);
+
+/// Number of facets whose vertices carry all dim+1 colors. Sperner's lemma:
+/// odd for every Sperner coloring.
+std::size_t count_panchromatic(const SpernerInstance& instance);
+
+}  // namespace psph::core

@@ -1,0 +1,111 @@
+#pragma once
+
+// Interned full-information views.
+//
+// Section 4: a process's local state is its input value plus the sequence of
+// messages received so far, and WLOG every protocol is the full-information
+// protocol. We represent local states as hash-consed View nodes:
+//
+//   * round 0: (pid, input value);
+//   * round r > 0: (pid, r, heard), where `heard` lists, per sender, the
+//     sender's (interned) state at the start of the round — and, in the
+//     semi-synchronous model, the microround of the last message received
+//     from that sender (Section 8's view component μ_j).
+//
+// Hash-consing means two local states arising in different branches of a
+// construction are the same StateId exactly when they are indistinguishable
+// to the process — the similarity structure the paper's proofs live on.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/types.h"
+#include "util/hash.h"
+
+namespace psph::core {
+
+using topology::ProcessId;
+using topology::StateId;
+
+/// `last_micro` value meaning "the model has no microround structure"
+/// (asynchronous and synchronous views).
+inline constexpr int kNoMicro = -1;
+
+struct HeardEntry {
+  ProcessId from = -1;
+  StateId state = 0;  // sender's state at the start of the round
+  int last_micro = kNoMicro;
+
+  bool operator==(const HeardEntry& other) const = default;
+  bool operator<(const HeardEntry& other) const {
+    if (from != other.from) return from < other.from;
+    if (state != other.state) return state < other.state;
+    return last_micro < other.last_micro;
+  }
+};
+
+struct View {
+  ProcessId pid = -1;
+  int round = 0;
+  std::int64_t input = 0;          // meaningful iff round == 0
+  std::vector<HeardEntry> heard;   // sorted by sender; empty iff round == 0
+
+  bool operator==(const View& other) const = default;
+};
+
+class ViewRegistry {
+ public:
+  /// Interns the round-0 view (pid starts with `input`).
+  StateId intern_input(ProcessId pid, std::int64_t input);
+
+  /// Interns a round-r view (r >= 1). `heard` is sorted internally; one
+  /// entry per sender is required.
+  StateId intern_round(ProcessId pid, int round,
+                       std::vector<HeardEntry> heard);
+
+  const View& view(StateId id) const;
+  int round(StateId id) const { return view(id).round; }
+  ProcessId pid(StateId id) const { return view(id).pid; }
+
+  /// All input values visible in this view, i.e. inputs of processes the
+  /// owner has (transitively) heard from. Full information means these are
+  /// exactly the values the owner may validly decide.
+  const std::set<std::int64_t>& inputs_seen(StateId id) const;
+
+  /// min of inputs_seen — the canonical FloodSet decision rule.
+  std::int64_t min_input_seen(StateId id) const;
+
+  /// Process ids heard from directly in the final round (including self).
+  std::set<ProcessId> direct_senders(StateId id) const;
+
+  /// Human-readable rendering, e.g. "P2@r1<P0:0,P2:1>".
+  std::string to_string(StateId id) const;
+
+  std::size_t size() const { return views_.size(); }
+
+ private:
+  struct ViewHash {
+    std::size_t operator()(const View& v) const {
+      std::size_t h = util::hash_combine(std::hash<ProcessId>{}(v.pid),
+                                         std::hash<int>{}(v.round));
+      h = util::hash_combine(h, std::hash<std::int64_t>{}(v.input));
+      for (const HeardEntry& e : v.heard) {
+        h = util::hash_combine(h, std::hash<ProcessId>{}(e.from));
+        h = util::hash_combine(h, std::hash<StateId>{}(e.state));
+        h = util::hash_combine(h, std::hash<int>{}(e.last_micro));
+      }
+      return h;
+    }
+  };
+
+  StateId intern(View v);
+
+  std::vector<View> views_;
+  std::unordered_map<View, StateId, ViewHash> index_;
+  mutable std::unordered_map<StateId, std::set<std::int64_t>> inputs_cache_;
+};
+
+}  // namespace psph::core

@@ -1,0 +1,282 @@
+#include "math/bigint.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace psph::math {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Convert through uint64 to handle INT64_MIN without overflow.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    magnitude_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffULL));
+    magnitude >>= 32;
+  }
+}
+
+BigInt::BigInt(const std::string& decimal) {
+  std::size_t index = 0;
+  bool negative = false;
+  if (index < decimal.size() && (decimal[index] == '-' || decimal[index] == '+')) {
+    negative = decimal[index] == '-';
+    ++index;
+  }
+  if (index >= decimal.size()) {
+    throw std::invalid_argument("BigInt: empty numeral");
+  }
+  BigInt result;
+  const BigInt ten(10);
+  for (; index < decimal.size(); ++index) {
+    const char c = decimal[index];
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("BigInt: bad digit in numeral");
+    }
+    result = result * ten + BigInt(c - '0');
+  }
+  result.negative_ = negative && !result.is_zero();
+  *this = std::move(result);
+}
+
+void BigInt::trim() {
+  while (!magnitude_.empty() && magnitude_.back() == 0) magnitude_.pop_back();
+  if (magnitude_.empty()) negative_ = false;
+}
+
+int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    result.push_back(static_cast<std::uint32_t>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<std::uint32_t>(carry));
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::sub_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= static_cast<std::int64_t>(b[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::mul_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cell = static_cast<std::uint64_t>(a[i]) * b[j] +
+                           result[i + j] + carry;
+      result[i + j] = static_cast<std::uint32_t>(cell & 0xffffffffULL);
+      carry = cell >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cell = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(cell & 0xffffffffULL);
+      carry = cell >> 32;
+      ++k;
+    }
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt result;
+  if (negative_ == other.negative_) {
+    result.magnitude_ = add_magnitude(magnitude_, other.magnitude_);
+    result.negative_ = negative_;
+  } else {
+    const int cmp = compare_magnitude(magnitude_, other.magnitude_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      result.magnitude_ = sub_magnitude(magnitude_, other.magnitude_);
+      result.negative_ = negative_;
+    } else {
+      result.magnitude_ = sub_magnitude(other.magnitude_, magnitude_);
+      result.negative_ = other.negative_;
+    }
+  }
+  result.trim();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt result;
+  result.magnitude_ = mul_magnitude(magnitude_, other.magnitude_);
+  result.negative_ = !result.magnitude_.empty() && (negative_ != other.negative_);
+  return result;
+}
+
+void BigInt::div_mod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder) {
+  if (divisor.is_zero()) throw std::domain_error("BigInt: division by zero");
+  // Long division on magnitudes, bit by bit from the top. O(bits * limbs) —
+  // fine for homology-sized matrices.
+  const std::vector<std::uint32_t>& num = dividend.magnitude_;
+  BigInt q, r;
+  const BigInt divisor_abs = divisor.abs();
+  for (std::size_t limb = num.size(); limb-- > 0;) {
+    for (int bit = 31; bit >= 0; --bit) {
+      // r = r*2 + next bit
+      r.magnitude_ = add_magnitude(r.magnitude_, r.magnitude_);
+      if ((num[limb] >> bit) & 1U) {
+        r.magnitude_ = add_magnitude(r.magnitude_, {1});
+      }
+      r.trim();
+      // q = q*2 (+1 if r >= |divisor|)
+      q.magnitude_ = add_magnitude(q.magnitude_, q.magnitude_);
+      if (compare_magnitude(r.magnitude_, divisor_abs.magnitude_) >= 0) {
+        r.magnitude_ = sub_magnitude(r.magnitude_, divisor_abs.magnitude_);
+        q.magnitude_ = add_magnitude(q.magnitude_, {1});
+      }
+      q.trim();
+    }
+  }
+  q.negative_ = !q.magnitude_.empty() && (dividend.negative_ != divisor.negative_);
+  r.negative_ = !r.magnitude_.empty() && dividend.negative_;
+  q.trim();
+  r.trim();
+  if (quotient != nullptr) *quotient = std::move(q);
+  if (remainder != nullptr) *remainder = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt quotient;
+  div_mod(*this, other, &quotient, nullptr);
+  return quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt remainder;
+  div_mod(*this, other, nullptr, &remainder);
+  return remainder;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  return negative_ == other.negative_ && magnitude_ == other.magnitude_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_;
+  const int cmp = compare_magnitude(magnitude_, other.magnitude_);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 to peel decimal chunks.
+  std::vector<std::uint32_t> work = magnitude_;
+  std::string digits;
+  while (!work.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cell = (remainder << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cell / 1000000000ULL);
+      remainder = cell % 1000000000ULL;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+bool BigInt::fits_int64() const {
+  if (magnitude_.size() > 2) return false;
+  std::uint64_t magnitude = 0;
+  if (magnitude_.size() >= 1) magnitude |= magnitude_[0];
+  if (magnitude_.size() == 2) {
+    magnitude |= static_cast<std::uint64_t>(magnitude_[1]) << 32;
+  }
+  if (negative_) return magnitude <= (1ULL << 63);
+  return magnitude < (1ULL << 63);
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::overflow_error("BigInt: does not fit int64");
+  std::uint64_t magnitude = 0;
+  if (magnitude_.size() >= 1) magnitude |= magnitude_[0];
+  if (magnitude_.size() == 2) {
+    magnitude |= static_cast<std::uint64_t>(magnitude_[1]) << 32;
+  }
+  if (negative_) {
+    // Negating via unsigned arithmetic handles INT64_MIN without overflow.
+    return static_cast<std::int64_t>(~magnitude + 1);
+  }
+  return static_cast<std::int64_t>(magnitude);
+}
+
+std::ostream& operator<<(std::ostream& out, const BigInt& value) {
+  return out << value.to_string();
+}
+
+}  // namespace psph::math

@@ -1,0 +1,91 @@
+#pragma once
+
+// Arbitrary-precision signed integers (sign-magnitude, base 2^32).
+//
+// Used by the Smith-normal-form homology computation, where intermediate
+// entries of integer boundary matrices can overflow any fixed-width type.
+// The implementation favours clarity over asymptotic speed: schoolbook
+// multiplication and long division are ample for the matrix sizes the
+// protocol-complex experiments produce.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psph::math {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor): numeric literal interop is intended
+  /// Parses an optional '-' followed by decimal digits; throws on bad input.
+  explicit BigInt(const std::string& decimal);
+
+  bool is_zero() const { return magnitude_.empty(); }
+  bool is_negative() const { return negative_; }
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator<=(const BigInt& other) const { return !(other < *this); }
+  bool operator>=(const BigInt& other) const { return !(*this < other); }
+
+  /// Quotient and remainder in one pass; remainder has dividend's sign.
+  static void div_mod(const BigInt& dividend, const BigInt& divisor,
+                      BigInt* quotient, BigInt* remainder);
+
+  /// Nonnegative greatest common divisor; gcd(0, 0) == 0.
+  static BigInt gcd(BigInt a, BigInt b);
+
+  std::string to_string() const;
+
+  /// Value as int64 if representable; throws std::overflow_error otherwise.
+  std::int64_t to_int64() const;
+
+  /// True if the value fits in int64.
+  bool fits_int64() const;
+
+  /// Number of 32-bit limbs (0 for zero); exposed for tests and heuristics.
+  std::size_t limb_count() const { return magnitude_.size(); }
+
+ private:
+  // Compares magnitudes only: -1, 0, +1.
+  static int compare_magnitude(const std::vector<std::uint32_t>& a,
+                               const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+
+  void trim();
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> magnitude_;  // little-endian limbs, no leading 0
+};
+
+std::ostream& operator<<(std::ostream& out, const BigInt& value);
+
+}  // namespace psph::math

@@ -1,0 +1,60 @@
+#include "math/combinatorics.h"
+
+#include <limits>
+
+namespace psph::math {
+
+std::uint64_t binomial(int n, int k) {
+  if (k < 0 || n < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    const std::uint64_t numerator = static_cast<std::uint64_t>(n - k + i);
+    if (result > std::numeric_limits<std::uint64_t>::max() / numerator) {
+      throw std::overflow_error("binomial: overflow");
+    }
+    result = result * numerator / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> combinations(int n, int k) {
+  std::vector<std::vector<int>> result;
+  if (k < 0 || n < 0 || k > n) return result;
+  std::vector<int> combo(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) combo[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    result.push_back(combo);
+    // Advance to the next combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && combo[static_cast<std::size_t>(i)] == n - k + i) --i;
+    if (i < 0) break;
+    ++combo[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      combo[static_cast<std::size_t>(j)] = combo[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return result;
+}
+
+void for_each_product(
+    const std::vector<std::size_t>& sizes,
+    const std::function<void(const std::vector<std::size_t>&)>& visit) {
+  for (std::size_t size : sizes) {
+    if (size == 0) return;
+  }
+  std::vector<std::size_t> odometer(sizes.size(), 0);
+  for (;;) {
+    visit(odometer);
+    std::size_t position = sizes.size();
+    while (position > 0) {
+      --position;
+      if (++odometer[position] < sizes[position]) break;
+      odometer[position] = 0;
+      if (position == 0) return;
+    }
+    if (sizes.empty()) return;  // single visit for the empty product
+  }
+}
+
+}  // namespace psph::math

@@ -1,0 +1,64 @@
+#pragma once
+
+// Subset and tuple enumeration used throughout the pseudosphere
+// constructions: power sets 2^U, the restricted power set 2^U_{>=k} from
+// Lemma 11, lexicographic orders on process sets (Section 7), and cartesian
+// products of value sets (Definition 3).
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace psph::math {
+
+/// Binomial coefficient C(n, k) as uint64; throws on overflow.
+std::uint64_t binomial(int n, int k);
+
+/// All subsets of `items`, in order of increasing size, ties broken
+/// lexicographically by element position. Includes the empty set.
+template <typename T>
+std::vector<std::vector<T>> all_subsets(const std::vector<T>& items);
+
+/// All subsets of `items` with size in [min_size, max_size], ordered by size
+/// then lexicographically by position.
+template <typename T>
+std::vector<std::vector<T>> subsets_with_size_between(
+    const std::vector<T>& items, int min_size, int max_size);
+
+/// Calls `visit` for each element of the cartesian product of the given
+/// choice lists; the argument vector holds one chosen index per position.
+/// Iterates in odometer order (last position varies fastest). Visits nothing
+/// if any list is empty.
+void for_each_product(const std::vector<std::size_t>& sizes,
+                      const std::function<void(const std::vector<std::size_t>&)>& visit);
+
+/// All k-element subsets of {0,...,n-1}, lexicographic.
+std::vector<std::vector<int>> combinations(int n, int k);
+
+// ---- template implementations -------------------------------------------
+
+template <typename T>
+std::vector<std::vector<T>> subsets_with_size_between(
+    const std::vector<T>& items, int min_size, int max_size) {
+  const int n = static_cast<int>(items.size());
+  if (min_size < 0) min_size = 0;
+  if (max_size > n) max_size = n;
+  std::vector<std::vector<T>> result;
+  for (int k = min_size; k <= max_size; ++k) {
+    for (const std::vector<int>& combo : combinations(n, k)) {
+      std::vector<T> subset;
+      subset.reserve(combo.size());
+      for (int index : combo) subset.push_back(items[static_cast<std::size_t>(index)]);
+      result.push_back(std::move(subset));
+    }
+  }
+  return result;
+}
+
+template <typename T>
+std::vector<std::vector<T>> all_subsets(const std::vector<T>& items) {
+  return subsets_with_size_between(items, 0, static_cast<int>(items.size()));
+}
+
+}  // namespace psph::math

@@ -1,0 +1,104 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "math/modular.h"
+
+namespace psph::math {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), entries_(rows) {}
+
+void SparseMatrix::set(std::size_t r, std::size_t c, std::int64_t value) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("SparseMatrix::set");
+  if (value == 0) {
+    entries_[r].erase(c);
+  } else {
+    entries_[r][c] = value;
+  }
+}
+
+void SparseMatrix::add(std::size_t r, std::size_t c, std::int64_t delta) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("SparseMatrix::add");
+  auto [it, inserted] = entries_[r].emplace(c, delta);
+  if (!inserted) {
+    it->second += delta;
+    if (it->second == 0) entries_[r].erase(it);
+  } else if (delta == 0) {
+    entries_[r].erase(it);
+  }
+}
+
+std::int64_t SparseMatrix::get(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("SparseMatrix::get");
+  const auto it = entries_[r].find(c);
+  return it == entries_[r].end() ? 0 : it->second;
+}
+
+std::size_t SparseMatrix::nonzeros() const {
+  std::size_t count = 0;
+  for (const auto& row : entries_) count += row.size();
+  return count;
+}
+
+std::vector<std::vector<std::int64_t>> SparseMatrix::to_dense() const {
+  std::vector<std::vector<std::int64_t>> dense(
+      rows_, std::vector<std::int64_t>(cols_, 0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (const auto& [c, v] : entries_[r]) dense[r][c] = v;
+  }
+  return dense;
+}
+
+std::size_t SparseMatrix::rank_mod_p(std::int64_t p) const {
+  if (p < 2) throw std::invalid_argument("rank_mod_p: p must be prime >= 2");
+  // Column-pivot elimination over sparse rows reduced mod p. Rows that become
+  // empty are dropped; pivot columns are chosen as each remaining row's
+  // leading column, preferring sparse rows to limit fill-in.
+  std::vector<std::map<std::size_t, std::int64_t>> work;
+  work.reserve(entries_.size());
+  for (const auto& row : entries_) {
+    std::map<std::size_t, std::int64_t> reduced;
+    for (const auto& [c, v] : row) {
+      const std::int64_t m = mod_normalize(v, p);
+      if (m != 0) reduced.emplace(c, m);
+    }
+    if (!reduced.empty()) work.push_back(std::move(reduced));
+  }
+
+  // pivot column -> index in `pivots` storage
+  std::vector<std::pair<std::size_t, std::map<std::size_t, std::int64_t>>>
+      pivots;
+
+  std::size_t rank = 0;
+  for (auto& row : work) {
+    // Reduce `row` against all existing pivots (they are kept normalized so
+    // their leading coefficient is 1).
+    for (const auto& [pivot_col, pivot_row] : pivots) {
+      const auto it = row.find(pivot_col);
+      if (it == row.end()) continue;
+      const std::int64_t factor = it->second;
+      for (const auto& [c, v] : pivot_row) {
+        auto [cell, inserted] = row.emplace(c, 0);
+        cell->second = mod_sub(cell->second, mod_mul(factor, v, p), p);
+        if (cell->second == 0) row.erase(cell);
+        (void)inserted;
+      }
+    }
+    if (row.empty()) continue;
+    // Normalize so the leading coefficient is 1 and record the pivot.
+    const std::size_t lead_col = row.begin()->first;
+    const std::int64_t inv = mod_inverse(row.begin()->second, p);
+    for (auto& [c, v] : row) v = mod_mul(v, inv, p);
+    pivots.emplace_back(lead_col, std::move(row));
+    // Keep pivots sorted by column so reduction always eliminates leading
+    // entries left to right.
+    std::sort(pivots.begin(), pivots.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace psph::math

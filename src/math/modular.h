@@ -1,0 +1,59 @@
+#pragma once
+
+// Arithmetic in the prime field GF(p) for p < 2^31, used by the fast rank
+// computation behind Betti numbers. Rank over GF(p) equals rank over Q
+// unless p divides a torsion coefficient; the homology driver cross-checks
+// against exact Smith normal form on small instances.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace psph::math {
+
+/// Default field: the Mersenne prime 2^31 - 1, far larger than any torsion
+/// that the complexes in this library exhibit.
+inline constexpr std::int64_t kDefaultPrime = 2147483647;
+
+/// Normalizes value into [0, p).
+constexpr std::int64_t mod_normalize(std::int64_t value, std::int64_t p) {
+  const std::int64_t r = value % p;
+  return r < 0 ? r + p : r;
+}
+
+constexpr std::int64_t mod_add(std::int64_t a, std::int64_t b, std::int64_t p) {
+  const std::int64_t s = a + b;
+  return s >= p ? s - p : s;
+}
+
+constexpr std::int64_t mod_sub(std::int64_t a, std::int64_t b, std::int64_t p) {
+  const std::int64_t d = a - b;
+  return d < 0 ? d + p : d;
+}
+
+constexpr std::int64_t mod_mul(std::int64_t a, std::int64_t b, std::int64_t p) {
+  // Promote through unsigned 128-bit to avoid overflow for p < 2^63 inputs.
+  return static_cast<std::int64_t>(
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b) %
+      static_cast<unsigned __int128>(p));
+}
+
+constexpr std::int64_t mod_pow(std::int64_t base, std::int64_t exponent,
+                               std::int64_t p) {
+  std::int64_t result = 1 % p;
+  std::int64_t acc = mod_normalize(base, p);
+  while (exponent > 0) {
+    if (exponent & 1) result = mod_mul(result, acc, p);
+    acc = mod_mul(acc, acc, p);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+/// Multiplicative inverse via Fermat's little theorem; throws on zero.
+inline std::int64_t mod_inverse(std::int64_t value, std::int64_t p) {
+  const std::int64_t v = mod_normalize(value, p);
+  if (v == 0) throw std::domain_error("mod_inverse: zero has no inverse");
+  return mod_pow(v, p - 2, p);
+}
+
+}  // namespace psph::math

@@ -1,0 +1,37 @@
+#pragma once
+
+// Exact Smith normal form over the integers, using arbitrary-precision
+// entries so intermediate coefficient growth is harmless.
+//
+// For an integer matrix A this produces the invariant factors
+// d_1 | d_2 | ... | d_r (all positive, r = rank(A)). Integer simplicial
+// homology follows directly: for boundary operators ∂_d and ∂_{d+1},
+//   H_d ≅ Z^{n_d - rank ∂_d - rank ∂_{d+1}}  ⊕  ⊕_i Z/d_i(∂_{d+1})
+// where the torsion summands come from invariant factors d_i > 1.
+
+#include <vector>
+
+#include "math/bigint.h"
+#include "math/matrix.h"
+
+namespace psph::math {
+
+struct SmithResult {
+  /// Invariant factors d_1 | d_2 | ... | d_r, each positive.
+  std::vector<BigInt> invariants;
+
+  std::size_t rank() const { return invariants.size(); }
+
+  /// Invariant factors greater than 1 (the torsion coefficients).
+  std::vector<BigInt> torsion() const;
+};
+
+/// Computes the Smith normal form of `matrix`. Cost is roughly cubic with
+/// BigInt coefficient growth; intended for the exact cross-check path, not
+/// the large GF(p) fast path.
+SmithResult smith_normal_form(const SparseMatrix& matrix);
+
+/// Smith normal form of a dense BigInt matrix (the in-place workhorse).
+SmithResult smith_normal_form_dense(std::vector<std::vector<BigInt>> work);
+
+}  // namespace psph::math

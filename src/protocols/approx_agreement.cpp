@@ -1,0 +1,127 @@
+#include "protocols/approx_agreement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace psph::protocols {
+
+int approx_rounds_needed(double initial_spread, double epsilon) {
+  if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
+  int rounds = 1;
+  double spread = initial_spread;
+  while (spread > epsilon && rounds < 64) {
+    spread /= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+ApproxOutcome run_approx_agreement(const std::vector<double>& inputs,
+                                   const ApproxConfig& config,
+                                   sim::AsyncAdversary& adversary) {
+  if (static_cast<int>(inputs.size()) != config.num_processes) {
+    throw std::invalid_argument("approx: inputs size mismatch");
+  }
+  // Majority intersection is what makes estimates contract: any two
+  // heard-sets of size >= n+1-f overlap when 2(n+1-f) > n+1.
+  if (2 * config.max_failures >= config.num_processes) {
+    throw std::invalid_argument(
+        "approx: needs f < (n+1)/2 (majority intersection)");
+  }
+  std::vector<core::ProcessId> participants;
+  for (int p = 0; p < config.num_processes; ++p) participants.push_back(p);
+  const int min_heard = config.num_processes - config.max_failures;
+
+  std::map<core::ProcessId, double> estimate;
+  for (int p = 0; p < config.num_processes; ++p) {
+    estimate[p] = inputs[static_cast<std::size_t>(p)];
+  }
+
+  const auto diameter = [&]() {
+    double lo = estimate.begin()->second, hi = lo;
+    for (const auto& [p, e] : estimate) {
+      (void)p;
+      lo = std::min(lo, e);
+      hi = std::max(hi, e);
+    }
+    return hi - lo;
+  };
+
+  ApproxOutcome outcome;
+  while (diameter() > config.epsilon &&
+         outcome.rounds_used < config.max_rounds) {
+    ++outcome.rounds_used;
+    const sim::AsyncRoundPlan plan = adversary.plan_round(
+        outcome.rounds_used, participants, min_heard);
+    std::map<core::ProcessId, double> next;
+    for (core::ProcessId p : participants) {
+      const auto it = plan.heard.find(p);
+      if (it == plan.heard.end() ||
+          static_cast<int>(it->second.size()) < min_heard ||
+          it->second.count(p) == 0) {
+        throw std::logic_error("approx: illegal adversary plan");
+      }
+      double lo = estimate.at(p), hi = lo;
+      for (core::ProcessId sender : it->second) {
+        lo = std::min(lo, estimate.at(sender));
+        hi = std::max(hi, estimate.at(sender));
+      }
+      next[p] = (lo + hi) / 2;
+    }
+    estimate = std::move(next);
+  }
+  for (const auto& [p, e] : estimate) outcome.decisions.emplace_back(p, e);
+  return outcome;
+}
+
+ApproxAudit audit_approx(const ApproxOutcome& outcome,
+                         const std::vector<double>& inputs, double epsilon) {
+  ApproxAudit result;
+  const double in_lo = *std::min_element(inputs.begin(), inputs.end());
+  const double in_hi = *std::max_element(inputs.begin(), inputs.end());
+  double lo = outcome.decisions.front().second, hi = lo;
+  for (const auto& [pid, value] : outcome.decisions) {
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+    if (value < in_lo - 1e-12 || value > in_hi + 1e-12) {
+      result.in_range = false;
+      std::ostringstream why;
+      why << "P" << pid << " decided " << value << " outside ["
+          << in_lo << ", " << in_hi << "]";
+      result.failure = why.str();
+    }
+  }
+  result.diameter = hi - lo;
+  if (result.diameter > epsilon + 1e-12) {
+    result.converged = false;
+    std::ostringstream why;
+    why << "diameter " << result.diameter << " > epsilon " << epsilon;
+    result.failure = why.str();
+  }
+  return result;
+}
+
+ApproxAudit soak_approx_agreement(const ApproxConfig& config,
+                                  std::uint64_t seed, int executions) {
+  util::Rng rng(seed);
+  for (int i = 0; i < executions; ++i) {
+    std::vector<double> inputs;
+    for (int p = 0; p < config.num_processes; ++p) {
+      inputs.push_back(rng.next_double() * 10.0);
+    }
+    sim::RandomAsyncAdversary adversary{util::Rng(rng.next())};
+    const ApproxOutcome outcome =
+        run_approx_agreement(inputs, config, adversary);
+    const ApproxAudit result =
+        audit_approx(outcome, inputs, config.epsilon);
+    if (!result.ok()) return result;
+  }
+  return ApproxAudit{};
+}
+
+}  // namespace psph::protocols

@@ -1,0 +1,70 @@
+#pragma once
+
+// Wait-free approximate agreement — the classical *solvable* counterpoint
+// to Corollary 13.
+//
+// Exact consensus is impossible asynchronously with even one failure, but
+// ε-agreement (all decisions within ε of each other, inside the input
+// range) is wait-free solvable: in each asynchronous round a process
+// replaces its estimate with the midpoint of the extremes it received;
+// each round at least halves the diameter of the surviving estimates when
+// at most f < (n+1)/2... in the full-information one-round structure used
+// here (everyone hears >= n+1-f estimates including their own), the
+// diameter shrinks by a model-dependent factor; rounds(ε) below uses the
+// conservative halving bound with convergence verified by the audit.
+//
+// Topologically this is the paper's machinery at work on a decidable task:
+// the protocol complex is (f-1)-connected, but ε-agreement's output complex
+// is also connected, so connectivity is no obstruction — and indeed the
+// protocol below succeeds where consensus provably cannot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "sim/adversary.h"
+#include "sim/async_executor.h"
+
+namespace psph::protocols {
+
+struct ApproxConfig {
+  int num_processes = 3;
+  int max_failures = 1;
+  double epsilon = 0.25;
+  /// Hard cap on rounds (safety); convergence normally ends earlier.
+  int max_rounds = 64;
+};
+
+/// Rounds sufficient for diameter <= ε from an initial spread, assuming
+/// halving per round: ceil(log2(spread / ε)), at least 1.
+int approx_rounds_needed(double initial_spread, double epsilon);
+
+struct ApproxOutcome {
+  /// pid -> final estimate.
+  std::vector<std::pair<core::ProcessId, double>> decisions;
+  int rounds_used = 0;
+};
+
+/// Runs midpoint-of-extremes approximate agreement in the round-based
+/// asynchronous model under `adversary`.
+ApproxOutcome run_approx_agreement(const std::vector<double>& inputs,
+                                   const ApproxConfig& config,
+                                   sim::AsyncAdversary& adversary);
+
+struct ApproxAudit {
+  bool in_range = true;   // every decision within [min input, max input]
+  bool converged = true;  // decision diameter <= epsilon
+  double diameter = 0.0;
+  std::string failure;
+  bool ok() const { return in_range && converged; }
+};
+
+ApproxAudit audit_approx(const ApproxOutcome& outcome,
+                         const std::vector<double>& inputs, double epsilon);
+
+/// Random-adversary soak.
+ApproxAudit soak_approx_agreement(const ApproxConfig& config,
+                                  std::uint64_t seed, int executions);
+
+}  // namespace psph::protocols

@@ -1,0 +1,69 @@
+#include "protocols/async_kset.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace psph::protocols {
+
+AsyncKSetOutcome run_async_kset(const std::vector<std::int64_t>& inputs,
+                                const AsyncKSetConfig& config,
+                                sim::AsyncAdversary& adversary,
+                                core::ViewRegistry& views) {
+  AsyncKSetOutcome outcome;
+  sim::AsyncRunConfig run_config;
+  run_config.num_processes = config.num_processes;
+  run_config.max_failures = config.max_failures;
+  run_config.rounds = config.rounds;
+  outcome.trace = sim::run_async(inputs, run_config, adversary, views);
+  for (const auto& [pid, state] : outcome.trace.states.back()) {
+    outcome.decisions.emplace_back(pid, views.min_input_seen(state));
+  }
+  return outcome;
+}
+
+AsyncAudit audit(const AsyncKSetOutcome& outcome,
+                 const std::vector<std::int64_t>& inputs, int k) {
+  AsyncAudit result;
+  const std::set<std::int64_t> input_set(inputs.begin(), inputs.end());
+  std::set<std::int64_t> decided;
+  for (const auto& [pid, value] : outcome.decisions) {
+    decided.insert(value);
+    if (input_set.count(value) == 0) {
+      result.valid = false;
+      std::ostringstream why;
+      why << "P" << pid << " decided non-input " << value;
+      result.failure = why.str();
+    }
+  }
+  result.distinct_decisions = decided.size();
+  if (static_cast<int>(decided.size()) > k) {
+    result.agreement = false;
+    std::ostringstream why;
+    why << decided.size() << " distinct decisions, k=" << k;
+    result.failure = why.str();
+  }
+  return result;
+}
+
+AsyncAudit soak_async_kset(const AsyncKSetConfig& config, std::uint64_t seed,
+                           int executions) {
+  util::Rng rng(seed);
+  for (int i = 0; i < executions; ++i) {
+    core::ViewRegistry views;
+    std::vector<std::int64_t> inputs;
+    for (int p = 0; p < config.num_processes; ++p) {
+      inputs.push_back(rng.next_in(0, config.num_processes));
+    }
+    sim::RandomAsyncAdversary adversary{util::Rng(rng.next())};
+    const AsyncKSetOutcome outcome =
+        run_async_kset(inputs, config, adversary, views);
+    const AsyncAudit result =
+        audit(outcome, inputs, config.max_failures + 1);
+    if (!result.ok()) return result;
+  }
+  return AsyncAudit{};
+}
+
+}  // namespace psph::protocols

@@ -1,0 +1,56 @@
+#pragma once
+
+// Asynchronous (f+1)-set agreement — the possibility frontier of
+// Corollary 13.
+//
+// Corollary 13: no asynchronous f-resilient k-set agreement for k ≤ f.
+// The matching upper bound is folklore: run one asynchronous round (wait
+// for messages from n+1-f processes, including yourself) and decide the
+// minimum value received. At most f processes can be missed, and the
+// decided minima form at most f+1 distinct values — so k = f+1 is
+// achievable, pinning the threshold exactly where the paper's bound puts
+// it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "sim/adversary.h"
+#include "sim/async_executor.h"
+
+namespace psph::protocols {
+
+struct AsyncKSetConfig {
+  int num_processes = 3;
+  int max_failures = 1;  // f; the protocol achieves k = f + 1
+  int rounds = 1;        // more rounds never hurt; one suffices
+};
+
+struct AsyncKSetOutcome {
+  std::vector<std::pair<core::ProcessId, std::int64_t>> decisions;
+  sim::Trace trace;
+};
+
+/// Runs the protocol under `adversary`.
+AsyncKSetOutcome run_async_kset(const std::vector<std::int64_t>& inputs,
+                                const AsyncKSetConfig& config,
+                                sim::AsyncAdversary& adversary,
+                                core::ViewRegistry& views);
+
+struct AsyncAudit {
+  bool valid = true;
+  bool agreement = true;  // at most f+1 distinct decisions
+  std::size_t distinct_decisions = 0;
+  std::string failure;
+  bool ok() const { return valid && agreement; }
+};
+
+AsyncAudit audit(const AsyncKSetOutcome& outcome,
+                 const std::vector<std::int64_t>& inputs, int k);
+
+/// Random-adversary soak across seeds; first failure or all-ok.
+AsyncAudit soak_async_kset(const AsyncKSetConfig& config, std::uint64_t seed,
+                           int executions);
+
+}  // namespace psph::protocols

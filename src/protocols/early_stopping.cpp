@@ -1,0 +1,138 @@
+#include "protocols/early_stopping.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace psph::protocols {
+
+std::map<core::ProcessId, EarlyDecision> early_stopping_decisions(
+    const sim::Trace& trace, const core::ViewRegistry& views, int f) {
+  std::map<core::ProcessId, EarlyDecision> decisions;
+  const int final_round = std::min(trace.rounds(), f + 1);
+
+  // For each process, walk its per-round states and fire the first rule.
+  for (const auto& [pid, last_state] : trace.states.back()) {
+    (void)last_state;
+    for (int r = 2; r <= final_round; ++r) {
+      const auto& now_states = trace.states[static_cast<std::size_t>(r)];
+      const auto it = now_states.find(pid);
+      if (it == now_states.end()) break;  // crashed before finishing round r
+      const std::set<core::ProcessId> alive_now =
+          views.direct_senders(it->second);
+      const auto& prev_states = trace.states[static_cast<std::size_t>(r - 1)];
+      const std::set<core::ProcessId> alive_prev =
+          views.direct_senders(prev_states.at(pid));
+      const bool clean = alive_now == alive_prev;
+      if (clean || r == f + 1) {
+        decisions[pid] = {views.min_input_seen(it->second), r};
+        break;
+      }
+    }
+    // Degenerate budget f = 0: one failure-free round decides.
+    if (decisions.find(pid) == decisions.end() && f == 0 &&
+        trace.rounds() >= 1) {
+      const auto it = trace.states[1].find(pid);
+      if (it != trace.states[1].end()) {
+        decisions[pid] = {views.min_input_seen(it->second), 1};
+      }
+    }
+  }
+  return decisions;
+}
+
+EarlyStoppingOutcome run_early_stopping(
+    const std::vector<std::int64_t>& inputs, const EarlyStoppingConfig& config,
+    sim::SyncAdversary& adversary, core::ViewRegistry& views) {
+  EarlyStoppingOutcome outcome;
+  sim::SyncRunConfig run_config;
+  run_config.num_processes = config.num_processes;
+  run_config.rounds = config.max_failures + 1;
+  outcome.trace = sim::run_sync(inputs, run_config, adversary, views);
+  outcome.decisions =
+      early_stopping_decisions(outcome.trace, views, config.max_failures);
+  for (const auto& [pid, decision] : outcome.decisions) {
+    (void)pid;
+    outcome.max_round_used = std::max(outcome.max_round_used, decision.round);
+  }
+  return outcome;
+}
+
+EarlyAudit audit_early(const EarlyStoppingOutcome& outcome,
+                       const std::vector<std::int64_t>& inputs, int f) {
+  EarlyAudit result;
+  const std::set<std::int64_t> input_set(inputs.begin(), inputs.end());
+  std::set<std::int64_t> decided;
+  int actual_failures = 0;
+  for (const auto& crashed : outcome.trace.crashed_in) {
+    actual_failures += static_cast<int>(crashed.size());
+  }
+  const int bound = std::min(actual_failures + 2, f + 1);
+  for (const auto& [pid, decision] : outcome.decisions) {
+    decided.insert(decision.value);
+    if (input_set.count(decision.value) == 0) {
+      result.valid = false;
+      std::ostringstream why;
+      why << "P" << pid << " decided non-input " << decision.value;
+      result.failure = why.str();
+    }
+    if (decision.round > bound) {
+      result.early_bound = false;
+      std::ostringstream why;
+      why << "P" << pid << " decided in round " << decision.round
+          << " > min(f'+2, f+1) = " << bound;
+      result.failure = why.str();
+    }
+  }
+  if (decided.size() > 1) {
+    result.agreement = false;
+    std::ostringstream why;
+    why << decided.size() << " distinct consensus decisions";
+    result.failure = why.str();
+  }
+  return result;
+}
+
+EarlyAudit exhaustive_early_check(const std::vector<std::int64_t>& inputs,
+                                  int f, int per_round_cap) {
+  core::ViewRegistry views;
+  EarlyAudit first_failure;
+  bool failed = false;
+  sim::enumerate_sync_executions(
+      inputs, /*rounds=*/f + 1, /*total_failures=*/f, per_round_cap, views,
+      [&](const sim::Trace& trace) {
+        if (failed) return;
+        EarlyStoppingOutcome outcome;
+        outcome.trace = trace;
+        outcome.decisions = early_stopping_decisions(trace, views, f);
+        const EarlyAudit result = audit_early(outcome, inputs, f);
+        if (!result.ok()) {
+          failed = true;
+          first_failure = result;
+        }
+      });
+  return failed ? first_failure : EarlyAudit{};
+}
+
+EarlyAudit soak_early_stopping(const EarlyStoppingConfig& config,
+                               std::uint64_t seed, int executions) {
+  util::Rng rng(seed);
+  for (int i = 0; i < executions; ++i) {
+    core::ViewRegistry views;
+    std::vector<std::int64_t> inputs;
+    for (int p = 0; p < config.num_processes; ++p) {
+      inputs.push_back(rng.next_in(0, config.num_processes));
+    }
+    sim::RandomSyncAdversary adversary(rng.split(), config.max_failures);
+    const EarlyStoppingOutcome outcome =
+        run_early_stopping(inputs, config, adversary, views);
+    const EarlyAudit result =
+        audit_early(outcome, inputs, config.max_failures);
+    if (!result.ok()) return result;
+  }
+  return EarlyAudit{};
+}
+
+}  // namespace psph::protocols

@@ -1,0 +1,78 @@
+#include "protocols/floodset.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace psph::protocols {
+
+int floodset_rounds(const FloodSetConfig& config) {
+  return config.max_failures / config.k + 1;
+}
+
+FloodSetOutcome run_floodset(const std::vector<std::int64_t>& inputs,
+                             const FloodSetConfig& config,
+                             sim::SyncAdversary& adversary,
+                             core::ViewRegistry& views) {
+  FloodSetOutcome outcome;
+  outcome.rounds_used = floodset_rounds(config);
+  sim::SyncRunConfig run_config;
+  run_config.num_processes = config.num_processes;
+  run_config.rounds = outcome.rounds_used;
+  outcome.trace = sim::run_sync(inputs, run_config, adversary, views);
+  for (const auto& [pid, state] : outcome.trace.states.back()) {
+    outcome.decisions.emplace_back(pid, views.min_input_seen(state));
+  }
+  return outcome;
+}
+
+AgreementAudit audit(const FloodSetOutcome& outcome,
+                     const std::vector<std::int64_t>& inputs, int k) {
+  AgreementAudit result;
+  std::set<std::int64_t> input_set(inputs.begin(), inputs.end());
+  std::set<std::int64_t> decided;
+  for (const auto& [pid, value] : outcome.decisions) {
+    decided.insert(value);
+    if (input_set.count(value) == 0) {
+      result.valid = false;
+      std::ostringstream why;
+      why << "P" << pid << " decided non-input value " << value;
+      result.failure = why.str();
+    }
+  }
+  result.distinct_decisions = decided.size();
+  if (static_cast<int>(decided.size()) > k) {
+    result.agreement = false;
+    std::ostringstream why;
+    why << decided.size() << " distinct decisions, k=" << k;
+    result.failure = why.str();
+  }
+  // Termination: in the synchronous model every survivor decides at the
+  // fixed round, so it holds iff every survivor produced a decision.
+  if (outcome.decisions.empty()) {
+    result.termination = false;
+    result.failure = "no survivor decided";
+  }
+  return result;
+}
+
+AgreementAudit soak_floodset(const FloodSetConfig& config, std::uint64_t seed,
+                             int executions) {
+  util::Rng rng(seed);
+  for (int i = 0; i < executions; ++i) {
+    core::ViewRegistry views;
+    std::vector<std::int64_t> inputs;
+    for (int p = 0; p < config.num_processes; ++p) {
+      inputs.push_back(rng.next_in(0, config.num_processes));
+    }
+    sim::RandomSyncAdversary adversary(rng.split(), config.max_failures);
+    const FloodSetOutcome outcome =
+        run_floodset(inputs, config, adversary, views);
+    const AgreementAudit result = audit(outcome, inputs, config.k);
+    if (!result.ok()) return result;
+  }
+  return AgreementAudit{};
+}
+
+}  // namespace psph::protocols

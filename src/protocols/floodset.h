@@ -1,0 +1,67 @@
+#pragma once
+
+// FloodSet / FloodMin: the classical synchronous k-set agreement protocol
+// matching Theorem 18's lower bound.
+//
+// Every process floods the set of values it knows for R = ⌊f/k⌋ + 1 rounds
+// and decides the minimum value it has seen. With at most f crash failures
+// this decides at most k distinct values — the upper-bound half of the
+// ⌊f/k⌋ + 1 round bound (the lower-bound half is the connectivity of
+// S^r(S), Lemma 17). Implemented over the full-information sync executor:
+// the "value set known" is derived from the interned view, so the protocol
+// is literally the min_seen_rule evaluated on simulator states.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "sim/adversary.h"
+#include "sim/sync_executor.h"
+
+namespace psph::protocols {
+
+struct FloodSetConfig {
+  int num_processes = 3;
+  int max_failures = 1;  // f
+  int k = 1;             // agreement degree
+};
+
+/// Rounds FloodSet runs before deciding: ⌊f/k⌋ + 1.
+int floodset_rounds(const FloodSetConfig& config);
+
+struct FloodSetOutcome {
+  /// pid -> decided value, for processes alive at the end.
+  std::vector<std::pair<core::ProcessId, std::int64_t>> decisions;
+  int rounds_used = 0;
+  sim::Trace trace;
+};
+
+/// Runs one synchronous execution under `adversary` and applies the
+/// FloodMin decision at round ⌊f/k⌋ + 1.
+FloodSetOutcome run_floodset(const std::vector<std::int64_t>& inputs,
+                             const FloodSetConfig& config,
+                             sim::SyncAdversary& adversary,
+                             core::ViewRegistry& views);
+
+struct AgreementAudit {
+  bool valid = true;       // every decision is some process's input
+  bool agreement = true;   // at most k distinct decisions
+  bool termination = true; // every survivor decided
+  std::size_t distinct_decisions = 0;
+  std::string failure;
+
+  bool ok() const { return valid && agreement && termination; }
+};
+
+/// Audits an outcome against the k-set agreement specification.
+AgreementAudit audit(const FloodSetOutcome& outcome,
+                     const std::vector<std::int64_t>& inputs, int k);
+
+/// Soak test: runs `executions` random-adversary executions and audits each;
+/// returns the first failing audit or an all-ok audit.
+AgreementAudit soak_floodset(const FloodSetConfig& config,
+                             std::uint64_t seed, int executions);
+
+}  // namespace psph::protocols

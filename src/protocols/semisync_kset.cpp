@@ -1,0 +1,144 @@
+#include "protocols/semisync_kset.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace psph::protocols {
+
+int semisync_rounds(const SemiSyncKSetConfig& config) {
+  return config.max_failures / config.k + 1;
+}
+
+std::vector<sim::Time> round_step_schedule(const SemiSyncKSetConfig& config) {
+  const int rounds = semisync_rounds(config);
+  std::vector<sim::Time> schedule;
+  sim::Time prev = 0;
+  for (int j = 1; j <= rounds; ++j) {
+    const sim::Time next =
+        (prev * config.timing.c2 + config.timing.d + config.timing.c1 - 1) /
+        config.timing.c1;
+    schedule.push_back(next);
+    prev = next;
+  }
+  return schedule;
+}
+
+namespace {
+
+class FloodMinOverTimeouts final : public sim::SemiSyncProtocol {
+ public:
+  explicit FloodMinOverTimeouts(const SemiSyncKSetConfig& config)
+      : schedule_(round_step_schedule(config)) {}
+
+  void on_start(sim::ProcessApi& api) override {
+    known_[api.self()] = api.input();
+    api.broadcast(known_, /*tag=*/1);  // round-1 values
+  }
+
+  void on_message(sim::ProcessApi& api, const sim::SemiSyncMessage& msg)
+      override {
+    (void)api;
+    for (const auto& [pid, value] : msg.values) {
+      const auto it = known_.find(pid);
+      if (it == known_.end() || value < it->second) known_[pid] = value;
+    }
+  }
+
+  void on_step(sim::ProcessApi& api) override {
+    if (api.has_decided()) return;
+    ++steps_;
+    const std::size_t round_index = static_cast<std::size_t>(round_ - 1);
+    if (round_index < schedule_.size() && steps_ >= schedule_[round_index]) {
+      ++round_;
+      if (round_ > static_cast<int>(schedule_.size())) {
+        // All emulated rounds complete: decide the minimum known value.
+        std::int64_t best = known_.begin()->second;
+        for (const auto& [pid, value] : known_) {
+          (void)pid;
+          best = std::min(best, value);
+        }
+        api.decide(best);
+      } else {
+        api.broadcast(known_, /*tag=*/round_);
+      }
+    }
+  }
+
+ private:
+  std::vector<sim::Time> schedule_;
+  std::map<sim::ProcessId, std::int64_t> known_;
+  sim::Time steps_ = 0;
+  int round_ = 1;
+};
+
+}  // namespace
+
+sim::ProtocolFactory make_semisync_kset(const SemiSyncKSetConfig& config) {
+  return [config]() {
+    return std::make_unique<FloodMinOverTimeouts>(config);
+  };
+}
+
+SemiSyncAudit audit_semisync(const sim::SemiSyncResult& result,
+                             const std::vector<std::int64_t>& inputs, int k) {
+  SemiSyncAudit auditres;
+  const std::set<std::int64_t> input_set(inputs.begin(), inputs.end());
+  std::set<std::int64_t> decided;
+  for (const auto& [pid, decision] : result.decisions) {
+    decided.insert(decision.value);
+    auditres.last_decision_time =
+        std::max(auditres.last_decision_time, decision.time);
+    if (input_set.count(decision.value) == 0) {
+      auditres.valid = false;
+      std::ostringstream why;
+      why << "P" << pid << " decided non-input " << decision.value;
+      auditres.failure = why.str();
+    }
+  }
+  auditres.distinct_decisions = decided.size();
+  if (static_cast<int>(decided.size()) > k) {
+    auditres.agreement = false;
+    std::ostringstream why;
+    why << decided.size() << " distinct decisions, k=" << k;
+    auditres.failure = why.str();
+  }
+  if (!result.all_alive_decided) {
+    auditres.termination = false;
+    auditres.failure = "not every alive process decided before max_time";
+  }
+  return auditres;
+}
+
+SemiSyncAudit soak_semisync_kset(const SemiSyncKSetConfig& config,
+                                 std::uint64_t seed, int executions) {
+  util::Rng rng(seed);
+  SemiSyncAudit last_ok;
+  for (int i = 0; i < executions; ++i) {
+    std::vector<std::int64_t> inputs;
+    for (int p = 0; p < config.timing.num_processes; ++p) {
+      inputs.push_back(rng.next_in(0, config.timing.num_processes));
+    }
+    // Crashes within the first emulated round's span.
+    const std::vector<sim::Time> schedule = round_step_schedule(config);
+    const sim::Time horizon = schedule.empty()
+                                  ? config.timing.d
+                                  : schedule.back() * config.timing.c2;
+    sim::RandomSemiSyncAdversary adversary(
+        util::Rng(rng.next()), config.timing, config.max_failures,
+        /*crash_probability=*/0.3, horizon);
+    const sim::SemiSyncResult result = sim::run_semisync(
+        inputs, config.timing, make_semisync_kset(config), adversary);
+    const SemiSyncAudit auditres = audit_semisync(result, inputs, config.k);
+    if (!auditres.ok()) return auditres;
+    last_ok.last_decision_time =
+        std::max(last_ok.last_decision_time, auditres.last_decision_time);
+    last_ok.distinct_decisions =
+        std::max(last_ok.distinct_decisions, auditres.distinct_decisions);
+  }
+  return last_ok;
+}
+
+}  // namespace psph::protocols

@@ -1,0 +1,59 @@
+#pragma once
+
+// Timeout-based semi-synchronous k-set agreement (the operational
+// counterpart of Corollary 22).
+//
+// Processes emulate synchronous rounds by local step counting. A process
+// may end round j only once it is *certain* every correct process's round-j
+// message has arrived: a correct process sends round j at local step N_{j-1}
+// (real time ≤ N_{j-1}·c2) and delivery takes ≤ d, so
+//     N_j = ⌈(N_{j-1}·c2 + d) / c1⌉,  N_0 = 0.
+// After R = ⌊f/k⌋ + 1 emulated rounds the process decides the minimum value
+// it knows (FloodMin). Decision time is ≥ N_R·c1 ≥ ⌊f/k⌋·d + d and grows
+// with C = c2/c1 — the same shape as the paper's ⌊f/k⌋d + Cd lower bound,
+// which the cor22 bench sweeps.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/semisync_executor.h"
+
+namespace psph::protocols {
+
+struct SemiSyncKSetConfig {
+  sim::SemiSyncConfig timing;
+  int max_failures = 1;  // f
+  int k = 1;
+};
+
+/// The local step counts N_1..N_R at which rounds end.
+std::vector<sim::Time> round_step_schedule(const SemiSyncKSetConfig& config);
+
+/// Number of emulated rounds: ⌊f/k⌋ + 1.
+int semisync_rounds(const SemiSyncKSetConfig& config);
+
+/// A protocol factory producing per-process FloodMin-over-timeouts
+/// instances for run_semisync.
+sim::ProtocolFactory make_semisync_kset(const SemiSyncKSetConfig& config);
+
+struct SemiSyncAudit {
+  bool valid = true;
+  bool agreement = true;
+  bool termination = true;
+  std::size_t distinct_decisions = 0;
+  sim::Time last_decision_time = 0;
+  std::string failure;
+  bool ok() const { return valid && agreement && termination; }
+};
+
+SemiSyncAudit audit_semisync(const sim::SemiSyncResult& result,
+                             const std::vector<std::int64_t>& inputs, int k);
+
+/// Random-adversary soak; first failing audit or all-ok (with the max
+/// decision time observed across executions).
+SemiSyncAudit soak_semisync_kset(const SemiSyncKSetConfig& config,
+                                 std::uint64_t seed, int executions);
+
+}  // namespace psph::protocols

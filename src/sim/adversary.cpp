@@ -1,0 +1,68 @@
+#include "sim/adversary.h"
+
+#include <algorithm>
+
+namespace psph::sim {
+
+RandomSyncAdversary::RandomSyncAdversary(util::Rng rng,
+                                         int max_total_failures,
+                                         double crash_probability)
+    : rng_(rng),
+      budget_(max_total_failures),
+      crash_probability_(crash_probability) {}
+
+SyncRoundPlan RandomSyncAdversary::plan_round(
+    int round, const std::vector<ProcessId>& alive) {
+  (void)round;
+  SyncRoundPlan plan;
+  for (ProcessId p : alive) {
+    if (budget_ > 0 && static_cast<int>(alive.size()) -
+                               static_cast<int>(plan.crash.size()) >
+                           1 &&
+        rng_.next_bool(crash_probability_)) {
+      plan.crash.push_back(p);
+      --budget_;
+    }
+  }
+  std::vector<ProcessId> survivors;
+  for (ProcessId p : alive) {
+    if (std::find(plan.crash.begin(), plan.crash.end(), p) ==
+        plan.crash.end()) {
+      survivors.push_back(p);
+    }
+  }
+  for (ProcessId crasher : plan.crash) {
+    std::set<ProcessId> receivers;
+    for (ProcessId s : survivors) {
+      if (rng_.next_bool(0.5)) receivers.insert(s);
+    }
+    plan.delivered_to[crasher] = std::move(receivers);
+  }
+  return plan;
+}
+
+AsyncRoundPlan RandomAsyncAdversary::plan_round(
+    int round, const std::vector<ProcessId>& participants, int min_heard) {
+  (void)round;
+  AsyncRoundPlan plan;
+  const int total = static_cast<int>(participants.size());
+  for (ProcessId receiver : participants) {
+    // Choose a heard-set size in [min_heard, total], then a uniform subset
+    // of the others of size - 1 (self is always included).
+    const int low = std::max(min_heard, 1);
+    const int size = static_cast<int>(rng_.next_in(low, total));
+    std::vector<ProcessId> others;
+    for (ProcessId p : participants) {
+      if (p != receiver) others.push_back(p);
+    }
+    rng_.shuffle(others);
+    std::set<ProcessId> heard{receiver};
+    for (int i = 0; i < size - 1; ++i) {
+      heard.insert(others[static_cast<std::size_t>(i)]);
+    }
+    plan.heard[receiver] = std::move(heard);
+  }
+  return plan;
+}
+
+}  // namespace psph::sim

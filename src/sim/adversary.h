@@ -1,0 +1,82 @@
+#pragma once
+
+// Adversary interfaces for the executors.
+//
+// The synchronous adversary picks, per round, which processes crash and
+// which of each crasher's messages are still delivered. The asynchronous
+// (round-based) adversary picks each process's heard-set. Both have random
+// implementations (seeded, for property tests and protocol soak tests);
+// exhaustive enumeration lives in the executors themselves because it
+// drives the whole cross-product of choices, not one execution.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/random.h"
+
+namespace psph::sim {
+
+/// One round of synchronous-adversary choices.
+struct SyncRoundPlan {
+  /// Processes crashing this round (subset of the currently alive).
+  std::vector<ProcessId> crash;
+  /// For each crashing process, the survivors that still receive its
+  /// round message.
+  std::map<ProcessId, std::set<ProcessId>> delivered_to;
+};
+
+class SyncAdversary {
+ public:
+  virtual ~SyncAdversary() = default;
+  virtual SyncRoundPlan plan_round(int round,
+                                   const std::vector<ProcessId>& alive) = 0;
+};
+
+/// Crashes each alive process with probability `crash_probability` while a
+/// failure budget remains; each crasher's message reaches an independent
+/// random subset of survivors.
+class RandomSyncAdversary : public SyncAdversary {
+ public:
+  RandomSyncAdversary(util::Rng rng, int max_total_failures,
+                      double crash_probability = 0.3);
+
+  SyncRoundPlan plan_round(int round,
+                           const std::vector<ProcessId>& alive) override;
+
+ private:
+  util::Rng rng_;
+  int budget_;
+  double crash_probability_;
+};
+
+/// One round of asynchronous-adversary choices: per process, the set of
+/// processes whose round messages it receives (must contain itself and have
+/// size >= num_processes - max_failures).
+struct AsyncRoundPlan {
+  std::map<ProcessId, std::set<ProcessId>> heard;
+};
+
+class AsyncAdversary {
+ public:
+  virtual ~AsyncAdversary() = default;
+  virtual AsyncRoundPlan plan_round(int round,
+                                    const std::vector<ProcessId>& participants,
+                                    int min_heard) = 0;
+};
+
+/// Picks each process's heard-set uniformly among admissible sets.
+class RandomAsyncAdversary : public AsyncAdversary {
+ public:
+  explicit RandomAsyncAdversary(util::Rng rng) : rng_(rng) {}
+
+  AsyncRoundPlan plan_round(int round,
+                            const std::vector<ProcessId>& participants,
+                            int min_heard) override;
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace psph::sim

@@ -1,0 +1,140 @@
+#include "sim/async_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "math/combinatorics.h"
+
+namespace psph::sim {
+
+namespace {
+
+std::vector<ProcessId> resolve_participants(const AsyncRunConfig& config) {
+  if (!config.participants.empty()) {
+    std::vector<ProcessId> result = config.participants;
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+  std::vector<ProcessId> result;
+  for (int p = 0; p < config.num_processes; ++p) result.push_back(p);
+  return result;
+}
+
+std::map<ProcessId, StateId> initial_states(
+    const std::vector<std::int64_t>& inputs,
+    const std::vector<ProcessId>& participants, core::ViewRegistry& views) {
+  std::map<ProcessId, StateId> current;
+  for (ProcessId p : participants) {
+    if (p < 0 || static_cast<std::size_t>(p) >= inputs.size()) {
+      throw std::invalid_argument("async: participant without input");
+    }
+    current[p] = views.intern_input(p, inputs[static_cast<std::size_t>(p)]);
+  }
+  return current;
+}
+
+std::map<ProcessId, StateId> step_round(
+    const std::map<ProcessId, StateId>& current,
+    const std::map<ProcessId, std::set<ProcessId>>& heard_sets, int round,
+    core::ViewRegistry& views) {
+  std::map<ProcessId, StateId> next;
+  for (const auto& [receiver, state] : current) {
+    (void)state;
+    const std::set<ProcessId>& heard_from = heard_sets.at(receiver);
+    std::vector<core::HeardEntry> heard;
+    for (ProcessId sender : heard_from) {
+      heard.push_back({sender, current.at(sender), core::kNoMicro});
+    }
+    next[receiver] = views.intern_round(receiver, round, std::move(heard));
+  }
+  return next;
+}
+
+}  // namespace
+
+Trace run_async(const std::vector<std::int64_t>& inputs,
+                const AsyncRunConfig& config, AsyncAdversary& adversary,
+                core::ViewRegistry& views) {
+  const std::vector<ProcessId> participants = resolve_participants(config);
+  const int min_heard = config.num_processes - config.max_failures;
+  if (static_cast<int>(participants.size()) < min_heard) {
+    throw std::invalid_argument(
+        "run_async: too few participants for the failure bound");
+  }
+  Trace trace;
+  trace.states.push_back(initial_states(inputs, participants, views));
+  trace.crashed_in.push_back({});
+  for (int round = 1; round <= config.rounds; ++round) {
+    const AsyncRoundPlan plan =
+        adversary.plan_round(round, participants, min_heard);
+    for (ProcessId p : participants) {
+      const auto it = plan.heard.find(p);
+      if (it == plan.heard.end() ||
+          static_cast<int>(it->second.size()) < min_heard ||
+          it->second.count(p) == 0) {
+        throw std::logic_error("async adversary produced an illegal plan");
+      }
+    }
+    trace.states.push_back(
+        step_round(trace.states.back(), plan.heard, round, views));
+    trace.crashed_in.push_back({});
+  }
+  return trace;
+}
+
+void enumerate_async_executions(
+    const std::vector<std::int64_t>& inputs, const AsyncRunConfig& config,
+    core::ViewRegistry& views,
+    const std::function<void(const Trace&)>& visit) {
+  const std::vector<ProcessId> participants = resolve_participants(config);
+  const int min_heard = config.num_processes - config.max_failures;
+  if (static_cast<int>(participants.size()) < min_heard) return;
+
+  // Precompute per-process admissible heard-sets (self + >= min_heard - 1
+  // others).
+  std::vector<std::vector<std::set<ProcessId>>> options;
+  for (ProcessId receiver : participants) {
+    std::vector<ProcessId> others;
+    for (ProcessId p : participants) {
+      if (p != receiver) others.push_back(p);
+    }
+    std::vector<std::set<ProcessId>> sets;
+    for (const std::vector<ProcessId>& subset :
+         math::subsets_with_size_between(
+             others, std::max(min_heard - 1, 0),
+             static_cast<int>(others.size()))) {
+      std::set<ProcessId> heard(subset.begin(), subset.end());
+      heard.insert(receiver);
+      sets.push_back(std::move(heard));
+    }
+    options.push_back(std::move(sets));
+  }
+
+  Trace trace;
+  trace.states.push_back(initial_states(inputs, participants, views));
+  trace.crashed_in.push_back({});
+
+  const std::function<void(int)> recurse = [&](int round) {
+    if (round > config.rounds) {
+      visit(trace);
+      return;
+    }
+    std::vector<std::size_t> sizes;
+    for (const auto& sets : options) sizes.push_back(sets.size());
+    math::for_each_product(sizes, [&](const std::vector<std::size_t>& odo) {
+      std::map<ProcessId, std::set<ProcessId>> heard_sets;
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        heard_sets[participants[i]] = options[i][odo[i]];
+      }
+      trace.states.push_back(
+          step_round(trace.states.back(), heard_sets, round, views));
+      trace.crashed_in.push_back({});
+      recurse(round + 1);
+      trace.states.pop_back();
+      trace.crashed_in.pop_back();
+    });
+  };
+  recurse(1);
+}
+
+}  // namespace psph::sim

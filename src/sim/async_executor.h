@@ -1,0 +1,40 @@
+#pragma once
+
+// Round-based asynchronous executor (Section 6's model, operationally).
+//
+// A fixed set of participants runs r communication rounds; in each round
+// the adversary chooses, per process, which round messages arrive "in time"
+// (at least num_processes - max_failures of them, always including the
+// process's own). Non-participants crashed before sending anything. The
+// state encoding matches core/async_complex.h exactly.
+
+#include <functional>
+#include <vector>
+
+#include "core/view.h"
+#include "sim/adversary.h"
+#include "sim/trace.h"
+
+namespace psph::sim {
+
+struct AsyncRunConfig {
+  int num_processes = 3;  // n + 1
+  int max_failures = 1;   // f
+  int rounds = 1;
+  /// Which processes actually participate (others fail at time zero).
+  /// Empty = everyone.
+  std::vector<ProcessId> participants;
+};
+
+/// Runs one asynchronous execution under `adversary`.
+Trace run_async(const std::vector<std::int64_t>& inputs,
+                const AsyncRunConfig& config, AsyncAdversary& adversary,
+                core::ViewRegistry& views);
+
+/// Enumerates all round-based asynchronous executions (fixed participant
+/// set) and calls `visit` per trace. Exponential; for bridge tests.
+void enumerate_async_executions(
+    const std::vector<std::int64_t>& inputs, const AsyncRunConfig& config,
+    core::ViewRegistry& views, const std::function<void(const Trace&)>& visit);
+
+}  // namespace psph::sim

@@ -1,0 +1,18 @@
+#include "sim/bridge.h"
+
+#include "topology/simplex.h"
+
+namespace psph::sim {
+
+void TraceComplexBuilder::add(const Trace& trace) {
+  ++traces_;
+  if (trace.states.empty()) return;
+  std::vector<topology::VertexId> vertices;
+  for (const auto& [pid, state] : trace.states.back()) {
+    vertices.push_back(arena_->intern(pid, state));
+  }
+  if (vertices.empty()) return;
+  complex_.add_facet(topology::Simplex(std::move(vertices)));
+}
+
+}  // namespace psph::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+// Bridge from executor traces to protocol complexes.
+//
+// Each complete execution contributes one facet: the (pid, final state)
+// vertices of the processes that survived to the end. Because executors and
+// the theoretical constructions intern states in the same ViewRegistry and
+// vertices in the same VertexArena, the complex built from an exhaustive
+// trace enumeration can be compared with the constructed protocol complex
+// by literal equality — the strongest possible cross-validation of the two
+// code paths.
+
+#include "sim/trace.h"
+#include "topology/arena.h"
+#include "topology/complex.h"
+
+namespace psph::sim {
+
+class TraceComplexBuilder {
+ public:
+  explicit TraceComplexBuilder(topology::VertexArena& arena)
+      : arena_(&arena) {}
+
+  /// Adds the facet of `trace`'s surviving final states. Traces where
+  /// everyone crashed contribute nothing.
+  void add(const Trace& trace);
+
+  const topology::SimplicialComplex& complex() const { return complex_; }
+  std::size_t traces_added() const { return traces_; }
+
+ private:
+  topology::VertexArena* arena_;
+  topology::SimplicialComplex complex_;
+  std::size_t traces_ = 0;
+};
+
+}  // namespace psph::sim

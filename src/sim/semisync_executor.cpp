@@ -1,0 +1,277 @@
+#include "sim/semisync_executor.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace psph::sim {
+
+Time ScriptedSemiSyncAdversary::step_spacing(ProcessId pid, Time now) {
+  (void)now;
+  const auto it = per_process_step_.find(pid);
+  return it == per_process_step_.end() ? default_step_ : it->second;
+}
+
+Time ScriptedSemiSyncAdversary::delivery_delay(const SemiSyncMessage& msg) {
+  (void)msg;
+  return default_delay_;
+}
+
+std::optional<Time> ScriptedSemiSyncAdversary::crash_time(ProcessId pid) {
+  const auto it = crashes_.find(pid);
+  if (it == crashes_.end()) return std::nullopt;
+  return it->second;
+}
+
+RandomSemiSyncAdversary::RandomSemiSyncAdversary(util::Rng rng,
+                                                 const SemiSyncConfig& config,
+                                                 int max_crashes,
+                                                 double crash_probability,
+                                                 Time crash_horizon)
+    : rng_(rng), config_(config) {
+  int budget = max_crashes;
+  for (int p = 0; p < config.num_processes; ++p) {
+    if (budget > 0 && rng_.next_bool(crash_probability)) {
+      crash_plan_[p] = rng_.next_in(1, std::max<Time>(crash_horizon, 1));
+      --budget;
+    } else {
+      crash_plan_[p] = std::nullopt;
+    }
+  }
+}
+
+Time RandomSemiSyncAdversary::step_spacing(ProcessId pid, Time now) {
+  (void)pid;
+  (void)now;
+  return rng_.next_in(config_.c1, config_.c2);
+}
+
+Time RandomSemiSyncAdversary::delivery_delay(const SemiSyncMessage& msg) {
+  (void)msg;
+  return rng_.next_in(1, config_.d);
+}
+
+std::optional<Time> RandomSemiSyncAdversary::crash_time(ProcessId pid) {
+  return crash_plan_.at(pid);
+}
+
+namespace {
+
+enum class EventKind { step, delivery };
+
+struct Event {
+  Time time = 0;
+  EventKind kind = EventKind::step;
+  std::uint64_t seq = 0;  // FIFO tie-break for determinism
+  ProcessId pid = -1;     // stepping process (step events)
+  SemiSyncMessage message;  // delivery events
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    // Deliveries before steps at the same instant so a step sees everything
+    // that has arrived "by" its time.
+    if (a.kind != b.kind) return a.kind == EventKind::step;
+    return a.seq > b.seq;
+  }
+};
+
+class Api final : public ProcessApi {
+ public:
+  Api(ProcessId self, std::int64_t input, int num_processes)
+      : self_(self), input_(input), num_processes_(num_processes) {}
+
+  ProcessId self() const override { return self_; }
+  Time now() const override { return now_; }
+  std::int64_t input() const override { return input_; }
+  int num_processes() const override { return num_processes_; }
+
+  void broadcast(const std::map<ProcessId, std::int64_t>& values,
+                 int tag) override {
+    for (int to = 0; to < num_processes_; ++to) {
+      SemiSyncMessage msg;
+      msg.from = self_;
+      msg.to = to;
+      msg.values = values;
+      msg.tag = tag;
+      msg.sent_at = now_;
+      outbox_.push_back(std::move(msg));
+    }
+  }
+
+  void decide(std::int64_t value) override {
+    if (decided_) return;  // first decision sticks
+    decided_ = true;
+    decision_ = value;
+  }
+
+  bool has_decided() const override { return decided_; }
+
+  // Executor-side accessors.
+  void set_now(Time t) { now_ = t; }
+  std::vector<SemiSyncMessage> take_outbox() { return std::move(outbox_); }
+  bool decided() const { return decided_; }
+  std::int64_t decision() const { return decision_; }
+
+ private:
+  ProcessId self_;
+  std::int64_t input_;
+  int num_processes_;
+  Time now_ = 0;
+  bool decided_ = false;
+  std::int64_t decision_ = 0;
+  std::vector<SemiSyncMessage> outbox_;
+};
+
+}  // namespace
+
+SemiSyncResult run_semisync(const std::vector<std::int64_t>& inputs,
+                            const SemiSyncConfig& config,
+                            const ProtocolFactory& factory,
+                            SemiSyncAdversary& adversary) {
+  if (static_cast<int>(inputs.size()) != config.num_processes) {
+    throw std::invalid_argument("run_semisync: inputs size mismatch");
+  }
+  if (config.c1 < 1 || config.c2 < config.c1 || config.d < 1) {
+    throw std::invalid_argument("run_semisync: bad timing constants");
+  }
+
+  SemiSyncResult result;
+  std::vector<std::unique_ptr<SemiSyncProtocol>> protocols;
+  std::vector<std::unique_ptr<Api>> apis;
+  std::vector<std::optional<Time>> crash_at;
+  std::vector<bool> recorded_decision(
+      static_cast<std::size_t>(config.num_processes), false);
+  std::vector<std::vector<SemiSyncMessage>> inbox(
+      static_cast<std::size_t>(config.num_processes));
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  std::uint64_t seq = 0;
+
+  const auto flush_outbox = [&](Api& api) {
+    for (SemiSyncMessage& msg : api.take_outbox()) {
+      const Time delay = adversary.delivery_delay(msg);
+      if (delay < 1 || delay > config.d) {
+        throw std::logic_error("adversary delivery delay out of range");
+      }
+      msg.delivered_at = msg.sent_at + delay;
+      Event event;
+      event.time = msg.delivered_at;
+      event.kind = EventKind::delivery;
+      event.seq = ++seq;
+      event.message = std::move(msg);
+      queue.push(std::move(event));
+    }
+  };
+
+  for (int p = 0; p < config.num_processes; ++p) {
+    protocols.push_back(factory());
+    apis.push_back(std::make_unique<Api>(
+        p, inputs[static_cast<std::size_t>(p)], config.num_processes));
+    crash_at.push_back(adversary.crash_time(p));
+    if (crash_at.back().has_value()) {
+      result.crashes[p] = *crash_at.back();
+    }
+  }
+
+  // Time 0: every process starts (unless it crashes at 0) and its first
+  // step is scheduled.
+  for (int p = 0; p < config.num_processes; ++p) {
+    Api& api = *apis[static_cast<std::size_t>(p)];
+    if (crash_at[static_cast<std::size_t>(p)].has_value() &&
+        *crash_at[static_cast<std::size_t>(p)] <= 0) {
+      continue;
+    }
+    api.set_now(0);
+    protocols[static_cast<std::size_t>(p)]->on_start(api);
+    flush_outbox(api);
+    const Time spacing = adversary.step_spacing(p, 0);
+    if (spacing < config.c1 || spacing > config.c2) {
+      throw std::logic_error("adversary step spacing out of range");
+    }
+    Event event;
+    event.time = spacing;
+    event.kind = EventKind::step;
+    event.seq = ++seq;
+    event.pid = p;
+    queue.push(std::move(event));
+  }
+
+  const auto is_crashed = [&](ProcessId p, Time t) {
+    return crash_at[static_cast<std::size_t>(p)].has_value() &&
+           *crash_at[static_cast<std::size_t>(p)] <= t;
+  };
+
+  const auto all_done = [&]() {
+    for (int p = 0; p < config.num_processes; ++p) {
+      if (is_crashed(p, config.max_time)) continue;
+      if (!apis[static_cast<std::size_t>(p)]->decided()) return false;
+    }
+    return true;
+  };
+
+  Time now = 0;
+  while (!queue.empty()) {
+    Event event = queue.top();
+    queue.pop();
+    now = event.time;
+    if (now > config.max_time) break;
+
+    if (event.kind == EventKind::delivery) {
+      const ProcessId to = event.message.to;
+      ++result.messages_delivered;
+      if (!is_crashed(to, now)) {
+        inbox[static_cast<std::size_t>(to)].push_back(
+            std::move(event.message));
+      }
+      continue;
+    }
+
+    const ProcessId p = event.pid;
+    if (is_crashed(p, now)) continue;
+    Api& api = *apis[static_cast<std::size_t>(p)];
+    api.set_now(now);
+    ++result.steps_taken;
+    // Consume arrived messages (already filtered to delivered_at <= now by
+    // the queue ordering), then take the step.
+    std::vector<SemiSyncMessage> arrived =
+        std::move(inbox[static_cast<std::size_t>(p)]);
+    inbox[static_cast<std::size_t>(p)].clear();
+    for (const SemiSyncMessage& msg : arrived) {
+      protocols[static_cast<std::size_t>(p)]->on_message(api, msg);
+    }
+    protocols[static_cast<std::size_t>(p)]->on_step(api);
+    flush_outbox(api);
+
+    if (api.decided() && !recorded_decision[static_cast<std::size_t>(p)]) {
+      recorded_decision[static_cast<std::size_t>(p)] = true;
+      DecisionEvent decision;
+      decision.pid = p;
+      decision.value = api.decision();
+      decision.time = now;
+      result.decisions[p] = decision;
+    }
+
+    if (all_done()) break;
+
+    if (!api.decided() || !all_done()) {
+      const Time spacing = adversary.step_spacing(p, now);
+      if (spacing < config.c1 || spacing > config.c2) {
+        throw std::logic_error("adversary step spacing out of range");
+      }
+      Event next;
+      next.time = now + spacing;
+      next.kind = EventKind::step;
+      next.seq = ++seq;
+      next.pid = p;
+      queue.push(std::move(next));
+    }
+  }
+
+  result.finished_at = now;
+  result.all_alive_decided = all_done();
+  return result;
+}
+
+}  // namespace psph::sim

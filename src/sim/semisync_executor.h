@@ -1,0 +1,139 @@
+#pragma once
+
+// Discrete-event semi-synchronous executor (Section 8's timing model).
+//
+// Time is an integer microtick count. Every process takes steps whose
+// spacing the adversary picks in [c1, c2]; every message is delivered with
+// a delay the adversary picks in [1, d]; processes may crash between steps
+// (a crashed process stops stepping; its in-flight messages still arrive).
+// On each step a process first consumes all messages that have arrived
+// since its previous step, then acts. C = c2/c1 is the timing-uncertainty
+// ratio of Corollary 22.
+//
+// Protocols are event-driven objects (one clone per process) talking to the
+// executor through ProcessApi. The executor records decision times, which
+// the Corollary-22 bench compares against the ⌊f/k⌋d + Cd bound.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/random.h"
+
+namespace psph::sim {
+
+struct SemiSyncConfig {
+  Time c1 = 1;  // min step spacing
+  Time c2 = 2;  // max step spacing
+  Time d = 4;   // max message delay
+  int num_processes = 3;
+  Time max_time = 1'000'000;  // safety stop
+};
+
+struct SemiSyncMessage {
+  ProcessId from = -1;
+  ProcessId to = -1;
+  std::map<ProcessId, std::int64_t> values;  // protocol payload
+  int tag = 0;                               // protocol-defined (round #)
+  Time sent_at = 0;
+  Time delivered_at = 0;
+};
+
+/// The executor-provided capability surface for protocol code.
+class ProcessApi {
+ public:
+  virtual ~ProcessApi() = default;
+  virtual ProcessId self() const = 0;
+  virtual Time now() const = 0;
+  virtual std::int64_t input() const = 0;
+  virtual int num_processes() const = 0;
+  /// Sends to every process (including self, delivered like any message).
+  virtual void broadcast(const std::map<ProcessId, std::int64_t>& values,
+                         int tag) = 0;
+  virtual void decide(std::int64_t value) = 0;
+  virtual bool has_decided() const = 0;
+};
+
+class SemiSyncProtocol {
+ public:
+  virtual ~SemiSyncProtocol() = default;
+  virtual void on_start(ProcessApi& api) = 0;
+  virtual void on_message(ProcessApi& api, const SemiSyncMessage& msg) = 0;
+  virtual void on_step(ProcessApi& api) = 0;
+};
+
+/// Factory: one protocol instance per process.
+using ProtocolFactory = std::function<std::unique_ptr<SemiSyncProtocol>()>;
+
+class SemiSyncAdversary {
+ public:
+  virtual ~SemiSyncAdversary() = default;
+  /// Spacing to the process's next step, in [c1, c2].
+  virtual Time step_spacing(ProcessId pid, Time now) = 0;
+  /// Delivery delay for a message, in [1, d].
+  virtual Time delivery_delay(const SemiSyncMessage& msg) = 0;
+  /// If set, the process crashes at that time (checked before each step).
+  virtual std::optional<Time> crash_time(ProcessId pid) = 0;
+};
+
+/// All processes step as fast (or slow) as configured; fixed delays;
+/// scripted crashes. The deterministic workhorse for timing experiments.
+class ScriptedSemiSyncAdversary : public SemiSyncAdversary {
+ public:
+  ScriptedSemiSyncAdversary(Time step, Time delay)
+      : default_step_(step), default_delay_(delay) {}
+
+  void set_step_spacing(ProcessId pid, Time spacing) {
+    per_process_step_[pid] = spacing;
+  }
+  void set_crash(ProcessId pid, Time when) { crashes_[pid] = when; }
+
+  Time step_spacing(ProcessId pid, Time now) override;
+  Time delivery_delay(const SemiSyncMessage& msg) override;
+  std::optional<Time> crash_time(ProcessId pid) override;
+
+ private:
+  Time default_step_;
+  Time default_delay_;
+  std::map<ProcessId, Time> per_process_step_;
+  std::map<ProcessId, Time> crashes_;
+};
+
+/// Uniformly random spacings/delays within bounds; crashes drawn from a
+/// budget with the given probability per process.
+class RandomSemiSyncAdversary : public SemiSyncAdversary {
+ public:
+  RandomSemiSyncAdversary(util::Rng rng, const SemiSyncConfig& config,
+                          int max_crashes, double crash_probability,
+                          Time crash_horizon);
+
+  Time step_spacing(ProcessId pid, Time now) override;
+  Time delivery_delay(const SemiSyncMessage& msg) override;
+  std::optional<Time> crash_time(ProcessId pid) override;
+
+ private:
+  util::Rng rng_;
+  SemiSyncConfig config_;
+  std::map<ProcessId, std::optional<Time>> crash_plan_;
+};
+
+struct SemiSyncResult {
+  std::map<ProcessId, DecisionEvent> decisions;
+  std::map<ProcessId, Time> crashes;
+  Time finished_at = 0;
+  bool all_alive_decided = false;
+  std::size_t messages_delivered = 0;
+  std::size_t steps_taken = 0;
+};
+
+/// Runs one execution to completion (all alive processes decided) or
+/// max_time.
+SemiSyncResult run_semisync(const std::vector<std::int64_t>& inputs,
+                            const SemiSyncConfig& config,
+                            const ProtocolFactory& factory,
+                            SemiSyncAdversary& adversary);
+
+}  // namespace psph::sim

@@ -1,0 +1,88 @@
+#include "sim/semisync_round_enum.h"
+
+#include <algorithm>
+#include <map>
+
+#include "math/combinatorics.h"
+
+namespace psph::sim {
+
+void enumerate_semisync_round_executions(
+    const std::vector<std::int64_t>& inputs, int max_failures, int mu,
+    core::ViewRegistry& views,
+    const std::function<void(const Trace&)>& visit) {
+  const int n1 = static_cast<int>(inputs.size());
+  std::vector<ProcessId> pids;
+  std::map<ProcessId, StateId> initial;
+  for (int p = 0; p < n1; ++p) {
+    pids.push_back(p);
+    initial[p] = views.intern_input(p, inputs[static_cast<std::size_t>(p)]);
+  }
+
+  for (const core::FailurePattern& pattern :
+       core::enumerate_failure_patterns(pids, max_failures, mu)) {
+    std::vector<ProcessId> survivors;
+    for (ProcessId p : pids) {
+      if (!std::binary_search(pattern.fail_set.begin(),
+                              pattern.fail_set.end(), p)) {
+        survivors.push_back(p);
+      }
+    }
+    if (survivors.empty()) continue;
+
+    // Per (survivor, crasher) independent bit: does the crasher's final
+    // microround message reach this survivor in time? Enumerate the whole
+    // cross product.
+    const std::size_t bits = survivors.size() * pattern.fail_set.size();
+    std::vector<std::size_t> sizes(bits, 2);
+    if (bits == 0) sizes.clear();
+    math::for_each_product(sizes, [&](const std::vector<std::size_t>& odo) {
+      // Message-level simulation: in microround u (1..mu), every process
+      // still alive at u sends; a process with F(p) = u sends its
+      // microround-u message only to the receivers whose choice bit says
+      // "delivered". Track, per receiver, the last microround heard per
+      // sender.
+      std::map<ProcessId, std::map<ProcessId, int>> last_heard;
+      for (ProcessId receiver : survivors) {
+        for (int u = 1; u <= mu; ++u) {
+          // Survivor senders are alive through all microrounds.
+          for (ProcessId sender : survivors) {
+            last_heard[receiver][sender] = u;
+          }
+          for (std::size_t i = 0; i < pattern.fail_set.size(); ++i) {
+            const ProcessId sender = pattern.fail_set[i];
+            const int crash_at = pattern.fail_micro[i];
+            if (u < crash_at) {
+              last_heard[receiver][sender] = u;
+            } else if (u == crash_at) {
+              // The final message: delivered iff the choice bit is set.
+              const std::size_t r_index = static_cast<std::size_t>(
+                  std::find(survivors.begin(), survivors.end(), receiver) -
+                  survivors.begin());
+              const std::size_t bit =
+                  r_index * pattern.fail_set.size() + i;
+              if (odo[bit] == 1) last_heard[receiver][sender] = u;
+            }
+          }
+        }
+      }
+
+      Trace trace;
+      trace.states.push_back(initial);
+      trace.crashed_in.push_back({});
+      std::map<ProcessId, StateId> next;
+      for (ProcessId receiver : survivors) {
+        std::vector<core::HeardEntry> heard;
+        for (const auto& [sender, micro] : last_heard[receiver]) {
+          heard.push_back({sender, initial.at(sender), micro});
+        }
+        next[receiver] = views.intern_round(receiver, 1, std::move(heard));
+      }
+      trace.states.push_back(std::move(next));
+      trace.crashed_in.push_back(pattern.fail_set);
+      visit(trace);
+    });
+  }
+}
+
+}  // namespace psph::sim

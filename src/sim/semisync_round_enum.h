@@ -1,0 +1,30 @@
+#pragma once
+
+// Microround-level enumeration of semi-synchronous round executions.
+//
+// Complements the discrete-event executor with an exhaustive path: for one
+// round of the Section 8 structure (μ microrounds, failing set K with
+// pattern F, per-receiver choice of whether a crasher's final microround
+// message arrives), simulate the actual message flow microround by
+// microround and intern the resulting survivor views. The bridge test
+// compares the union over all (K, F, choices) with the theoretical
+// M¹(S) = ∪ ψ(S\K; [F]) — the same style of cross-validation the sync and
+// async executors get, at the message level rather than the view level.
+
+#include <functional>
+#include <vector>
+
+#include "core/semisync_complex.h"
+#include "core/view.h"
+#include "sim/trace.h"
+
+namespace psph::sim {
+
+/// Enumerates every one-round semi-synchronous execution from `inputs` with
+/// at most `max_failures` crashes and `mu` microrounds, calling `visit`
+/// with each complete trace (initial states + post-round survivor states).
+void enumerate_semisync_round_executions(
+    const std::vector<std::int64_t>& inputs, int max_failures, int mu,
+    core::ViewRegistry& views, const std::function<void(const Trace&)>& visit);
+
+}  // namespace psph::sim

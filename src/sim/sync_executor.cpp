@@ -1,0 +1,145 @@
+#include "sim/sync_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "math/combinatorics.h"
+
+namespace psph::sim {
+
+namespace {
+
+// Applies one synchronous round to `current` states. `crash` is the set of
+// processes crashing this round; `delivered_to[c]` the survivors receiving
+// c's message anyway.
+std::map<ProcessId, StateId> step_round(
+    const std::map<ProcessId, StateId>& current,
+    const std::vector<ProcessId>& crash,
+    const std::map<ProcessId, std::set<ProcessId>>& delivered_to, int round,
+    core::ViewRegistry& views) {
+  std::map<ProcessId, StateId> next;
+  for (const auto& [receiver, state] : current) {
+    (void)state;
+    if (std::find(crash.begin(), crash.end(), receiver) != crash.end()) {
+      continue;  // crashed mid-round: no post-round state
+    }
+    std::vector<core::HeardEntry> heard;
+    for (const auto& [sender, sender_state] : current) {
+      const bool sender_crashes =
+          std::find(crash.begin(), crash.end(), sender) != crash.end();
+      if (!sender_crashes) {
+        heard.push_back({sender, sender_state, core::kNoMicro});
+      } else {
+        const auto it = delivered_to.find(sender);
+        if (it != delivered_to.end() && it->second.count(receiver) != 0) {
+          heard.push_back({sender, sender_state, core::kNoMicro});
+        }
+      }
+    }
+    next[receiver] = views.intern_round(receiver, round, std::move(heard));
+  }
+  return next;
+}
+
+}  // namespace
+
+Trace run_sync(const std::vector<std::int64_t>& inputs,
+               const SyncRunConfig& config, SyncAdversary& adversary,
+               core::ViewRegistry& views) {
+  if (static_cast<int>(inputs.size()) != config.num_processes) {
+    throw std::invalid_argument("run_sync: inputs size != num_processes");
+  }
+  Trace trace;
+  std::map<ProcessId, StateId> current;
+  for (int p = 0; p < config.num_processes; ++p) {
+    current[p] = views.intern_input(p, inputs[static_cast<std::size_t>(p)]);
+  }
+  trace.states.push_back(current);
+  trace.crashed_in.push_back({});
+
+  for (int round = 1; round <= config.rounds; ++round) {
+    std::vector<ProcessId> alive;
+    for (const auto& [p, s] : current) {
+      (void)s;
+      alive.push_back(p);
+    }
+    const SyncRoundPlan plan = adversary.plan_round(round, alive);
+    for (ProcessId c : plan.crash) {
+      if (current.find(c) == current.end()) {
+        throw std::logic_error("adversary crashed a dead process");
+      }
+    }
+    current = step_round(current, plan.crash, plan.delivered_to, round, views);
+    trace.states.push_back(current);
+    trace.crashed_in.push_back(plan.crash);
+  }
+  return trace;
+}
+
+void enumerate_sync_executions(
+    const std::vector<std::int64_t>& inputs, int rounds, int total_failures,
+    int failures_per_round, core::ViewRegistry& views,
+    const std::function<void(const Trace&)>& visit) {
+  std::map<ProcessId, StateId> initial;
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    initial[static_cast<ProcessId>(p)] =
+        views.intern_input(static_cast<ProcessId>(p), inputs[p]);
+  }
+
+  Trace trace;
+  trace.states.push_back(initial);
+  trace.crashed_in.push_back({});
+
+  // Depth-first over rounds; within a round, over (crash set, per-crasher
+  // delivery sets).
+  const std::function<void(int, int)> recurse = [&](int round, int budget) {
+    if (round > rounds) {
+      visit(trace);
+      return;
+    }
+    const std::map<ProcessId, StateId>& current = trace.states.back();
+    std::vector<ProcessId> alive;
+    for (const auto& [p, s] : current) {
+      (void)s;
+      alive.push_back(p);
+    }
+    const int cap = std::min(failures_per_round, budget);
+    for (const std::vector<ProcessId>& crash :
+         math::subsets_with_size_between(alive, 0, cap)) {
+      std::vector<ProcessId> survivors;
+      for (ProcessId p : alive) {
+        if (std::find(crash.begin(), crash.end(), p) == crash.end()) {
+          survivors.push_back(p);
+        }
+      }
+      // Per crasher, every subset of survivors may receive its message:
+      // iterate the cross product.
+      std::vector<std::vector<std::vector<ProcessId>>> delivery_choices;
+      for (std::size_t c = 0; c < crash.size(); ++c) {
+        delivery_choices.push_back(math::all_subsets(survivors));
+      }
+      std::vector<std::size_t> sizes;
+      for (const auto& choices : delivery_choices) {
+        sizes.push_back(choices.size());
+      }
+      math::for_each_product(sizes, [&](const std::vector<std::size_t>& odo) {
+        std::map<ProcessId, std::set<ProcessId>> delivered_to;
+        for (std::size_t c = 0; c < crash.size(); ++c) {
+          const auto& receivers = delivery_choices[c][odo[c]];
+          delivered_to[crash[c]] =
+              std::set<ProcessId>(receivers.begin(), receivers.end());
+        }
+        // Apply the round, recurse, undo.
+        trace.states.push_back(step_round(trace.states.back(), crash,
+                                          delivered_to, round, views));
+        trace.crashed_in.push_back(crash);
+        recurse(round + 1, budget - static_cast<int>(crash.size()));
+        trace.states.pop_back();
+        trace.crashed_in.pop_back();
+      });
+    }
+  };
+  recurse(1, total_failures);
+}
+
+}  // namespace psph::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+// Synchronous lockstep executor (Section 7's model, operationally).
+//
+// Each round, every alive process sends its full-information state to all;
+// the adversary crashes a subset mid-round and chooses which of their
+// messages still arrive; survivors receive every survivor's message plus
+// the delivered crasher messages and update their state. States are
+// interned in a core::ViewRegistry with the same encoding as
+// core/sync_complex.h, so executor traces land on the same vertices as the
+// theoretical construction — the bridge test exploits this.
+
+#include <memory>
+#include <vector>
+
+#include "core/view.h"
+#include "sim/adversary.h"
+#include "sim/trace.h"
+
+namespace psph::sim {
+
+struct SyncRunConfig {
+  int num_processes = 3;
+  int rounds = 1;
+};
+
+/// Runs one synchronous execution from the given inputs under `adversary`.
+Trace run_sync(const std::vector<std::int64_t>& inputs,
+               const SyncRunConfig& config, SyncAdversary& adversary,
+               core::ViewRegistry& views);
+
+/// Enumerates *all* synchronous executions from `inputs` with at most
+/// `failures_per_round` fresh crashes per round and `total_failures`
+/// overall, calling `visit` once per complete trace. Exponential; intended
+/// for the bridge cross-validation at small sizes.
+void enumerate_sync_executions(const std::vector<std::int64_t>& inputs,
+                               int rounds, int total_failures,
+                               int failures_per_round,
+                               core::ViewRegistry& views,
+                               const std::function<void(const Trace&)>& visit);
+
+}  // namespace psph::sim

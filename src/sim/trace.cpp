@@ -1,0 +1,39 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace psph::sim {
+
+std::optional<StateId> Trace::final_state(ProcessId pid) const {
+  if (states.empty()) return std::nullopt;
+  const auto& last = states.back();
+  const auto it = last.find(pid);
+  if (it == last.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Trace::to_string(const core::ViewRegistry& views) const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    out << "round " << r << ":";
+    for (const auto& [pid, state] : states[r]) {
+      out << " " << views.to_string(state);
+    }
+    if (r < crashed_in.size() && !crashed_in[r].empty()) {
+      out << " crashed{";
+      for (std::size_t i = 0; i < crashed_in[r].size(); ++i) {
+        if (i > 0) out << ",";
+        out << "P" << crashed_in[r][i];
+      }
+      out << "}";
+    }
+    out << "\n";
+  }
+  for (const DecisionEvent& d : decisions) {
+    out << "P" << d.pid << " decides " << d.value << " (round " << d.round
+        << ", t=" << d.time << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace psph::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+// Execution traces shared by the three executors.
+//
+// A trace records, per round, the surviving processes' full-information
+// states (interned in a core::ViewRegistry, so trace states are directly
+// comparable with the theoretical protocol complexes), plus crash and
+// decision events. The bridge (bridge.h) turns sets of traces into
+// simplicial complexes.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+
+namespace psph::sim {
+
+using core::ProcessId;
+using core::StateId;
+
+/// Simulated time in integer microticks (semi-synchronous executor); the
+/// round-based executors use round numbers instead.
+using Time = std::int64_t;
+
+struct DecisionEvent {
+  ProcessId pid = -1;
+  std::int64_t value = 0;
+  int round = 0;       // round-based executors
+  Time time = 0;       // semi-synchronous executor
+};
+
+struct Trace {
+  /// states[r] maps each process alive at the *end* of round r to its state
+  /// (r = 0 is the initial configuration).
+  std::vector<std::map<ProcessId, StateId>> states;
+  /// Processes that crashed during each round (1-indexed by convention:
+  /// crashed_in[r] crashed during round r; crashed_in[0] is empty).
+  std::vector<std::vector<ProcessId>> crashed_in;
+  std::vector<DecisionEvent> decisions;
+
+  int rounds() const { return static_cast<int>(states.size()) - 1; }
+
+  /// Final state of a process, if it survived to the end.
+  std::optional<StateId> final_state(ProcessId pid) const;
+
+  std::string to_string(const core::ViewRegistry& views) const;
+};
+
+}  // namespace psph::sim

@@ -1,0 +1,215 @@
+#include "topology/complex.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace psph::topology {
+
+void SimplicialComplex::add_facet(Simplex s) {
+  if (s.empty()) {
+    throw std::invalid_argument("add_facet: empty simplex");
+  }
+  if (facet_set_.count(s) != 0) return;
+  if (dominated(s)) return;
+
+  // Remove facets *strictly* contained in s (equal-dimension facets cannot
+  // be: a same-size subset is equality, which the hash check above already
+  // excluded). Any strictly contained facet shares s's vertices, so
+  // scanning the per-vertex slot lists of s's vertices — filtered to lower
+  // dimension — finds them all. On pure complexes both scans are no-ops, so
+  // bulk construction (pseudosphere products) is O(1) per facet.
+  if (min_facet_dim_ < s.dimension()) {
+    std::vector<std::size_t> candidates;
+    for (VertexId v : s.vertices()) {
+      const auto it = by_vertex_.find(v);
+      if (it == by_vertex_.end()) continue;
+      for (std::size_t slot : it->second) candidates.push_back(slot);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (std::size_t slot : candidates) {
+      const Simplex& facet = slots_[slot];
+      if (facet.empty()) continue;  // tombstone
+      if (facet.dimension() < s.dimension() && facet.is_face_of(s)) {
+        facet_set_.erase(facet);
+        slots_[slot] = Simplex();
+        --live_count_;
+      }
+    }
+  }
+
+  const std::size_t slot = slots_.size();
+  for (VertexId v : s.vertices()) by_vertex_[v].push_back(slot);
+  min_facet_dim_ = std::min(min_facet_dim_, s.dimension());
+  max_facet_dim_ = std::max(max_facet_dim_, s.dimension());
+  facet_set_.insert(s);
+  slots_.push_back(std::move(s));
+  ++live_count_;
+}
+
+bool SimplicialComplex::dominated(const Simplex& s) const {
+  // Only *strictly* larger facets can properly contain s (improper
+  // containment, i.e. equality, is handled by the facet_set_ hash lookups
+  // at the call sites). A facet containing s must contain s's first vertex.
+  if (max_facet_dim_ <= s.dimension()) return false;
+  const auto it = by_vertex_.find(s[0]);
+  if (it == by_vertex_.end()) return false;
+  for (std::size_t slot : it->second) {
+    const Simplex& facet = slots_[slot];
+    if (!facet.empty() && facet.dimension() > s.dimension() &&
+        s.is_face_of(facet)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimplicialComplex::merge(const SimplicialComplex& other) {
+  other.for_each_facet([this](const Simplex& s) { add_facet(s); });
+}
+
+int SimplicialComplex::dimension() const {
+  int best = -1;
+  for (const Simplex& facet : slots_) {
+    if (!facet.empty()) best = std::max(best, facet.dimension());
+  }
+  return best;
+}
+
+std::vector<Simplex> SimplicialComplex::facets() const {
+  std::vector<Simplex> result;
+  result.reserve(live_count_);
+  for (const Simplex& facet : slots_) {
+    if (!facet.empty()) result.push_back(facet);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+void SimplicialComplex::for_each_facet(
+    const std::function<void(const Simplex&)>& fn) const {
+  for (const Simplex& facet : slots_) {
+    if (!facet.empty()) fn(facet);
+  }
+}
+
+bool SimplicialComplex::contains(const Simplex& s) const {
+  if (s.empty()) return !empty();
+  return dominated(s) || facet_set_.count(s) != 0;
+}
+
+std::vector<Simplex> SimplicialComplex::simplices_of_dim(int d) const {
+  std::unordered_set<Simplex, SimplexHash> seen;
+  for (const Simplex& facet : slots_) {
+    if (facet.empty() || facet.dimension() < d) continue;
+    for (Simplex& face : facet.faces_of_dim(d)) {
+      seen.insert(std::move(face));
+    }
+  }
+  std::vector<Simplex> result(seen.begin(), seen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::size_t SimplicialComplex::count_of_dim(int d) const {
+  std::unordered_set<Simplex, SimplexHash> seen;
+  for (const Simplex& facet : slots_) {
+    if (facet.empty() || facet.dimension() < d) continue;
+    for (Simplex& face : facet.faces_of_dim(d)) {
+      seen.insert(std::move(face));
+    }
+  }
+  return seen.size();
+}
+
+std::vector<VertexId> SimplicialComplex::vertex_ids() const {
+  std::unordered_set<VertexId> seen;
+  for (const Simplex& facet : slots_) {
+    if (facet.empty()) continue;
+    for (VertexId v : facet.vertices()) seen.insert(v);
+  }
+  std::vector<VertexId> result(seen.begin(), seen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::size_t> SimplicialComplex::f_vector() const {
+  const int dim = dimension();
+  std::vector<std::size_t> result;
+  for (int d = 0; d <= dim; ++d) result.push_back(count_of_dim(d));
+  return result;
+}
+
+long long SimplicialComplex::euler_characteristic() const {
+  long long chi = 0;
+  long long sign = 1;
+  for (std::size_t count : f_vector()) {
+    chi += sign * static_cast<long long>(count);
+    sign = -sign;
+  }
+  return chi;
+}
+
+bool SimplicialComplex::is_pure() const {
+  const int dim = dimension();
+  for (const Simplex& facet : slots_) {
+    if (!facet.empty() && facet.dimension() != dim) return false;
+  }
+  return true;
+}
+
+bool SimplicialComplex::operator==(const SimplicialComplex& other) const {
+  if (live_count_ != other.live_count_) return false;
+  for (const Simplex& facet : slots_) {
+    if (!facet.empty() && other.facet_set_.count(facet) == 0) return false;
+  }
+  return true;
+}
+
+bool SimplicialComplex::is_subcomplex_of(
+    const SimplicialComplex& other) const {
+  for (const Simplex& facet : slots_) {
+    if (!facet.empty() && !other.contains(facet)) return false;
+  }
+  return true;
+}
+
+SimplicialComplex SimplicialComplex::apply_vertex_map(
+    const std::function<VertexId(VertexId)>& map, bool allow_collapse) const {
+  SimplicialComplex image;
+  for (const Simplex& facet : slots_) {
+    if (facet.empty()) continue;
+    std::vector<VertexId> mapped;
+    mapped.reserve(facet.size());
+    for (VertexId v : facet.vertices()) mapped.push_back(map(v));
+    std::sort(mapped.begin(), mapped.end());
+    const auto dup = std::unique(mapped.begin(), mapped.end());
+    if (dup != mapped.end()) {
+      if (!allow_collapse) {
+        throw std::invalid_argument(
+            "apply_vertex_map: map collapses a simplex (pass "
+            "allow_collapse=true if intended)");
+      }
+      mapped.erase(dup, mapped.end());
+    }
+    image.add_facet(Simplex(std::move(mapped)));
+  }
+  return image;
+}
+
+std::string SimplicialComplex::to_string() const {
+  std::ostringstream out;
+  out << "Complex(dim=" << dimension() << ", facets=" << live_count_ << ")[";
+  bool first = true;
+  for (const Simplex& facet : facets()) {
+    if (!first) out << ", ";
+    first = false;
+    out << facet.to_string();
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace psph::topology

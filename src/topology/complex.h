@@ -1,0 +1,109 @@
+#pragma once
+
+// Facet-based simplicial complexes (Section 3).
+//
+// A complex is represented by its maximal simplexes; closure under
+// containment is implicit, and faces are enumerated on demand. add_facet
+// maintains maximality: dominated insertions are dropped and newly dominated
+// facets are removed, so unions of pseudospheres deduplicate automatically.
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/simplex.h"
+#include "topology/types.h"
+
+namespace psph::topology {
+
+class SimplicialComplex {
+ public:
+  SimplicialComplex() = default;
+
+  /// Inserts `s` as a (candidate) facet. No-op if some existing facet
+  /// already contains it; removes existing facets that it contains.
+  /// Inserting the empty simplex is rejected.
+  void add_facet(Simplex s);
+
+  /// Inserts every facet of `other`.
+  void merge(const SimplicialComplex& other);
+
+  /// True if the complex has no simplexes at all.
+  bool empty() const { return live_count_ == 0; }
+
+  /// Largest dimension of any facet; -1 for the empty complex.
+  int dimension() const;
+
+  std::size_t facet_count() const { return live_count_; }
+
+  /// Snapshot of the current facets in deterministic (sorted) order.
+  std::vector<Simplex> facets() const;
+
+  /// Calls `fn` for each facet (unspecified order, no allocation of a copy).
+  void for_each_facet(const std::function<void(const Simplex&)>& fn) const;
+
+  /// True if `s` is a face of some facet. The empty simplex is contained in
+  /// every nonempty complex.
+  bool contains(const Simplex& s) const;
+
+  /// All distinct d-simplexes (deterministic sorted order).
+  std::vector<Simplex> simplices_of_dim(int d) const;
+
+  /// Count of distinct d-simplexes.
+  std::size_t count_of_dim(int d) const;
+
+  /// All vertex ids used by at least one facet, sorted.
+  std::vector<VertexId> vertex_ids() const;
+
+  /// f-vector: entry d is the number of d-simplexes, d = 0..dimension().
+  std::vector<std::size_t> f_vector() const;
+
+  /// Euler characteristic  Σ (-1)^d f_d.
+  long long euler_characteristic() const;
+
+  /// True if all facets have the same dimension.
+  bool is_pure() const;
+
+  /// Exact equality as sets of facets (hence as complexes).
+  bool operator==(const SimplicialComplex& other) const;
+  bool operator!=(const SimplicialComplex& other) const {
+    return !(*this == other);
+  }
+
+  /// True if every facet of *this is contained in `other` (subcomplex test).
+  bool is_subcomplex_of(const SimplicialComplex& other) const;
+
+  /// Applies a vertex map to every facet, producing the image complex. The
+  /// map must be defined for every vertex in use; it need not be injective
+  /// (a non-injective simplicial map collapses simplexes), but duplicate
+  /// image vertices within one facet are rejected to catch accidents —
+  /// pass allow_collapse = true to permit them.
+  SimplicialComplex apply_vertex_map(
+      const std::function<VertexId(VertexId)>& map,
+      bool allow_collapse = false) const;
+
+  std::string to_string() const;
+
+ private:
+  friend class FacetIndex;
+
+  bool dominated(const Simplex& s) const;
+
+  // Stable slots; erased facets become empty simplexes (tombstones).
+  std::vector<Simplex> slots_;
+  std::size_t live_count_ = 0;
+  // Conservative bounds on live facet dimensions (never shrunk on removal);
+  // they gate the domination scans so pure-complex bulk inserts are O(1).
+  int min_facet_dim_ = std::numeric_limits<int>::max();
+  int max_facet_dim_ = -1;
+  // vertex -> slot indices of live facets containing it (may contain stale
+  // slot references which are skipped on read).
+  std::unordered_map<VertexId, std::vector<std::size_t>> by_vertex_;
+  std::unordered_set<Simplex, SimplexHash> facet_set_;
+};
+
+}  // namespace psph::topology

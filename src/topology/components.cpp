@@ -1,0 +1,57 @@
+#include "topology/components.h"
+
+namespace psph::topology {
+
+void UnionFind::add(VertexId v) {
+  if (parent_.emplace(v, v).second) {
+    rank_.emplace(v, 0);
+    ++components_;
+  }
+}
+
+VertexId UnionFind::find(VertexId v) {
+  VertexId root = v;
+  while (parent_.at(root) != root) root = parent_.at(root);
+  // Path compression.
+  while (parent_.at(v) != root) {
+    const VertexId next = parent_.at(v);
+    parent_[v] = root;
+    v = next;
+  }
+  return root;
+}
+
+void UnionFind::unite(VertexId a, VertexId b) {
+  add(a);
+  add(b);
+  VertexId ra = find(a);
+  VertexId rb = find(b);
+  if (ra == rb) return;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --components_;
+}
+
+bool UnionFind::same(VertexId a, VertexId b) {
+  if (parent_.count(a) == 0 || parent_.count(b) == 0) return false;
+  return find(a) == find(b);
+}
+
+std::size_t connected_component_count(const SimplicialComplex& k) {
+  UnionFind dsu;
+  k.for_each_facet([&](const Simplex& facet) {
+    const auto& vertices = facet.vertices();
+    dsu.add(vertices[0]);
+    for (std::size_t i = 1; i < vertices.size(); ++i) {
+      dsu.unite(vertices[0], vertices[i]);
+    }
+  });
+  return dsu.count();
+}
+
+bool is_connected(const SimplicialComplex& k) {
+  return connected_component_count(k) == 1;
+}
+
+}  // namespace psph::topology

@@ -1,0 +1,46 @@
+#pragma once
+
+// Graph-level connectivity via union-find — the cheap special case of
+// 0-connectivity (Definition 1: a complex is 0-connected iff its 1-skeleton
+// is connected as a graph). Used as a fast pre-check and as an independent
+// oracle for β̃₀ in tests.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/complex.h"
+
+namespace psph::topology {
+
+/// Disjoint-set union over arbitrary vertex ids.
+class UnionFind {
+ public:
+  /// Ensures `v` exists as a singleton set.
+  void add(VertexId v);
+
+  /// Unites the sets of a and b (adding them if new).
+  void unite(VertexId a, VertexId b);
+
+  /// True if a and b are in the same set (false if either is unknown).
+  bool same(VertexId a, VertexId b);
+
+  /// Number of disjoint sets.
+  std::size_t count() const { return components_; }
+
+ private:
+  VertexId find(VertexId v);
+
+  std::unordered_map<VertexId, VertexId> parent_;
+  std::unordered_map<VertexId, std::size_t> rank_;
+  std::size_t components_ = 0;
+};
+
+/// Number of connected components of the complex (0 for the empty complex).
+std::size_t connected_component_count(const SimplicialComplex& k);
+
+/// True iff the complex is nonempty and has exactly one component —
+/// equivalent to β̃₀ = 0, but linear-time.
+bool is_connected(const SimplicialComplex& k);
+
+}  // namespace psph::topology

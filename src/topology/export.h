@@ -1,0 +1,36 @@
+#pragma once
+
+// Export complexes for external inspection and visualization:
+//   * Graphviz DOT of the 1-skeleton (optionally labeled via a callback) —
+//     good for the small figures (Figures 1-3 render directly);
+//   * OFF (Object File Format) of the 2-skeleton with spring-free
+//     deterministic coordinates (vertices on a circle / sphere shell), good
+//     enough for quick mesh viewers;
+//   * a plain-text facet listing, the canonical machine-readable dump.
+
+#include <functional>
+#include <string>
+
+#include "topology/complex.h"
+
+namespace psph::topology {
+
+/// DOT rendering of the 1-skeleton. `label` maps a vertex to its display
+/// string; pass nullptr for numeric ids.
+std::string to_dot(const SimplicialComplex& k,
+                   const std::function<std::string(VertexId)>& label = {});
+
+/// OFF rendering of vertices, with the complex's triangles as faces.
+/// Vertices are placed deterministically on a unit circle (dim <= some
+/// small layout; coordinates carry no geometric meaning beyond viewing).
+std::string to_off(const SimplicialComplex& k);
+
+/// One facet per line, vertices space-separated, sorted — stable across
+/// runs, suitable for golden files and diffing.
+std::string to_facet_listing(const SimplicialComplex& k);
+
+/// Parses a facet listing produced by to_facet_listing (or hand-written:
+/// '#' comments and blank lines ignored). Throws on malformed input.
+SimplicialComplex from_facet_listing(const std::string& text);
+
+}  // namespace psph::topology

@@ -1,0 +1,154 @@
+#include "topology/homology.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "math/smith.h"
+#include "util/logging.h"
+
+namespace psph::topology {
+
+math::SparseMatrix boundary_matrix(const SimplicialComplex& k, int d) {
+  if (d < 0) throw std::invalid_argument("boundary_matrix: d < 0");
+  const std::vector<Simplex> columns = k.simplices_of_dim(d);
+
+  if (d == 0) {
+    // Augmentation C_0 → Z: one row of ones.
+    math::SparseMatrix matrix(1, columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) matrix.set(0, c, 1);
+    return matrix;
+  }
+
+  const std::vector<Simplex> rows = k.simplices_of_dim(d - 1);
+  std::unordered_map<Simplex, std::size_t, SimplexHash> row_index;
+  row_index.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) row_index.emplace(rows[r], r);
+
+  math::SparseMatrix matrix(rows.size(), columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const Simplex& simplex = columns[c];
+    std::int64_t sign = 1;
+    for (std::size_t omit = 0; omit < simplex.size(); ++omit) {
+      const Simplex face = simplex.face_without_index(omit);
+      matrix.set(row_index.at(face), c, sign);
+      sign = -sign;
+    }
+  }
+  return matrix;
+}
+
+HomologyReport reduced_homology(const SimplicialComplex& k,
+                                const HomologyOptions& options) {
+  HomologyReport report;
+  report.nonempty = !k.empty();
+  report.exact = options.exact;
+  report.reduced_betti.assign(static_cast<std::size_t>(options.max_dim) + 1,
+                              0);
+  report.torsion.assign(static_cast<std::size_t>(options.max_dim) + 1, {});
+  if (!report.nonempty) return report;
+
+  // n_d and rank(∂_d) for d = 0..max_dim+1; ∂_0 is the augmentation.
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(options.max_dim) + 2, 0);
+  std::vector<std::size_t> ranks(
+      static_cast<std::size_t>(options.max_dim) + 2, 0);
+  std::vector<math::SparseMatrix> boundaries(
+      static_cast<std::size_t>(options.max_dim) + 2);
+
+  for (int d = 0; d <= options.max_dim + 1; ++d) {
+    const std::size_t slot = static_cast<std::size_t>(d);
+    counts[slot] = k.count_of_dim(d);
+    if (counts[slot] == 0) {
+      // No d-simplexes: the boundary map is zero from an empty space.
+      boundaries[slot] = math::SparseMatrix(0, 0);
+      ranks[slot] = 0;
+      continue;
+    }
+    boundaries[slot] = boundary_matrix(k, d);
+    ranks[slot] = boundaries[slot].rank_mod_p(options.prime);
+  }
+
+  for (int d = 0; d <= options.max_dim; ++d) {
+    const std::size_t slot = static_cast<std::size_t>(d);
+    const long long betti = static_cast<long long>(counts[slot]) -
+                            static_cast<long long>(ranks[slot]) -
+                            static_cast<long long>(ranks[slot + 1]);
+    report.reduced_betti[slot] = betti;
+  }
+
+  if (options.exact) {
+    for (int d = 0; d <= options.max_dim; ++d) {
+      const std::size_t slot = static_cast<std::size_t>(d);
+      if (counts[slot + 1] == 0) continue;
+      const math::SmithResult snf =
+          math::smith_normal_form(boundaries[slot + 1]);
+      // Cross-check the GF(p) rank against the exact one.
+      if (snf.rank() != ranks[slot + 1]) {
+        PSPH_LOG(warn) << "GF(p) rank " << ranks[slot + 1]
+                       << " disagrees with exact rank " << snf.rank()
+                       << " for boundary dim " << d + 1
+                       << "; correcting from SNF";
+        const long long betti = static_cast<long long>(counts[slot]) -
+                                static_cast<long long>(ranks[slot]) -
+                                static_cast<long long>(snf.rank());
+        report.reduced_betti[slot] = betti;
+      }
+      for (const math::BigInt& t : snf.torsion()) {
+        report.torsion[slot].push_back(t.to_string());
+      }
+    }
+  }
+  return report;
+}
+
+int homological_connectivity(const SimplicialComplex& k, int up_to_dim,
+                             const HomologyOptions& options) {
+  if (k.empty()) return -2;
+  HomologyOptions local = options;
+  local.max_dim = std::max(up_to_dim, 0);
+  const HomologyReport report = reduced_homology(k, local);
+  int q = -1;
+  for (int d = 0; d <= up_to_dim; ++d) {
+    if (report.reduced_betti[static_cast<std::size_t>(d)] != 0) break;
+    if (options.exact &&
+        !report.torsion[static_cast<std::size_t>(d)].empty()) {
+      break;
+    }
+    q = d;
+  }
+  return q;
+}
+
+bool is_homologically_connected(const SimplicialComplex& k, int q,
+                                const HomologyOptions& options) {
+  if (q <= -2) return true;
+  if (q == -1) return !k.empty();
+  return homological_connectivity(k, q, options) >= q;
+}
+
+std::string HomologyReport::to_string() const {
+  std::ostringstream out;
+  out << (nonempty ? "nonempty" : "EMPTY") << " betti~=[";
+  for (std::size_t d = 0; d < reduced_betti.size(); ++d) {
+    if (d > 0) out << ",";
+    out << reduced_betti[d];
+  }
+  out << "]";
+  if (exact) {
+    out << " torsion=[";
+    for (std::size_t d = 0; d < torsion.size(); ++d) {
+      if (d > 0) out << ",";
+      out << "{";
+      for (std::size_t i = 0; i < torsion[d].size(); ++i) {
+        if (i > 0) out << ",";
+        out << torsion[d][i];
+      }
+      out << "}";
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+}  // namespace psph::topology

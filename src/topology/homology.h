@@ -1,0 +1,74 @@
+#pragma once
+
+// Simplicial homology and the homological-connectivity proxy for the paper's
+// k-connectivity (Definition 1).
+//
+// We compute *reduced* homology of the augmented chain complex
+//   ... → C_1 → C_0 → Z → 0.
+// A complex K is reported "homologically q-connected" when it is nonempty
+// and H̃_i(K) = 0 for all i ≤ q. Topological q-connectivity implies this;
+// the converse needs simple-connectivity (Hurewicz), which holds for the
+// pseudosphere unions the paper studies in the range its bounds need. The
+// collapse module (collapse.h) provides the stronger contractibility
+// certificate where it applies.
+//
+// Two engines:
+//   * GF(p) Betti numbers — fast sparse elimination; equal to rational Betti
+//     numbers unless p divides a torsion coefficient.
+//   * exact Smith normal form over BigInt — rank and torsion, used to
+//     cross-check the fast path on small instances.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/bigint.h"
+#include "math/matrix.h"
+#include "math/modular.h"
+#include "topology/complex.h"
+
+namespace psph::topology {
+
+/// Builds the boundary operator ∂_d : C_d → C_{d-1} with entries ±1 using
+/// the sorted-vertex orientation. For d == 0 this returns the augmentation
+/// map C_0 → Z (a single row of ones). Row indices follow
+/// `simplices_of_dim(d-1)` order; column indices follow `simplices_of_dim(d)`.
+math::SparseMatrix boundary_matrix(const SimplicialComplex& k, int d);
+
+struct HomologyOptions {
+  /// Compute H̃_d for d = 0..max_dim.
+  int max_dim = 2;
+  /// Field characteristic for the fast Betti path.
+  std::int64_t prime = math::kDefaultPrime;
+  /// Additionally run exact SNF and report torsion (slow on big complexes).
+  bool exact = false;
+};
+
+struct HomologyReport {
+  bool nonempty = false;
+  /// reduced_betti[d] = rank of H̃_d over GF(p) (== rational rank barring
+  /// torsion at p), for d = 0..max_dim.
+  std::vector<long long> reduced_betti;
+  /// Torsion coefficients per dimension (exact mode only), as decimal
+  /// strings, e.g. {"2"} for a Z/2 summand.
+  std::vector<std::vector<std::string>> torsion;
+  bool exact = false;
+
+  std::string to_string() const;
+};
+
+HomologyReport reduced_homology(const SimplicialComplex& k,
+                                const HomologyOptions& options = {});
+
+/// Largest q in [-1, up_to_dim] such that K is nonempty and H̃_i(K) = 0 for
+/// all 0 ≤ i ≤ q. Returns -2 for the empty complex (which, per the paper's
+/// convention, is k-connected only for k < -1). This is the machine proxy
+/// for Definition 1 used throughout the experiments.
+int homological_connectivity(const SimplicialComplex& k, int up_to_dim,
+                             const HomologyOptions& options = {});
+
+/// Convenience: true iff homological_connectivity(k, q) >= q.
+bool is_homologically_connected(const SimplicialComplex& k, int q,
+                                const HomologyOptions& options = {});
+
+}  // namespace psph::topology

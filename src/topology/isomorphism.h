@@ -1,0 +1,46 @@
+#pragma once
+
+// Isomorphism utilities (Section 3: K ≅ L via a bijective simplicial map).
+//
+// General simplicial-complex isomorphism is as hard as graph isomorphism,
+// but the paper's isomorphisms (Lemmas 4, 11, 14, 19) all come with explicit
+// vertex maps. We therefore provide:
+//   * exact verification that a given vertex map is an isomorphism,
+//   * cheap invariant comparison (f-vector, vertex degree multiset) that can
+//     refute isomorphism and serves as a property-test oracle,
+//   * a backtracking search usable on small complexes.
+
+#include <optional>
+#include <unordered_map>
+
+#include "topology/complex.h"
+
+namespace psph::topology {
+
+using VertexMap = std::unordered_map<VertexId, VertexId>;
+
+/// True iff `map` is defined on every vertex of `a`, injective, and carries
+/// the facet set of `a` exactly onto the facet set of `b`.
+bool is_isomorphism(const SimplicialComplex& a, const SimplicialComplex& b,
+                    const VertexMap& map);
+
+/// Invariant fingerprint: (f-vector, sorted multiset of vertex facet-degrees,
+/// sorted multiset of facet dimensions). Equal complexes agree; unequal
+/// fingerprints refute isomorphism.
+struct ComplexFingerprint {
+  std::vector<std::size_t> f_vector;
+  std::vector<std::size_t> vertex_degrees;
+  std::vector<int> facet_dimensions;
+
+  bool operator==(const ComplexFingerprint& other) const = default;
+};
+
+ComplexFingerprint fingerprint(const SimplicialComplex& k);
+
+/// Backtracking isomorphism search. Exponential; intended for the small
+/// complexes of unit tests and Lemma 4 sweeps. Returns a witness map if an
+/// isomorphism exists.
+std::optional<VertexMap> find_isomorphism(const SimplicialComplex& a,
+                                          const SimplicialComplex& b);
+
+}  // namespace psph::topology

@@ -1,0 +1,32 @@
+#pragma once
+
+// Barycentric subdivision.
+//
+// sd(K) has one vertex per nonempty simplex of K, and a facet per maximal
+// chain σ_0 ⊂ σ_1 ⊂ ... ⊂ σ_d of simplexes of K. Subdivision is the
+// classical bridge between combinatorics and topology (it preserves the
+// geometric realization); we use it for the Sperner's-lemma machinery
+// behind Theorem 9 and as a stress workload for the homology engine.
+
+#include <vector>
+
+#include "topology/complex.h"
+
+namespace psph::topology {
+
+struct Subdivision {
+  /// The subdivided complex. Vertex ids index `carriers`.
+  SimplicialComplex complex;
+  /// carriers[v] is the simplex of the original complex whose barycenter
+  /// the new vertex v represents.
+  std::vector<Simplex> carriers;
+};
+
+/// One round of barycentric subdivision.
+Subdivision barycentric_subdivision(const SimplicialComplex& k);
+
+/// `rounds`-fold iterated subdivision (carriers refer to the previous round).
+Subdivision iterated_barycentric_subdivision(const SimplicialComplex& k,
+                                             int rounds);
+
+}  // namespace psph::topology

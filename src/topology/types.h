@@ -1,0 +1,25 @@
+#pragma once
+
+// Shared identifier types for the topology and core libraries.
+//
+// Complexes are purely combinatorial objects over dense numeric VertexIds.
+// What a vertex *means* — which process it belongs to and which local state
+// it carries — lives in a VertexArena (arena.h), keeping the topology layer
+// reusable for unlabeled complexes (e.g. barycentric subdivisions).
+
+#include <cstdint>
+
+namespace psph::topology {
+
+/// Dense vertex identifier within one arena / complex family.
+using VertexId = std::uint32_t;
+
+/// Process identifier (paper: P_0 ... P_n).
+using ProcessId = std::int32_t;
+
+/// Interned local-state identifier (see core/view.h for protocol states).
+using StateId = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex = 0xffffffffU;
+
+}  // namespace psph::topology

@@ -1,0 +1,164 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace psph::util {
+
+namespace {
+
+bool parse_int64(const std::string& text, std::int64_t* out) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(text, &used);
+    if (used != text.size()) return false;
+    *out = static_cast<std::int64_t>(value);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_double(const std::string& text, double* out) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_bool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text.empty()) {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::add(Flag flag) {
+  flags_.push_back(std::move(flag));
+  return *this;
+}
+
+Cli& Cli::flag(const std::string& name, int* target, const std::string& help) {
+  return add({name, help, std::to_string(*target), false,
+              [target](const std::string& text) {
+                std::int64_t wide = 0;
+                if (!parse_int64(text, &wide)) return false;
+                *target = static_cast<int>(wide);
+                return true;
+              }});
+}
+
+Cli& Cli::flag(const std::string& name, std::int64_t* target,
+               const std::string& help) {
+  return add({name, help, std::to_string(*target), false,
+              [target](const std::string& text) {
+                return parse_int64(text, target);
+              }});
+}
+
+Cli& Cli::flag(const std::string& name, double* target,
+               const std::string& help) {
+  return add({name, help, std::to_string(*target), false,
+              [target](const std::string& text) {
+                return parse_double(text, target);
+              }});
+}
+
+Cli& Cli::flag(const std::string& name, bool* target,
+               const std::string& help) {
+  return add({name, help, *target ? "true" : "false", true,
+              [target](const std::string& text) {
+                return parse_bool(text, target);
+              }});
+}
+
+Cli& Cli::flag(const std::string& name, std::string* target,
+               const std::string& help) {
+  return add({name, help, *target, false,
+              [target](const std::string& text) {
+                *target = text;
+                return true;
+              }});
+}
+
+const Cli::Flag* Cli::find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const Flag& flag : flags_) {
+    out << "  --" << flag.name << (flag.is_bool ? "" : "=<value>") << "\n"
+        << "      " << flag.help << " (default: " << flag.default_repr
+        << ")\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+std::vector<std::string> Cli::parse(int argc, char** argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    const Flag* flag = find(arg);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n\n%s", arg.c_str(),
+                   usage().c_str());
+      std::exit(2);
+    }
+    if (!has_value && !flag->is_bool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      value = argv[++i];
+      has_value = true;
+    }
+    if (!flag->set(value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", arg.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+  }
+  return positional;
+}
+
+}  // namespace psph::util

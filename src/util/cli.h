@@ -1,0 +1,56 @@
+#pragma once
+
+// Tiny declarative command-line flag parser for examples and bench binaries.
+//
+//   util::Cli cli("impossibility_explorer", "Explore protocol complexes");
+//   int n = 3;
+//   cli.flag("n", &n, "number of processes");
+//   cli.parse(argc, argv);   // exits with usage on --help or bad input
+//
+// Flags are accepted as --name=value or --name value. Boolean flags accept
+// bare --name as true.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace psph::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  Cli& flag(const std::string& name, int* target, const std::string& help);
+  Cli& flag(const std::string& name, std::int64_t* target,
+            const std::string& help);
+  Cli& flag(const std::string& name, double* target, const std::string& help);
+  Cli& flag(const std::string& name, bool* target, const std::string& help);
+  Cli& flag(const std::string& name, std::string* target,
+            const std::string& help);
+
+  /// Parses argv. On --help or malformed input prints usage and exits.
+  /// Returns positional (non-flag) arguments.
+  std::vector<std::string> parse(int argc, char** argv);
+
+  /// Renders the usage string (also printed on --help).
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    std::function<bool(const std::string&)> set;
+  };
+
+  Cli& add(Flag flag);
+  const Flag* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace psph::util

@@ -1,0 +1,44 @@
+#pragma once
+
+// Hash combinators shared by the interning arenas and simplex tables.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace psph::util {
+
+/// Mixes a new value into an accumulating hash (boost-style combine with a
+/// 64-bit golden-ratio constant).
+inline std::size_t hash_combine(std::size_t seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Hash of a vector of hashable elements, order-sensitive.
+template <typename T>
+std::size_t hash_range(const std::vector<T>& items, std::size_t seed = 0) {
+  std::hash<T> hasher;
+  for (const T& item : items) seed = hash_combine(seed, hasher(item));
+  return hash_combine(seed, items.size());
+}
+
+/// Hash for std::pair, usable as a map hasher.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return hash_combine(std::hash<A>{}(p.first), std::hash<B>{}(p.second));
+  }
+};
+
+/// Hash for vectors, usable as a map hasher.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    return hash_range(v);
+  }
+};
+
+}  // namespace psph::util

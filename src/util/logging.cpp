@@ -1,0 +1,80 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace psph::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::info)};
+std::mutex g_output_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug:
+      return "DEBUG";
+    case LogLevel::info:
+      return "INFO ";
+    case LogLevel::warn:
+      return "WARN ";
+    case LogLevel::error:
+      return "ERROR";
+    case LogLevel::off:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+namespace detail {
+
+bool level_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogLine::~LogLine() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  // Trim the file path to its basename for compact output.
+  const char* base = file_;
+  for (const char* p = file_; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::fprintf(stderr, "[%8.3f] %s %s:%d: %s\n", elapsed, level_tag(level_),
+               base, line_, stream_.str().c_str());
+}
+
+}  // namespace detail
+
+}  // namespace psph::util

@@ -1,0 +1,80 @@
+#pragma once
+
+// Minimal leveled logging for the pseudosphere library.
+//
+// Usage:
+//   PSPH_LOG(info) << "built complex with " << n << " facets";
+//
+// Levels are filtered at runtime via set_log_level(); the default level is
+// `info`. Output goes to stderr so that bench/example stdout stays clean for
+// machine-readable tables.
+
+#include <sstream>
+#include <string>
+
+namespace psph::util {
+
+enum class LogLevel : int {
+  debug = 0,
+  info = 1,
+  warn = 2,
+  error = 3,
+  off = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off"; throws on anything else.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+// Accumulates one log line and flushes it (with level tag and timestamp) on
+// destruction. Instances are created by the PSPH_LOG macro and live for one
+// full expression only.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// A sink that swallows everything; used when the level is filtered out so the
+// stream expressions on the right of PSPH_LOG are never evaluated.
+struct NullLine {
+  template <typename T>
+  NullLine& operator<<(const T&) {
+    return *this;
+  }
+};
+
+bool level_enabled(LogLevel level);
+
+}  // namespace detail
+
+}  // namespace psph::util
+
+#define PSPH_LOG(level_name)                                                \
+  if (!::psph::util::detail::level_enabled(                                 \
+          ::psph::util::LogLevel::level_name)) {                            \
+  } else                                                                    \
+    ::psph::util::detail::LogLine(::psph::util::LogLevel::level_name,       \
+                                  __FILE__, __LINE__)

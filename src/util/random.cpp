@@ -1,0 +1,90 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+namespace psph::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // All-zero state is the one forbidden state for xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row from any seed, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t value = next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_in: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  if (k < 0 || n < 0 || k > n) {
+    throw std::invalid_argument("sample_without_replacement: bad args");
+  }
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  shuffle(pool);
+  pool.resize(static_cast<std::size_t>(k));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace psph::util

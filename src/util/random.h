@@ -1,0 +1,71 @@
+#pragma once
+
+// Deterministic, seedable PRNG (xoshiro256++) used everywhere randomness is
+// needed: property tests, random adversaries, workload generators. We avoid
+// std::mt19937 so that streams are identical across standard libraries and
+// cheap to split.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace psph::util {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value (UniformRandomBitGenerator interface).
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Throws if bound == 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Throws if lo > hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Returns a new independent generator split off this one's stream.
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Uniformly chosen element; throws on empty input.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty");
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// Uniform random subset of {0,...,n-1} with exactly k elements, sorted.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace psph::util

@@ -1,0 +1,20 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace psph::util {
+
+std::string Timer::pretty() const {
+  char buffer[64];
+  const double s = seconds();
+  if (s < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", s * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", s);
+  }
+  return buffer;
+}
+
+}  // namespace psph::util

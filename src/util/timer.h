@@ -1,0 +1,33 @@
+#pragma once
+
+// Wall-clock stopwatch used by bench binaries for coarse phase timing (the
+// fine-grained measurements use google-benchmark).
+
+#include <chrono>
+#include <string>
+
+namespace psph::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+  /// "12.3ms" / "4.56s" style rendering of the elapsed time.
+  std::string pretty() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace psph::util

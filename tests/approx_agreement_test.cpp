@@ -1,0 +1,106 @@
+// Tests for approximate agreement: the wait-free-solvable counterpoint to
+// the consensus impossibilities — convergence, range containment, the
+// majority-intersection requirement, and adversarial worst cases.
+
+#include <gtest/gtest.h>
+
+#include "protocols/approx_agreement.h"
+#include "util/random.h"
+
+namespace psph::protocols {
+namespace {
+
+class HearEveryone : public sim::AsyncAdversary {
+ public:
+  sim::AsyncRoundPlan plan_round(
+      int, const std::vector<sim::ProcessId>& participants, int) override {
+    sim::AsyncRoundPlan plan;
+    for (sim::ProcessId p : participants) {
+      plan.heard[p] = std::set<sim::ProcessId>(participants.begin(),
+                                               participants.end());
+    }
+    return plan;
+  }
+};
+
+TEST(ApproxAgreement, FullCommunicationConvergesFast) {
+  HearEveryone adversary;
+  const ApproxOutcome outcome =
+      run_approx_agreement({0.0, 4.0, 8.0}, {3, 1, 0.5, 64}, adversary);
+  const ApproxAudit audit = audit_approx(outcome, {0.0, 4.0, 8.0}, 0.5);
+  EXPECT_TRUE(audit.ok()) << audit.failure;
+  // With everyone hearing everyone, one round lands on the exact midpoint.
+  EXPECT_LE(outcome.rounds_used, 2);
+  for (const auto& [pid, value] : outcome.decisions) {
+    (void)pid;
+    EXPECT_NEAR(value, 4.0, 0.51);
+  }
+}
+
+TEST(ApproxAgreement, RoundsNeededFormula) {
+  EXPECT_EQ(approx_rounds_needed(1.0, 1.0), 1);
+  EXPECT_EQ(approx_rounds_needed(8.0, 1.0), 4);
+  EXPECT_THROW(approx_rounds_needed(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ApproxAgreement, RejectsTooManyFailures) {
+  HearEveryone adversary;
+  // f >= (n+1)/2 loses majority intersection; the protocol refuses.
+  EXPECT_THROW(run_approx_agreement({0, 1}, {2, 1, 0.5, 8}, adversary),
+               std::invalid_argument);
+  EXPECT_THROW(run_approx_agreement({0, 1, 2, 3}, {4, 2, 0.5, 8}, adversary),
+               std::invalid_argument);
+}
+
+TEST(ApproxAgreement, AdversarialHeardSetsStillConverge) {
+  // An adversary that always gives each process the minimum heard-set,
+  // biased to keep extremes apart.
+  class Stingy : public sim::AsyncAdversary {
+   public:
+    sim::AsyncRoundPlan plan_round(
+        int, const std::vector<sim::ProcessId>& participants,
+        int min_heard) override {
+      sim::AsyncRoundPlan plan;
+      const int total = static_cast<int>(participants.size());
+      for (int i = 0; i < total; ++i) {
+        std::set<sim::ProcessId> heard{participants[static_cast<std::size_t>(i)]};
+        // Fill with cyclically-next processes up to the minimum size.
+        for (int step = 1; static_cast<int>(heard.size()) < min_heard;
+             ++step) {
+          heard.insert(
+              participants[static_cast<std::size_t>((i + step) % total)]);
+        }
+        plan.heard[participants[static_cast<std::size_t>(i)]] =
+            std::move(heard);
+      }
+      return plan;
+    }
+  } adversary;
+  const ApproxOutcome outcome =
+      run_approx_agreement({0.0, 10.0, 5.0}, {3, 1, 0.25, 64}, adversary);
+  const ApproxAudit audit = audit_approx(outcome, {0.0, 10.0, 5.0}, 0.25);
+  EXPECT_TRUE(audit.ok()) << audit.failure;
+  EXPECT_LT(outcome.rounds_used, 64);
+}
+
+TEST(ApproxAgreement, SoakRandomAdversaries) {
+  EXPECT_TRUE(soak_approx_agreement({3, 1, 0.1, 64}, 81, 200).ok());
+  EXPECT_TRUE(soak_approx_agreement({5, 2, 0.1, 64}, 83, 200).ok());
+  EXPECT_TRUE(soak_approx_agreement({7, 3, 0.5, 64}, 87, 100).ok());
+}
+
+TEST(ApproxAgreement, TightEpsilonStillWithinRange) {
+  util::Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> inputs;
+    for (int p = 0; p < 5; ++p) inputs.push_back(rng.next_double());
+    sim::RandomAsyncAdversary adversary{util::Rng(rng.next())};
+    const ApproxOutcome outcome =
+        run_approx_agreement(inputs, {5, 1, 1e-6, 64}, adversary);
+    const ApproxAudit audit = audit_approx(outcome, inputs, 1e-6);
+    EXPECT_TRUE(audit.ok()) << audit.failure;
+  }
+}
+
+}  // namespace
+}  // namespace psph::protocols

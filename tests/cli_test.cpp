@@ -1,0 +1,94 @@
+// Tests for the CLI flag parser (happy paths; the exit-on-error paths are
+// exercised manually by the example binaries) and the trace renderer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/view.h"
+#include "sim/trace.h"
+#include "util/cli.h"
+
+namespace psph {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return argv;
+}
+
+TEST(Cli, ParsesAllTypes) {
+  util::Cli cli("test", "test");
+  int i = 1;
+  std::int64_t big = 2;
+  double d = 3.0;
+  bool flag = false;
+  std::string s = "default";
+  cli.flag("i", &i, "int");
+  cli.flag("big", &big, "int64");
+  cli.flag("d", &d, "double");
+  cli.flag("flag", &flag, "bool");
+  cli.flag("s", &s, "string");
+
+  std::vector<std::string> args{"prog",         "--i=42",   "--big",
+                                "123456789012", "--d=2.5",  "--flag",
+                                "--s",          "hello",    "positional"};
+  std::vector<char*> argv = argv_of(args);
+  const std::vector<std::string> positional =
+      cli.parse(static_cast<int>(argv.size()), argv.data());
+
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(big, 123456789012LL);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(s, "hello");
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "positional");
+}
+
+TEST(Cli, BoolAcceptsExplicitValues) {
+  util::Cli cli("test", "test");
+  bool a = true, b = false;
+  cli.flag("a", &a, "bool a");
+  cli.flag("b", &b, "bool b");
+  std::vector<std::string> args{"prog", "--a=false", "--b=yes"};
+  std::vector<char*> argv = argv_of(args);
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  util::Cli cli("myprog", "does things");
+  int n = 7;
+  cli.flag("n", &n, "the n value");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("myprog"), std::string::npos);
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+  EXPECT_NE(usage.find("the n value"), std::string::npos);
+}
+
+TEST(Trace, RenderingMentionsStatesAndDecisions) {
+  core::ViewRegistry views;
+  sim::Trace trace;
+  trace.states.push_back({{0, views.intern_input(0, 5)}});
+  trace.crashed_in.push_back({});
+  trace.states.push_back({});
+  trace.crashed_in.push_back({0});
+  sim::DecisionEvent d;
+  d.pid = 0;
+  d.value = 5;
+  d.round = 1;
+  trace.decisions.push_back(d);
+  const std::string text = trace.to_string(views);
+  EXPECT_NE(text.find("P0@r0=5"), std::string::npos);
+  EXPECT_NE(text.find("crashed{P0}"), std::string::npos);
+  EXPECT_NE(text.find("P0 decides 5"), std::string::npos);
+  EXPECT_EQ(trace.rounds(), 1);
+  EXPECT_FALSE(trace.final_state(0).has_value());
+}
+
+}  // namespace
+}  // namespace psph

@@ -1,0 +1,72 @@
+// Tests for the union-find connectivity fast path, cross-checked against
+// the homological β̃₀ on random complexes.
+
+#include <gtest/gtest.h>
+
+#include "topology/components.h"
+#include "topology/homology.h"
+#include "topology/operations.h"
+#include "util/random.h"
+
+namespace psph::topology {
+namespace {
+
+TEST(UnionFind, Basics) {
+  UnionFind dsu;
+  dsu.add(1);
+  dsu.add(2);
+  EXPECT_EQ(dsu.count(), 2u);
+  EXPECT_FALSE(dsu.same(1, 2));
+  dsu.unite(1, 2);
+  EXPECT_EQ(dsu.count(), 1u);
+  EXPECT_TRUE(dsu.same(1, 2));
+  dsu.unite(1, 2);  // idempotent
+  EXPECT_EQ(dsu.count(), 1u);
+  EXPECT_FALSE(dsu.same(1, 99));
+}
+
+TEST(UnionFind, UniteAddsUnknownVertices) {
+  UnionFind dsu;
+  dsu.unite(5, 6);
+  EXPECT_EQ(dsu.count(), 1u);
+  EXPECT_TRUE(dsu.same(5, 6));
+}
+
+TEST(Components, EmptyComplexHasZero) {
+  EXPECT_EQ(connected_component_count(SimplicialComplex()), 0u);
+  EXPECT_FALSE(is_connected(SimplicialComplex()));
+}
+
+TEST(Components, CountsPieces) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1, 2});
+  k.add_facet(Simplex{2, 3});
+  k.add_facet(Simplex{5, 6});
+  k.add_facet(Simplex{7});
+  EXPECT_EQ(connected_component_count(k), 3u);
+  EXPECT_FALSE(is_connected(k));
+  k.add_facet(Simplex{3, 5});
+  k.add_facet(Simplex{6, 7});
+  EXPECT_EQ(connected_component_count(k), 1u);
+  EXPECT_TRUE(is_connected(k));
+}
+
+TEST(Components, MatchesReducedBetti0OnRandomComplexes) {
+  util::Rng rng(808);
+  for (int trial = 0; trial < 40; ++trial) {
+    SimplicialComplex k;
+    const int edges = 1 + static_cast<int>(rng.next_below(12));
+    for (int i = 0; i < edges; ++i) {
+      const auto pair = rng.sample_without_replacement(10, 2);
+      k.add_facet(Simplex{static_cast<VertexId>(pair[0]),
+                          static_cast<VertexId>(pair[1])});
+    }
+    const HomologyReport h = reduced_homology(k, {.max_dim = 0});
+    EXPECT_EQ(connected_component_count(k),
+              static_cast<std::size_t>(h.reduced_betti[0] + 1))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace psph::topology

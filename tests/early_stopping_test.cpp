@@ -1,0 +1,85 @@
+// Tests for early-stopping consensus: failure-free fast path, the clean-
+// round rule under scripted partial failures, the f'+2 bound, exhaustive
+// validation over every execution at small sizes, and random soaks.
+
+#include <gtest/gtest.h>
+
+#include "protocols/early_stopping.h"
+
+namespace psph::protocols {
+namespace {
+
+class NoFailure : public sim::SyncAdversary {
+ public:
+  sim::SyncRoundPlan plan_round(int,
+                                const std::vector<sim::ProcessId>&) override {
+    return {};
+  }
+};
+
+TEST(EarlyStopping, FailureFreeDecidesInTwoRounds) {
+  core::ViewRegistry views;
+  NoFailure adversary;
+  const EarlyStoppingOutcome outcome =
+      run_early_stopping({7, 3, 9}, {3, 2}, adversary, views);
+  ASSERT_EQ(outcome.decisions.size(), 3u);
+  for (const auto& [pid, decision] : outcome.decisions) {
+    (void)pid;
+    EXPECT_EQ(decision.value, 3);
+    EXPECT_EQ(decision.round, 2);
+  }
+  EXPECT_EQ(outcome.max_round_used, 2);
+}
+
+TEST(EarlyStopping, FloodSetWouldUseMoreRounds) {
+  // With f = 3 the fallback is round 4; the clean-round rule cuts the
+  // failure-free case to 2 regardless of f.
+  core::ViewRegistry views;
+  NoFailure adversary;
+  const EarlyStoppingOutcome outcome =
+      run_early_stopping({5, 4, 3, 2, 1}, {5, 3}, adversary, views);
+  EXPECT_EQ(outcome.max_round_used, 2);
+}
+
+TEST(EarlyStopping, PartialCrashDelaysOnlyObservers) {
+  // P2 crashes in round 1 delivering only to P0: P0 sees the failure late
+  // (P2 missing from round 2), both survivors still agree.
+  core::ViewRegistry views;
+  class Split : public sim::SyncAdversary {
+   public:
+    sim::SyncRoundPlan plan_round(
+        int round, const std::vector<sim::ProcessId>&) override {
+      sim::SyncRoundPlan plan;
+      if (round == 1) {
+        plan.crash.push_back(2);
+        plan.delivered_to[2] = {0};
+      }
+      return plan;
+    }
+  } adversary;
+  const EarlyStoppingOutcome outcome =
+      run_early_stopping({5, 6, 1}, {3, 2}, adversary, views);
+  ASSERT_EQ(outcome.decisions.size(), 2u);
+  EXPECT_EQ(outcome.decisions.at(0).value, outcome.decisions.at(1).value);
+}
+
+TEST(EarlyStopping, ExhaustiveSmallInstances) {
+  // Every execution, every failure pattern, every partial delivery —
+  // validity, agreement, and the min(f'+2, f+1) bound must all hold.
+  EXPECT_TRUE(exhaustive_early_check({0, 1, 2}, /*f=*/1, /*cap=*/1).ok());
+  EXPECT_TRUE(exhaustive_early_check({0, 1, 2}, /*f=*/2, /*cap=*/2).ok());
+  EXPECT_TRUE(exhaustive_early_check({3, 1, 2}, /*f=*/2, /*cap=*/1).ok());
+}
+
+TEST(EarlyStopping, ExhaustiveFourProcesses) {
+  EXPECT_TRUE(exhaustive_early_check({0, 1, 2, 3}, /*f=*/1, /*cap=*/1).ok());
+}
+
+TEST(EarlyStopping, Soak) {
+  EXPECT_TRUE(soak_early_stopping({3, 1}, 61, 300).ok());
+  EXPECT_TRUE(soak_early_stopping({4, 2}, 67, 300).ok());
+  EXPECT_TRUE(soak_early_stopping({5, 3}, 71, 200).ok());
+}
+
+}  // namespace
+}  // namespace psph::protocols

@@ -1,0 +1,80 @@
+// Tests for the export/import module: DOT, OFF, and the facet-listing
+// round trip.
+
+#include <gtest/gtest.h>
+
+#include "topology/export.h"
+#include "topology/homology.h"
+#include "topology/operations.h"
+#include "util/random.h"
+
+namespace psph::topology {
+namespace {
+
+TEST(Export, DotContainsVerticesAndEdges) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  const std::string dot = to_dot(k);
+  EXPECT_NE(dot.find("graph complex"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -- v2"), std::string::npos);
+  EXPECT_NE(dot.find("v2 -- v3"), std::string::npos);
+  EXPECT_NE(dot.find("v1;"), std::string::npos);
+}
+
+TEST(Export, DotUsesLabelCallback) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1});
+  const std::string dot = to_dot(k, [](VertexId v) {
+    return "P" + std::to_string(v);
+  });
+  EXPECT_NE(dot.find("label=\"P0\""), std::string::npos);
+}
+
+TEST(Export, OffHeaderAndCounts) {
+  const SimplicialComplex sphere = boundary_complex(Simplex{0, 1, 2, 3});
+  const std::string off = to_off(sphere);
+  EXPECT_EQ(off.rfind("OFF\n", 0), 0u);
+  EXPECT_NE(off.find("4 4 0"), std::string::npos);  // 4 vertices, 4 faces
+}
+
+TEST(Export, FacetListingRoundTrip) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{5, 2, 9});
+  k.add_facet(Simplex{1});
+  k.add_facet(Simplex{2, 3});
+  const SimplicialComplex parsed = from_facet_listing(to_facet_listing(k));
+  EXPECT_EQ(parsed, k);
+}
+
+TEST(Export, ListingIgnoresCommentsAndBlanks) {
+  const SimplicialComplex k = from_facet_listing(
+      "# a triangle\n\n0 1 2\n# and an edge\n2 3  # trailing comment\n");
+  EXPECT_TRUE(k.contains(Simplex{0, 1, 2}));
+  EXPECT_TRUE(k.contains(Simplex{2, 3}));
+  EXPECT_EQ(k.facet_count(), 2u);
+}
+
+TEST(Export, ListingRejectsGarbage) {
+  EXPECT_THROW(from_facet_listing("1 2 x\n"), std::invalid_argument);
+  EXPECT_THROW(from_facet_listing("-3 1\n"), std::invalid_argument);
+}
+
+TEST(Export, RoundTripPreservesHomologyOnRandomComplexes) {
+  util::Rng rng(112233);
+  for (int trial = 0; trial < 10; ++trial) {
+    SimplicialComplex k;
+    for (int i = 0; i < 8; ++i) {
+      const auto tri = rng.sample_without_replacement(7, 3);
+      k.add_facet(Simplex{static_cast<VertexId>(tri[0]),
+                          static_cast<VertexId>(tri[1]),
+                          static_cast<VertexId>(tri[2])});
+    }
+    const SimplicialComplex back = from_facet_listing(to_facet_listing(k));
+    EXPECT_EQ(back, k);
+    EXPECT_EQ(reduced_homology(back, {.max_dim = 2}).reduced_betti,
+              reduced_homology(k, {.max_dim = 2}).reduced_betti);
+  }
+}
+
+}  // namespace
+}  // namespace psph::topology

@@ -1,0 +1,157 @@
+// Tests for the iterated immediate snapshot model [BG97]: facet counts
+// (ordered Bell numbers / chromatic subdivision), contractibility,
+// agreement thresholds, and — the paper's Section 6 remark made literal —
+// the embedding of IIS^r into the wait-free asynchronous complex A^r(S).
+
+#include <gtest/gtest.h>
+
+#include "core/async_complex.h"
+#include "core/decision_search.h"
+#include "core/iis_complex.h"
+#include "core/pseudosphere.h"
+#include "core/theorems.h"
+#include "topology/collapse.h"
+#include "topology/homology.h"
+
+namespace psph::core {
+namespace {
+
+struct Fixture {
+  ViewRegistry views;
+  topology::VertexArena arena;
+};
+
+TEST(OrderedBell, KnownValues) {
+  EXPECT_EQ(ordered_bell(0), 1u);
+  EXPECT_EQ(ordered_bell(1), 1u);
+  EXPECT_EQ(ordered_bell(2), 3u);
+  EXPECT_EQ(ordered_bell(3), 13u);
+  EXPECT_EQ(ordered_bell(4), 75u);
+  EXPECT_EQ(ordered_bell(5), 541u);
+  EXPECT_THROW(ordered_bell(-1), std::invalid_argument);
+}
+
+TEST(IIS, OneRoundFacetCounts) {
+  for (int m1 = 1; m1 <= 4; ++m1) {
+    Fixture fx;
+    const topology::Simplex input = rainbow_input(m1, fx.views, fx.arena);
+    const topology::SimplicialComplex iis =
+        iis_round_complex(input, fx.views, fx.arena);
+    EXPECT_EQ(iis.facet_count(), ordered_bell(m1)) << "m+1=" << m1;
+    EXPECT_TRUE(iis.is_pure());
+    EXPECT_EQ(iis.dimension(), m1 - 1);
+  }
+}
+
+TEST(IIS, OneRoundIsChromaticSubdivisionOfTriangle) {
+  // 3 processes: 13 facets, 3 + 3*2 + ... vertices. The chromatic
+  // subdivision of a triangle has 3 corner + 6 edge-interior + 4 central
+  // vertices = 13 vertices... for the standard chromatic subdivision the
+  // count is 3 (solo views) + 6 (pair views) + 3 (full views) + ... — we
+  // pin the machine-derived count and the contractibility instead.
+  Fixture fx;
+  const topology::Simplex input = rainbow_input(3, fx.views, fx.arena);
+  const topology::SimplicialComplex iis =
+      iis_round_complex(input, fx.views, fx.arena);
+  // Vertices: per process, views are "saw exactly set T" for T containing
+  // the process: 4 per process (|T| in {1,2,2,3} patterns) -> 3*4 = 12? A
+  // process's possible snapshots: {p}, {p,q}, {p,r}, {p,q,r} = 4 each.
+  EXPECT_EQ(iis.count_of_dim(0), 12u);
+  EXPECT_TRUE(topology::collapses_to_point(iis));
+}
+
+TEST(IIS, ContractibleLikeASubdivision) {
+  for (int m1 = 2; m1 <= 4; ++m1) {
+    Fixture fx;
+    const topology::Simplex input = rainbow_input(m1, fx.views, fx.arena);
+    const topology::SimplicialComplex iis =
+        iis_round_complex(input, fx.views, fx.arena);
+    const topology::HomologyReport h =
+        topology::reduced_homology(iis, {.max_dim = m1 - 1});
+    for (long long betti : h.reduced_betti) {
+      EXPECT_EQ(betti, 0) << "m+1=" << m1;
+    }
+  }
+}
+
+TEST(IIS, TwoRoundIterationCounts) {
+  Fixture fx;
+  const topology::Simplex input = rainbow_input(3, fx.views, fx.arena);
+  const topology::SimplicialComplex iis2 =
+      iis_protocol_complex(input, 2, fx.views, fx.arena);
+  EXPECT_EQ(iis2.facet_count(), 13u * 13u);
+  const topology::HomologyReport h =
+      topology::reduced_homology(iis2, {.max_dim = 2});
+  for (long long betti : h.reduced_betti) EXPECT_EQ(betti, 0);
+}
+
+TEST(IIS, EmbedsInWaitFreeAsyncComplex) {
+  // Section 6's remark, literally: with hash-consed views, every IIS
+  // execution *is* an asynchronous execution (heard-sets are the nested
+  // snapshot sets), so IIS^r(S) is a subcomplex of A^r(S) at f = n.
+  for (int r : {1, 2}) {
+    Fixture fx;
+    const topology::Simplex input = rainbow_input(3, fx.views, fx.arena);
+    const topology::SimplicialComplex iis =
+        iis_protocol_complex(input, r, fx.views, fx.arena);
+    const topology::SimplicialComplex async_wf =
+        async_protocol_complex(input, {3, 2, r}, fx.views, fx.arena);
+    EXPECT_TRUE(iis.is_subcomplex_of(async_wf)) << "r=" << r;
+    EXPECT_LT(iis.facet_count(), async_wf.facet_count());
+  }
+}
+
+TEST(IIS, DoesNotEmbedWhenResilienceBounds) {
+  // With f < n the async heard-sets must have size >= n+1-f, but IIS solo
+  // blocks give singleton snapshots — so the embedding needs wait-freedom.
+  Fixture fx;
+  const topology::Simplex input = rainbow_input(3, fx.views, fx.arena);
+  const topology::SimplicialComplex iis =
+      iis_protocol_complex(input, 1, fx.views, fx.arena);
+  const topology::SimplicialComplex async_1res =
+      async_protocol_complex(input, {3, 1, 1}, fx.views, fx.arena);
+  EXPECT_FALSE(iis.is_subcomplex_of(async_1res));
+}
+
+TEST(IIS, WaitFreeKSetAgreementThreshold) {
+  // On IIS^1 the *single* rainbow input suffices for impossibility: the
+  // complex is a genuine subdivision and validity confines each vertex to
+  // its carrier's values, so "2-set agreement decision map" is exactly a
+  // Sperner coloring without a panchromatic facet — which Sperner's lemma
+  // forbids. 3-set agreement is solvable on the same complex.
+  Fixture fx;
+  const topology::Simplex input = rainbow_input(3, fx.views, fx.arena);
+  const topology::SimplicialComplex protocol =
+      iis_protocol_complex(input, 1, fx.views, fx.arena);
+
+  const SearchResult two =
+      search_decision_map(protocol, 2, fx.views, fx.arena);
+  EXPECT_TRUE(two.exhausted);
+  EXPECT_FALSE(two.decidable);
+
+  const SearchResult three =
+      search_decision_map(protocol, 3, fx.views, fx.arena);
+  EXPECT_TRUE(three.decidable);
+}
+
+TEST(IIS, ConsensusImpossibleTwoProcesses) {
+  Fixture fx;
+  const topology::SimplicialComplex inputs =
+      input_complex(2, {0, 1}, fx.views, fx.arena);
+  const topology::SimplicialComplex protocol =
+      iis_protocol_complex_over(inputs, 1, fx.views, fx.arena);
+  const SearchResult result =
+      search_decision_map(protocol, 1, fx.views, fx.arena);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.decidable);
+}
+
+TEST(IIS, RejectsZeroRounds) {
+  Fixture fx;
+  const topology::Simplex input = rainbow_input(2, fx.views, fx.arena);
+  EXPECT_THROW(iis_protocol_complex(input, 0, fx.views, fx.arena),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psph::core

@@ -1,0 +1,137 @@
+// Cross-module property tests: invariants that tie independent engines
+// together (collapse vs homology, components vs Betti, homology GF(p) vs
+// exact SNF, boundary-squared-is-zero, complex algebra laws) over
+// randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include "math/smith.h"
+#include "topology/collapse.h"
+#include "topology/components.h"
+#include "topology/complex.h"
+#include "topology/homology.h"
+#include "topology/operations.h"
+#include "util/random.h"
+
+namespace psph::topology {
+namespace {
+
+SimplicialComplex random_complex(util::Rng& rng, int vertices, int facets,
+                                 int max_dim) {
+  SimplicialComplex k;
+  for (int i = 0; i < facets; ++i) {
+    const int size = 1 + static_cast<int>(rng.next_below(
+                             static_cast<std::uint64_t>(max_dim + 1)));
+    const auto ids = rng.sample_without_replacement(vertices, size);
+    std::vector<VertexId> vs;
+    for (int id : ids) vs.push_back(static_cast<VertexId>(id));
+    k.add_facet(Simplex(std::move(vs)));
+  }
+  return k;
+}
+
+TEST(Property, CollapsibleImpliesAcyclic) {
+  // Greedy collapse to a point certifies contractibility, which implies
+  // vanishing reduced homology — the two engines must agree.
+  util::Rng rng(7001);
+  int collapsed = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const SimplicialComplex k = random_complex(rng, 7, 6, 3);
+    if (k.empty()) continue;
+    if (!collapses_to_point(k)) continue;
+    ++collapsed;
+    const HomologyReport h = reduced_homology(k, {.max_dim = 3});
+    for (long long betti : h.reduced_betti) {
+      EXPECT_EQ(betti, 0) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(collapsed, 5);  // the sweep must actually exercise the claim
+}
+
+TEST(Property, BoundaryComposedWithBoundaryIsZero) {
+  // ∂_{d} ∘ ∂_{d+1} = 0, the defining identity of a chain complex.
+  util::Rng rng(7003);
+  for (int trial = 0; trial < 15; ++trial) {
+    const SimplicialComplex k = random_complex(rng, 8, 8, 3);
+    if (k.dimension() < 1) continue;
+    for (int d = 1; d <= k.dimension(); ++d) {
+      const math::SparseMatrix lower = boundary_matrix(k, d - 1);
+      const math::SparseMatrix upper = boundary_matrix(k, d);
+      // Multiply lower * upper entry-wise (small matrices) and confirm the
+      // product vanishes.
+      for (std::size_t c = 0; c < upper.cols(); ++c) {
+        for (std::size_t r = 0; r < lower.rows(); ++r) {
+          std::int64_t sum = 0;
+          for (std::size_t mid = 0; mid < upper.rows(); ++mid) {
+            sum += lower.get(r, mid) * upper.get(mid, c);
+          }
+          EXPECT_EQ(sum, 0) << "d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(Property, GfpAndExactHomologyAgreeWithoutTorsion) {
+  util::Rng rng(7005);
+  for (int trial = 0; trial < 15; ++trial) {
+    const SimplicialComplex k = random_complex(rng, 6, 6, 2);
+    if (k.empty()) continue;
+    const HomologyReport fast = reduced_homology(k, {.max_dim = 2});
+    const HomologyReport exact =
+        reduced_homology(k, {.max_dim = 2, .exact = true});
+    EXPECT_EQ(fast.reduced_betti, exact.reduced_betti) << "trial " << trial;
+  }
+}
+
+TEST(Property, UnionIsAssociativeAndCommutative) {
+  util::Rng rng(7007);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SimplicialComplex a = random_complex(rng, 6, 4, 2);
+    const SimplicialComplex b = random_complex(rng, 6, 4, 2);
+    const SimplicialComplex c = random_complex(rng, 6, 4, 2);
+    EXPECT_EQ(union_of(a, b), union_of(b, a));
+    EXPECT_EQ(union_of(union_of(a, b), c), union_of(a, union_of(b, c)));
+  }
+}
+
+TEST(Property, IntersectionDistributesOverSubcomplexes) {
+  util::Rng rng(7011);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SimplicialComplex a = random_complex(rng, 6, 5, 2);
+    const SimplicialComplex b = random_complex(rng, 6, 5, 2);
+    // (A ∩ B) ⊆ A, and A ∩ A = A.
+    EXPECT_TRUE(intersection_of(a, b).is_subcomplex_of(a));
+    EXPECT_EQ(intersection_of(a, a), a);
+    // Monotonicity: A ∩ B ⊆ A ∪ B.
+    EXPECT_TRUE(intersection_of(a, b).is_subcomplex_of(union_of(a, b)));
+  }
+}
+
+TEST(Property, SkeletonIdempotentAndMonotone) {
+  util::Rng rng(7013);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SimplicialComplex k = random_complex(rng, 7, 6, 3);
+    for (int d = 0; d <= 3; ++d) {
+      const SimplicialComplex skel = skeleton(k, d);
+      EXPECT_LE(skel.dimension(), d);
+      EXPECT_EQ(skeleton(skel, d), skel);
+      EXPECT_TRUE(skel.is_subcomplex_of(k));
+    }
+  }
+}
+
+TEST(Property, EulerMatchesComponentsOnGraphs) {
+  // For a 1-dimensional complex, χ = #components - #independent cycles;
+  // in particular χ <= #components.
+  util::Rng rng(7017);
+  for (int trial = 0; trial < 30; ++trial) {
+    const SimplicialComplex k = random_complex(rng, 8, 7, 1);
+    if (k.empty()) continue;
+    EXPECT_LE(k.euler_characteristic(),
+              static_cast<long long>(connected_component_count(k)));
+  }
+}
+
+}  // namespace
+}  // namespace psph::topology

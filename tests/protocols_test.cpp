@@ -1,0 +1,209 @@
+// Tests for the matching-upper-bound protocols: FloodSet (sync, Theorem 18),
+// asynchronous (f+1)-set agreement (Corollary 13's frontier), and the
+// timeout-based semi-synchronous FloodMin (Corollary 22's shape).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "protocols/async_kset.h"
+#include "protocols/floodset.h"
+#include "protocols/semisync_kset.h"
+#include "sim/semisync_executor.h"
+#include "util/random.h"
+
+namespace psph::protocols {
+namespace {
+
+// ------------------------------------------------------------ floodset ----
+
+TEST(FloodSet, RoundsFormula) {
+  EXPECT_EQ(floodset_rounds({4, 1, 1}), 2);
+  EXPECT_EQ(floodset_rounds({4, 2, 1}), 3);
+  EXPECT_EQ(floodset_rounds({4, 2, 2}), 2);
+  EXPECT_EQ(floodset_rounds({7, 5, 2}), 3);
+}
+
+TEST(FloodSet, FailureFreeDecidesGlobalMin) {
+  core::ViewRegistry views;
+  class NoFailure : public sim::SyncAdversary {
+    sim::SyncRoundPlan plan_round(int,
+                                  const std::vector<sim::ProcessId>&) override {
+      return {};
+    }
+  } adversary;
+  const FloodSetOutcome outcome =
+      run_floodset({5, 3, 9}, {3, 1, 1}, adversary, views);
+  ASSERT_EQ(outcome.decisions.size(), 3u);
+  for (const auto& [pid, value] : outcome.decisions) {
+    (void)pid;
+    EXPECT_EQ(value, 3);
+  }
+  EXPECT_EQ(outcome.rounds_used, 2);
+}
+
+TEST(FloodSet, SoakConsensus) {
+  // k = 1 (consensus) with f = 1 and f = 2.
+  EXPECT_TRUE(soak_floodset({3, 1, 1}, 11, 300).ok());
+  EXPECT_TRUE(soak_floodset({4, 2, 1}, 13, 300).ok());
+}
+
+TEST(FloodSet, SoakKSet) {
+  EXPECT_TRUE(soak_floodset({4, 2, 2}, 17, 300).ok());
+  EXPECT_TRUE(soak_floodset({5, 3, 2}, 19, 200).ok());
+  EXPECT_TRUE(soak_floodset({5, 4, 2}, 23, 200).ok());
+}
+
+TEST(FloodSet, OneRoundTooFewCanViolateConsensus) {
+  // With f = 1 and only 1 round (below the bound), a crafted partial
+  // delivery splits the minimum: P2 holds the min and delivers only to P0.
+  core::ViewRegistry views;
+  class Split : public sim::SyncAdversary {
+   public:
+    sim::SyncRoundPlan plan_round(
+        int round, const std::vector<sim::ProcessId>&) override {
+      sim::SyncRoundPlan plan;
+      if (round == 1) {
+        plan.crash.push_back(2);
+        plan.delivered_to[2] = {0};
+      }
+      return plan;
+    }
+  } adversary;
+  // Run the *protocol machinery* with a forced single round by setting
+  // f = 0 in the round formula but keeping the adversary's crash:
+  sim::SyncRunConfig run{3, 1};
+  const sim::Trace trace = sim::run_sync({5, 6, 1}, run, adversary, views);
+  std::set<std::int64_t> decided;
+  for (const auto& [pid, state] : trace.states.back()) {
+    (void)pid;
+    decided.insert(views.min_input_seen(state));
+  }
+  EXPECT_EQ(decided, (std::set<std::int64_t>{1, 5}));  // consensus broken
+}
+
+// ------------------------------------------------------------ async -------
+
+TEST(AsyncKSet, SoakFPlusOne) {
+  EXPECT_TRUE(soak_async_kset({3, 1, 1}, 29, 300).ok());
+  EXPECT_TRUE(soak_async_kset({4, 2, 1}, 31, 300).ok());
+  EXPECT_TRUE(soak_async_kset({5, 2, 1}, 37, 200).ok());
+}
+
+TEST(AsyncKSet, AdversaryCanForceExactlyFPlusOneValues) {
+  // n+1 = 3, f = 2: chained heard-sets yield 3 distinct minima — showing
+  // k = f + 1 is tight for this protocol.
+  core::ViewRegistry views;
+  class Chain : public sim::AsyncAdversary {
+   public:
+    sim::AsyncRoundPlan plan_round(int, const std::vector<sim::ProcessId>&,
+                                   int) override {
+      sim::AsyncRoundPlan plan;
+      plan.heard[0] = {0};        // P0 hears only itself
+      plan.heard[1] = {0, 1};     // P1 hears P0 too
+      plan.heard[2] = {1, 2};     // P2 hears P1 (not P0)
+      return plan;
+    }
+  } adversary;
+  const AsyncKSetOutcome outcome =
+      run_async_kset({2, 1, 0}, {3, 2, 1}, adversary, views);
+  std::set<std::int64_t> decided;
+  for (const auto& [pid, value] : outcome.decisions) {
+    (void)pid;
+    decided.insert(value);
+  }
+  EXPECT_EQ(decided.size(), 3u);  // = f + 1
+  const AsyncAudit result = audit(outcome, {2, 1, 0}, 3);
+  EXPECT_TRUE(result.ok());
+}
+
+// --------------------------------------------------------- semi-sync ------
+
+TEST(SemiSyncKSet, ScheduleIsSound) {
+  // N_j * c1 >= N_{j-1} * c2 + d for all j.
+  SemiSyncKSetConfig config;
+  config.timing = {.c1 = 2, .c2 = 5, .d = 11, .num_processes = 4};
+  config.max_failures = 3;
+  config.k = 1;
+  const std::vector<sim::Time> schedule = round_step_schedule(config);
+  ASSERT_EQ(schedule.size(), 4u);  // floor(3/1) + 1 rounds
+  sim::Time prev = 0;
+  for (sim::Time n : schedule) {
+    EXPECT_GE(n * config.timing.c1, prev * config.timing.c2 + config.timing.d);
+    prev = n;
+  }
+}
+
+TEST(SemiSyncKSet, FailureFreeConsensusOnMin) {
+  SemiSyncKSetConfig config;
+  config.timing = {.c1 = 1, .c2 = 2, .d = 3, .num_processes = 3};
+  config.max_failures = 1;
+  config.k = 1;
+  sim::ScriptedSemiSyncAdversary adversary(/*step=*/1, /*delay=*/3);
+  const sim::SemiSyncResult result = sim::run_semisync(
+      {9, 4, 6}, config.timing, make_semisync_kset(config), adversary);
+  const SemiSyncAudit auditres = audit_semisync(result, {9, 4, 6}, 1);
+  EXPECT_TRUE(auditres.ok()) << auditres.failure;
+  for (const auto& [pid, decision] : result.decisions) {
+    (void)pid;
+    EXPECT_EQ(decision.value, 4);
+  }
+}
+
+TEST(SemiSyncKSet, DecisionTimeRespectsLowerBoundShape) {
+  // Corollary 22: any wait-free protocol needs >= floor(f/k) d + C d.
+  // Check our protocol's decision time exceeds that bound for a spread of
+  // (f, k, C) under the slowest-execution adversary.
+  for (const auto& [f, k, c2] :
+       std::vector<std::array<int, 3>>{{1, 1, 2}, {2, 1, 3}, {2, 2, 2},
+                                       {3, 1, 2}}) {
+    SemiSyncKSetConfig config;
+    config.timing = {.c1 = 1,
+                     .c2 = static_cast<sim::Time>(c2),
+                     .d = 6,
+                     .num_processes = f + 2};
+    config.max_failures = f;
+    config.k = k;
+    sim::ScriptedSemiSyncAdversary slowest(/*step=*/config.timing.c2,
+                                           /*delay=*/config.timing.d);
+    std::vector<std::int64_t> inputs;
+    for (int p = 0; p < config.timing.num_processes; ++p) inputs.push_back(p);
+    const sim::SemiSyncResult result = sim::run_semisync(
+        inputs, config.timing, make_semisync_kset(config), slowest);
+    const SemiSyncAudit auditres = audit_semisync(result, inputs, k);
+    ASSERT_TRUE(auditres.ok()) << auditres.failure;
+    const double c_ratio = static_cast<double>(config.timing.c2) /
+                           static_cast<double>(config.timing.c1);
+    const double bound =
+        (f / k) * static_cast<double>(config.timing.d) +
+        c_ratio * static_cast<double>(config.timing.d);
+    EXPECT_GE(static_cast<double>(auditres.last_decision_time), bound)
+        << "f=" << f << " k=" << k << " C=" << c_ratio;
+  }
+}
+
+TEST(SemiSyncKSet, SoakWithCrashes) {
+  SemiSyncKSetConfig config;
+  config.timing = {.c1 = 1, .c2 = 2, .d = 4, .num_processes = 4};
+  config.max_failures = 2;
+  config.k = 2;
+  const SemiSyncAudit result = soak_semisync_kset(config, 41, 150);
+  EXPECT_TRUE(result.ok()) << result.failure;
+}
+
+TEST(SemiSyncKSet, SoakConsensusManyConfigs) {
+  for (const auto& [n1, f] :
+       std::vector<std::array<int, 2>>{{3, 1}, {4, 1}, {4, 2}}) {
+    SemiSyncKSetConfig config;
+    config.timing = {.c1 = 1, .c2 = 3, .d = 5, .num_processes = n1};
+    config.max_failures = f;
+    config.k = 1;
+    const SemiSyncAudit result =
+        soak_semisync_kset(config, 1000 + n1 * 10 + f, 100);
+    EXPECT_TRUE(result.ok()) << "n+1=" << n1 << " f=" << f << ": "
+                             << result.failure;
+  }
+}
+
+}  // namespace
+}  // namespace psph::protocols

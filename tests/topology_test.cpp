@@ -1,0 +1,577 @@
+// Tests for the simplicial topology layer: simplex algebra, facet-based
+// complexes, operations, boundary/homology on spaces with known homology
+// (spheres, torus, projective plane), collapse certificates, barycentric
+// subdivision, isomorphism machinery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "topology/arena.h"
+#include "topology/collapse.h"
+#include "topology/complex.h"
+#include "topology/homology.h"
+#include "topology/isomorphism.h"
+#include "topology/operations.h"
+#include "topology/simplex.h"
+#include "topology/subdivision.h"
+#include "util/random.h"
+
+namespace psph::topology {
+namespace {
+
+// ---------------------------------------------------------------- simplex --
+
+TEST(Simplex, SortsAndValidates) {
+  const Simplex s{3, 1, 2};
+  EXPECT_EQ(s.vertices(), (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_EQ(s.dimension(), 2);
+  EXPECT_THROW((Simplex{1, 1}), std::invalid_argument);
+}
+
+TEST(Simplex, EmptySimplexDimension) {
+  EXPECT_EQ(Simplex().dimension(), -1);
+  EXPECT_TRUE(Simplex().empty());
+}
+
+TEST(Simplex, FaceRelation) {
+  const Simplex big{1, 2, 3, 4};
+  EXPECT_TRUE((Simplex{2, 4}).is_face_of(big));
+  EXPECT_TRUE(big.is_face_of(big));
+  EXPECT_TRUE(Simplex().is_face_of(big));
+  EXPECT_FALSE((Simplex{2, 5}).is_face_of(big));
+}
+
+TEST(Simplex, FaceWithoutIndex) {
+  const Simplex s{1, 2, 3};
+  EXPECT_EQ(s.face_without_index(0), (Simplex{2, 3}));
+  EXPECT_EQ(s.face_without_index(2), (Simplex{1, 2}));
+  EXPECT_THROW(s.face_without_index(3), std::out_of_range);
+}
+
+TEST(Simplex, WithoutVertex) {
+  const Simplex s{1, 2, 3};
+  EXPECT_EQ(s.without_vertex(2), (Simplex{1, 3}));
+  EXPECT_EQ(s.without_vertex(9), s);
+}
+
+TEST(Simplex, IntersectAndUnite) {
+  const Simplex a{1, 2, 3};
+  const Simplex b{2, 3, 4};
+  EXPECT_EQ(a.intersect(b), (Simplex{2, 3}));
+  EXPECT_EQ(a.unite(b), (Simplex{1, 2, 3, 4}));
+  EXPECT_TRUE(a.intersect(Simplex{7}).empty());
+}
+
+TEST(Simplex, FacesOfDim) {
+  const Simplex s{1, 2, 3};
+  EXPECT_EQ(s.faces_of_dim(0).size(), 3u);
+  EXPECT_EQ(s.faces_of_dim(1).size(), 3u);
+  EXPECT_EQ(s.faces_of_dim(2).size(), 1u);
+  EXPECT_TRUE(s.faces_of_dim(3).empty());
+  EXPECT_TRUE(s.faces_of_dim(-1).empty());
+  EXPECT_EQ(s.all_faces().size(), 7u);
+}
+
+// ---------------------------------------------------------------- complex --
+
+TEST(Complex, AddFacetMaintainsMaximality) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2});
+  k.add_facet(Simplex{1, 2, 3});  // dominates the edge
+  EXPECT_EQ(k.facet_count(), 1u);
+  k.add_facet(Simplex{2, 3});  // already a face
+  EXPECT_EQ(k.facet_count(), 1u);
+  k.add_facet(Simplex{4});
+  EXPECT_EQ(k.facet_count(), 2u);
+}
+
+TEST(Complex, AddEmptyFacetThrows) {
+  SimplicialComplex k;
+  EXPECT_THROW(k.add_facet(Simplex()), std::invalid_argument);
+}
+
+TEST(Complex, ContainsFaces) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  EXPECT_TRUE(k.contains(Simplex{1, 3}));
+  EXPECT_TRUE(k.contains(Simplex{2}));
+  EXPECT_TRUE(k.contains(Simplex()));
+  EXPECT_FALSE(k.contains(Simplex{4}));
+  EXPECT_FALSE(k.contains(Simplex{1, 4}));
+  EXPECT_FALSE(SimplicialComplex().contains(Simplex()));
+}
+
+TEST(Complex, SimplicesOfDimDeduplicates) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  k.add_facet(Simplex{2, 3, 4});
+  // Edge {2,3} is shared: 5 distinct edges total.
+  EXPECT_EQ(k.count_of_dim(1), 5u);
+  EXPECT_EQ(k.count_of_dim(0), 4u);
+  EXPECT_EQ(k.count_of_dim(2), 2u);
+  EXPECT_EQ(k.count_of_dim(3), 0u);
+}
+
+TEST(Complex, FVectorAndEuler) {
+  // Two triangles sharing an edge: χ = 4 - 5 + 2 = 1 (a disk).
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  k.add_facet(Simplex{2, 3, 4});
+  EXPECT_EQ(k.f_vector(), (std::vector<std::size_t>{4, 5, 2}));
+  EXPECT_EQ(k.euler_characteristic(), 1);
+}
+
+TEST(Complex, EqualityAndSubcomplex) {
+  SimplicialComplex a, b;
+  a.add_facet(Simplex{1, 2});
+  a.add_facet(Simplex{3});
+  b.add_facet(Simplex{3});
+  b.add_facet(Simplex{1, 2});
+  EXPECT_EQ(a, b);
+  SimplicialComplex c;
+  c.add_facet(Simplex{1, 2});
+  EXPECT_TRUE(c.is_subcomplex_of(a));
+  EXPECT_FALSE(a.is_subcomplex_of(c));
+}
+
+TEST(Complex, IsPure) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  EXPECT_TRUE(k.is_pure());
+  k.add_facet(Simplex{4, 5});
+  EXPECT_FALSE(k.is_pure());
+}
+
+TEST(Complex, ApplyVertexMap) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  const SimplicialComplex image = k.apply_vertex_map(
+      [](VertexId v) { return v + 10; });
+  EXPECT_TRUE(image.contains(Simplex{11, 12, 13}));
+  // A collapsing map must be requested explicitly.
+  EXPECT_THROW(k.apply_vertex_map([](VertexId) { return VertexId{7}; }),
+               std::invalid_argument);
+  const SimplicialComplex collapsed = k.apply_vertex_map(
+      [](VertexId) { return VertexId{7}; }, /*allow_collapse=*/true);
+  EXPECT_EQ(collapsed.dimension(), 0);
+}
+
+// ------------------------------------------------------------- operations --
+
+TEST(Operations, UnionAndIntersection) {
+  SimplicialComplex a, b;
+  a.add_facet(Simplex{1, 2, 3});
+  b.add_facet(Simplex{2, 3, 4});
+  const SimplicialComplex u = union_of(a, b);
+  EXPECT_EQ(u.facet_count(), 2u);
+  const SimplicialComplex meet = intersection_of(a, b);
+  EXPECT_EQ(meet.facets(), (std::vector<Simplex>{Simplex{2, 3}}));
+}
+
+TEST(Operations, IntersectionEmptyWhenDisjoint) {
+  SimplicialComplex a, b;
+  a.add_facet(Simplex{1, 2});
+  b.add_facet(Simplex{3, 4});
+  EXPECT_TRUE(intersection_of(a, b).empty());
+}
+
+TEST(Operations, StarAndLink) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  k.add_facet(Simplex{3, 4});
+  k.add_facet(Simplex{5});
+  const SimplicialComplex st = star(k, Simplex{3});
+  EXPECT_EQ(st.facet_count(), 2u);
+  const SimplicialComplex lk = link(k, Simplex{3});
+  EXPECT_TRUE(lk.contains(Simplex{1, 2}));
+  EXPECT_TRUE(lk.contains(Simplex{4}));
+  EXPECT_FALSE(lk.contains(Simplex{3}));
+}
+
+TEST(Operations, Skeleton) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3, 4});
+  const SimplicialComplex skel = skeleton(k, 1);
+  EXPECT_EQ(skel.dimension(), 1);
+  EXPECT_EQ(skel.facet_count(), 6u);  // C(4,2) edges
+  EXPECT_TRUE(skeleton(k, -1).empty());
+}
+
+TEST(Operations, JoinOfSpheres) {
+  // S^0 * S^0 = S^1 (a square). Homology check below confirms.
+  SimplicialComplex s0a, s0b;
+  s0a.add_facet(Simplex{1});
+  s0a.add_facet(Simplex{2});
+  s0b.add_facet(Simplex{3});
+  s0b.add_facet(Simplex{4});
+  const SimplicialComplex square = join(s0a, s0b);
+  EXPECT_EQ(square.facet_count(), 4u);
+  const HomologyReport h = reduced_homology(square, {.max_dim = 1});
+  EXPECT_EQ(h.reduced_betti[0], 0);
+  EXPECT_EQ(h.reduced_betti[1], 1);
+}
+
+TEST(Operations, JoinRejectsSharedVertices) {
+  SimplicialComplex a, b;
+  a.add_facet(Simplex{1});
+  b.add_facet(Simplex{1});
+  EXPECT_THROW(join(a, b), std::invalid_argument);
+}
+
+TEST(Operations, InducedSubcomplex) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  const SimplicialComplex sub = induced(k, {1, 3});
+  EXPECT_EQ(sub.facets(), (std::vector<Simplex>{Simplex{1, 3}}));
+}
+
+TEST(Operations, BoundaryComplexIsSphere) {
+  // ∂Δ^3 is a 2-sphere.
+  const SimplicialComplex sphere = boundary_complex(Simplex{0, 1, 2, 3});
+  EXPECT_EQ(sphere.facet_count(), 4u);
+  const HomologyReport h = reduced_homology(sphere, {.max_dim = 2});
+  EXPECT_EQ(h.reduced_betti[0], 0);
+  EXPECT_EQ(h.reduced_betti[1], 0);
+  EXPECT_EQ(h.reduced_betti[2], 1);
+}
+
+// --------------------------------------------------------------- homology --
+
+SimplicialComplex solid_simplex(int dim) {
+  std::vector<VertexId> vertices;
+  for (int i = 0; i <= dim; ++i) vertices.push_back(static_cast<VertexId>(i));
+  SimplicialComplex k;
+  k.add_facet(Simplex(vertices));
+  return k;
+}
+
+TEST(Homology, PointIsAcyclic) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0});
+  const HomologyReport h = reduced_homology(k, {.max_dim = 2});
+  EXPECT_TRUE(h.nonempty);
+  for (long long betti : h.reduced_betti) EXPECT_EQ(betti, 0);
+}
+
+TEST(Homology, EmptyComplex) {
+  const HomologyReport h = reduced_homology(SimplicialComplex(), {.max_dim = 1});
+  EXPECT_FALSE(h.nonempty);
+}
+
+TEST(Homology, TwoPointsHaveReducedBetti0) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0});
+  k.add_facet(Simplex{1});
+  const HomologyReport h = reduced_homology(k, {.max_dim = 1});
+  EXPECT_EQ(h.reduced_betti[0], 1);  // two components → β̃₀ = 1
+}
+
+TEST(Homology, SolidSimplexesAreAcyclic) {
+  for (int dim = 0; dim <= 4; ++dim) {
+    const HomologyReport h =
+        reduced_homology(solid_simplex(dim), {.max_dim = 4});
+    for (long long betti : h.reduced_betti) {
+      EXPECT_EQ(betti, 0) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(Homology, SpheresHaveTopClass) {
+  for (int dim = 1; dim <= 4; ++dim) {
+    std::vector<VertexId> vertices;
+    for (int i = 0; i <= dim + 1; ++i) {
+      vertices.push_back(static_cast<VertexId>(i));
+    }
+    const SimplicialComplex sphere = boundary_complex(Simplex(vertices));
+    const HomologyReport h = reduced_homology(sphere, {.max_dim = dim});
+    for (int d = 0; d < dim; ++d) {
+      EXPECT_EQ(h.reduced_betti[static_cast<std::size_t>(d)], 0)
+          << "S^" << dim << " dim " << d;
+    }
+    EXPECT_EQ(h.reduced_betti[static_cast<std::size_t>(dim)], 1)
+        << "S^" << dim;
+  }
+}
+
+TEST(Homology, CircleHasOneLoop) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1});
+  k.add_facet(Simplex{1, 2});
+  k.add_facet(Simplex{0, 2});
+  const HomologyReport h = reduced_homology(k, {.max_dim = 1});
+  EXPECT_EQ(h.reduced_betti[0], 0);
+  EXPECT_EQ(h.reduced_betti[1], 1);
+}
+
+TEST(Homology, WedgeOfTwoCircles) {
+  SimplicialComplex k;
+  // Two triangles sharing exactly the vertex 0.
+  k.add_facet(Simplex{0, 1});
+  k.add_facet(Simplex{1, 2});
+  k.add_facet(Simplex{0, 2});
+  k.add_facet(Simplex{0, 3});
+  k.add_facet(Simplex{3, 4});
+  k.add_facet(Simplex{0, 4});
+  const HomologyReport h = reduced_homology(k, {.max_dim = 1});
+  EXPECT_EQ(h.reduced_betti[0], 0);
+  EXPECT_EQ(h.reduced_betti[1], 2);
+}
+
+TEST(Homology, TorusBettiNumbers) {
+  // Möbius' 7-vertex torus triangulation: faces {i, i+1, i+3} and
+  // {i, i+2, i+3} mod 7. All 21 edges of K7 appear in exactly two faces and
+  // χ = 7 - 21 + 14 = 0.
+  SimplicialComplex k;
+  for (VertexId i = 0; i < 7; ++i) {
+    k.add_facet(Simplex{i, (i + 1) % 7, (i + 3) % 7});
+    k.add_facet(Simplex{i, (i + 2) % 7, (i + 3) % 7});
+  }
+  ASSERT_EQ(k.facet_count(), 14u);
+  ASSERT_EQ(k.count_of_dim(1), 21u);
+  EXPECT_EQ(k.euler_characteristic(), 0);
+  const HomologyReport h =
+      reduced_homology(k, {.max_dim = 2, .exact = true});
+  EXPECT_EQ(h.reduced_betti[0], 0);
+  EXPECT_EQ(h.reduced_betti[1], 2);
+  EXPECT_EQ(h.reduced_betti[2], 1);
+  // The torus is orientable: no torsion anywhere.
+  for (const auto& dim_torsion : h.torsion) EXPECT_TRUE(dim_torsion.empty());
+}
+
+TEST(Homology, ProjectivePlaneTorsion) {
+  // The minimal 6-vertex triangulation of RP² (10 faces, all 15 edges of
+  // K6). Rational Betti numbers vanish; the exact path must report the Z/2
+  // in H₁.
+  const int faces[10][3] = {{1, 2, 4}, {1, 2, 5}, {1, 3, 4}, {1, 3, 6},
+                            {1, 5, 6}, {2, 3, 5}, {2, 3, 6}, {2, 4, 6},
+                            {3, 4, 5}, {4, 5, 6}};
+  SimplicialComplex k;
+  for (const auto& f : faces) {
+    k.add_facet(Simplex{static_cast<VertexId>(f[0]),
+                        static_cast<VertexId>(f[1]),
+                        static_cast<VertexId>(f[2])});
+  }
+  ASSERT_EQ(k.count_of_dim(1), 15u);
+  EXPECT_EQ(k.euler_characteristic(), 1);
+  const HomologyReport h =
+      reduced_homology(k, {.max_dim = 2, .exact = true});
+  EXPECT_EQ(h.reduced_betti[0], 0);
+  EXPECT_EQ(h.reduced_betti[1], 0);
+  EXPECT_EQ(h.reduced_betti[2], 0);
+  ASSERT_EQ(h.torsion[1].size(), 1u);
+  EXPECT_EQ(h.torsion[1][0], "2");
+  EXPECT_TRUE(h.torsion[2].empty());
+}
+
+// ------------------------------------------------------------- collapse --
+
+TEST(Collapse, SolidSimplexCollapses) {
+  for (int dim = 1; dim <= 4; ++dim) {
+    EXPECT_TRUE(collapses_to_point(solid_simplex(dim))) << dim;
+  }
+}
+
+TEST(Collapse, SingleVertexIsAlreadyPoint) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0});
+  const CollapseResult r = collapse_greedily(k);
+  EXPECT_TRUE(r.collapsed_to_point);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(Collapse, SphereDoesNotCollapse) {
+  const SimplicialComplex sphere = boundary_complex(Simplex{0, 1, 2, 3});
+  EXPECT_FALSE(collapses_to_point(sphere));
+}
+
+TEST(Collapse, TreeCollapses) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1});
+  k.add_facet(Simplex{1, 2});
+  k.add_facet(Simplex{1, 3});
+  k.add_facet(Simplex{3, 4});
+  EXPECT_TRUE(collapses_to_point(k));
+}
+
+TEST(Collapse, CircleDoesNotCollapse) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1});
+  k.add_facet(Simplex{1, 2});
+  k.add_facet(Simplex{0, 2});
+  const CollapseResult r = collapse_greedily(k);
+  EXPECT_FALSE(r.collapsed_to_point);
+  EXPECT_EQ(r.remaining_faces, 6u);  // nothing is free on a circle
+}
+
+// ------------------------------------------------------------ subdivision --
+
+TEST(Subdivision, TriangleCounts) {
+  // sd(Δ²) has 7 vertices (3 + 3 + 1) and 6 triangles.
+  const Subdivision sd = barycentric_subdivision(solid_simplex(2));
+  EXPECT_EQ(sd.complex.count_of_dim(0), 7u);
+  EXPECT_EQ(sd.complex.facet_count(), 6u);
+  EXPECT_EQ(sd.carriers.size(), 7u);
+}
+
+TEST(Subdivision, PreservesHomologyOfSphere) {
+  const SimplicialComplex sphere = boundary_complex(Simplex{0, 1, 2, 3});
+  const Subdivision sd = barycentric_subdivision(sphere);
+  const HomologyReport h = reduced_homology(sd.complex, {.max_dim = 2});
+  EXPECT_EQ(h.reduced_betti[0], 0);
+  EXPECT_EQ(h.reduced_betti[1], 0);
+  EXPECT_EQ(h.reduced_betti[2], 1);
+}
+
+TEST(Subdivision, PreservesEulerCharacteristic) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1, 2});
+  k.add_facet(Simplex{2, 3});
+  const Subdivision sd = barycentric_subdivision(k);
+  EXPECT_EQ(sd.complex.euler_characteristic(), k.euler_characteristic());
+}
+
+TEST(Subdivision, IteratedGrowth) {
+  const Subdivision sd2 =
+      iterated_barycentric_subdivision(solid_simplex(2), 2);
+  // sd² of a triangle: each of the 6 triangles subdivides into 6.
+  EXPECT_EQ(sd2.complex.facet_count(), 36u);
+}
+
+// ----------------------------------------------------------- isomorphism --
+
+TEST(Isomorphism, IdentityIsIsomorphism) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1, 2});
+  VertexMap identity{{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_TRUE(is_isomorphism(k, k, identity));
+}
+
+TEST(Isomorphism, RelabelingIsIsomorphism) {
+  SimplicialComplex a, b;
+  a.add_facet(Simplex{0, 1});
+  a.add_facet(Simplex{1, 2});
+  b.add_facet(Simplex{10, 11});
+  b.add_facet(Simplex{11, 12});
+  VertexMap map{{0, 10}, {1, 11}, {2, 12}};
+  EXPECT_TRUE(is_isomorphism(a, b, map));
+  VertexMap wrong{{0, 11}, {1, 10}, {2, 12}};
+  EXPECT_FALSE(is_isomorphism(a, b, wrong));
+}
+
+TEST(Isomorphism, FingerprintDistinguishes) {
+  SimplicialComplex path, triangle;
+  path.add_facet(Simplex{0, 1});
+  path.add_facet(Simplex{1, 2});
+  triangle.add_facet(Simplex{0, 1});
+  triangle.add_facet(Simplex{1, 2});
+  triangle.add_facet(Simplex{0, 2});
+  EXPECT_FALSE(fingerprint(path) == fingerprint(triangle));
+}
+
+TEST(Isomorphism, SearchFindsWitness) {
+  SimplicialComplex a, b;
+  a.add_facet(Simplex{0, 1, 2});
+  a.add_facet(Simplex{2, 3});
+  b.add_facet(Simplex{5, 6});
+  b.add_facet(Simplex{6, 7, 8});
+  const auto witness = find_isomorphism(a, b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(is_isomorphism(a, b, *witness));
+}
+
+TEST(Isomorphism, SearchRefutesNonIsomorphic) {
+  SimplicialComplex path, star3;
+  // Path on 4 vertices vs star with 3 leaves: same f-vector (4,3) but
+  // different degree multisets.
+  path.add_facet(Simplex{0, 1});
+  path.add_facet(Simplex{1, 2});
+  path.add_facet(Simplex{2, 3});
+  star3.add_facet(Simplex{0, 1});
+  star3.add_facet(Simplex{0, 2});
+  star3.add_facet(Simplex{0, 3});
+  EXPECT_FALSE(find_isomorphism(path, star3).has_value());
+}
+
+// ----------------------------------------------------------------- arena --
+
+TEST(Arena, InternIsIdempotent) {
+  VertexArena arena;
+  const VertexId a = arena.intern(0, 42);
+  const VertexId b = arena.intern(0, 42);
+  const VertexId c = arena.intern(1, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(arena.pid(a), 0);
+  EXPECT_EQ(arena.state(c), 42u);
+  EXPECT_EQ(arena.size(), 2u);
+  EXPECT_THROW(arena.label(99), std::out_of_range);
+}
+
+// --------------------------------------------------- randomized properties --
+
+TEST(Property, EulerEqualsAlternatingBettiSum) {
+  // χ(K) = Σ (-1)^d β_d (unreduced). Check on random 2-dimensional
+  // complexes; unreduced β₀ = reduced β̃₀ + 1.
+  util::Rng rng(211);
+  for (int trial = 0; trial < 20; ++trial) {
+    SimplicialComplex k;
+    const int n = 6;
+    for (int i = 0; i < 10; ++i) {
+      const std::vector<int> tri = rng.sample_without_replacement(n, 3);
+      k.add_facet(Simplex{static_cast<VertexId>(tri[0]),
+                          static_cast<VertexId>(tri[1]),
+                          static_cast<VertexId>(tri[2])});
+    }
+    const HomologyReport h = reduced_homology(k, {.max_dim = 2});
+    const long long chi = 1 + h.reduced_betti[0] - h.reduced_betti[1] +
+                          h.reduced_betti[2];
+    EXPECT_EQ(k.euler_characteristic(), chi);
+  }
+}
+
+TEST(Property, SubdivisionPreservesBetti) {
+  util::Rng rng(223);
+  for (int trial = 0; trial < 5; ++trial) {
+    SimplicialComplex k;
+    for (int i = 0; i < 6; ++i) {
+      const std::vector<int> tri = rng.sample_without_replacement(5, 3);
+      k.add_facet(Simplex{static_cast<VertexId>(tri[0]),
+                          static_cast<VertexId>(tri[1]),
+                          static_cast<VertexId>(tri[2])});
+    }
+    const Subdivision sd = barycentric_subdivision(k);
+    const HomologyReport h1 = reduced_homology(k, {.max_dim = 2});
+    const HomologyReport h2 = reduced_homology(sd.complex, {.max_dim = 2});
+    EXPECT_EQ(h1.reduced_betti, h2.reduced_betti);
+  }
+}
+
+TEST(Property, IntersectionIsSubcomplexOfBoth) {
+  util::Rng rng(227);
+  for (int trial = 0; trial < 20; ++trial) {
+    SimplicialComplex a, b;
+    for (int i = 0; i < 5; ++i) {
+      const std::vector<int> ta = rng.sample_without_replacement(6, 3);
+      const std::vector<int> tb = rng.sample_without_replacement(6, 3);
+      a.add_facet(Simplex{static_cast<VertexId>(ta[0]),
+                          static_cast<VertexId>(ta[1]),
+                          static_cast<VertexId>(ta[2])});
+      b.add_facet(Simplex{static_cast<VertexId>(tb[0]),
+                          static_cast<VertexId>(tb[1]),
+                          static_cast<VertexId>(tb[2])});
+    }
+    const SimplicialComplex meet = intersection_of(a, b);
+    EXPECT_TRUE(meet.is_subcomplex_of(a));
+    EXPECT_TRUE(meet.is_subcomplex_of(b));
+    // And the union contains both.
+    const SimplicialComplex u = union_of(a, b);
+    EXPECT_TRUE(a.is_subcomplex_of(u));
+    EXPECT_TRUE(b.is_subcomplex_of(u));
+  }
+}
+
+}  // namespace
+}  // namespace psph::topology

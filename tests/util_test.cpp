@@ -1,0 +1,171 @@
+// Unit tests for the utility layer: PRNG determinism and distribution
+// sanity, hash combinators, CLI parsing, timers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace psph::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextInCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_in(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NextInBadRangeThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.next_in(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(19);
+  int heads = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) heads += rng.next_bool(0.5) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.03);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(items, shuffled);
+}
+
+TEST(Rng, SampleWithoutReplacementBasics) {
+  Rng rng(29);
+  const std::vector<int> sample = rng.sample_without_replacement(10, 4);
+  ASSERT_EQ(sample.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+              sample.end());
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementEdges) {
+  Rng rng(31);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+  EXPECT_EQ(rng.sample_without_replacement(5, 5).size(), 5u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng rng(37);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(41);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  const std::size_t a = hash_combine(hash_combine(0, 1), 2);
+  const std::size_t b = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, RangeLengthSensitive) {
+  const std::vector<int> one{1};
+  const std::vector<int> two{1, 0};
+  EXPECT_NE(hash_range(one), hash_range(two));
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::debug);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::off);
+  EXPECT_THROW(parse_log_level("bogus"), std::invalid_argument);
+}
+
+TEST(Logging, FilteringIsCheap) {
+  set_log_level(LogLevel::off);
+  int evaluations = 0;
+  const auto expensive = [&]() {
+    ++evaluations;
+    return std::string("x");
+  };
+  PSPH_LOG(debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::info);
+}
+
+TEST(Timer, MonotoneNonNegative) {
+  Timer timer;
+  const double t1 = timer.seconds();
+  const double t2 = timer.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_FALSE(timer.pretty().empty());
+}
+
+}  // namespace
+}  // namespace psph::util
