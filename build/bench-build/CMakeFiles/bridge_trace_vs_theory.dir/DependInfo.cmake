@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bridge_trace_vs_theory.cpp" "bench-build/CMakeFiles/bridge_trace_vs_theory.dir/bridge_trace_vs_theory.cpp.o" "gcc" "bench-build/CMakeFiles/bridge_trace_vs_theory.dir/bridge_trace_vs_theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/psph_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/psph_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/psph_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

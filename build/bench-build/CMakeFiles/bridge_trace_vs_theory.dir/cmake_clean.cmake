@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bridge_trace_vs_theory"
+  "../bench/bridge_trace_vs_theory.pdb"
+  "CMakeFiles/bridge_trace_vs_theory.dir/bridge_trace_vs_theory.cpp.o"
+  "CMakeFiles/bridge_trace_vs_theory.dir/bridge_trace_vs_theory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_trace_vs_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bridge_trace_vs_theory.
+# This may be replaced when dependencies are built.

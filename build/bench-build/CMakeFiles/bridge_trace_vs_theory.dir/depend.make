@@ -1,0 +1,2 @@
+# Empty dependencies file for bridge_trace_vs_theory.
+# This may be replaced when dependencies are built.

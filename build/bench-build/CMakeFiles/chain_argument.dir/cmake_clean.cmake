@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/chain_argument"
+  "../bench/chain_argument.pdb"
+  "CMakeFiles/chain_argument.dir/chain_argument.cpp.o"
+  "CMakeFiles/chain_argument.dir/chain_argument.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_argument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

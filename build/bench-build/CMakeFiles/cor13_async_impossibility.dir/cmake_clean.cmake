@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cor13_async_impossibility"
+  "../bench/cor13_async_impossibility.pdb"
+  "CMakeFiles/cor13_async_impossibility.dir/cor13_async_impossibility.cpp.o"
+  "CMakeFiles/cor13_async_impossibility.dir/cor13_async_impossibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cor13_async_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cor13_async_impossibility.
+# This may be replaced when dependencies are built.

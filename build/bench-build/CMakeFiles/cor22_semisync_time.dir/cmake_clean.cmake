@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cor22_semisync_time"
+  "../bench/cor22_semisync_time.pdb"
+  "CMakeFiles/cor22_semisync_time.dir/cor22_semisync_time.cpp.o"
+  "CMakeFiles/cor22_semisync_time.dir/cor22_semisync_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cor22_semisync_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cor22_semisync_time.
+# This may be replaced when dependencies are built.

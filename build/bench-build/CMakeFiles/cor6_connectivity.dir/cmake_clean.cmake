@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cor6_connectivity"
+  "../bench/cor6_connectivity.pdb"
+  "CMakeFiles/cor6_connectivity.dir/cor6_connectivity.cpp.o"
+  "CMakeFiles/cor6_connectivity.dir/cor6_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cor6_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cor6_connectivity.
+# This may be replaced when dependencies are built.

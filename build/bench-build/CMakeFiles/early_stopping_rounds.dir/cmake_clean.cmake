@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/early_stopping_rounds"
+  "../bench/early_stopping_rounds.pdb"
+  "CMakeFiles/early_stopping_rounds.dir/early_stopping_rounds.cpp.o"
+  "CMakeFiles/early_stopping_rounds.dir/early_stopping_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_stopping_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_pseudosphere"
+  "../bench/fig1_pseudosphere.pdb"
+  "CMakeFiles/fig1_pseudosphere.dir/fig1_pseudosphere.cpp.o"
+  "CMakeFiles/fig1_pseudosphere.dir/fig1_pseudosphere.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pseudosphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_pseudospheres"
+  "../bench/fig2_pseudospheres.pdb"
+  "CMakeFiles/fig2_pseudospheres.dir/fig2_pseudospheres.cpp.o"
+  "CMakeFiles/fig2_pseudospheres.dir/fig2_pseudospheres.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pseudospheres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_sync_one_round"
+  "../bench/fig3_sync_one_round.pdb"
+  "CMakeFiles/fig3_sync_one_round.dir/fig3_sync_one_round.cpp.o"
+  "CMakeFiles/fig3_sync_one_round.dir/fig3_sync_one_round.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sync_one_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

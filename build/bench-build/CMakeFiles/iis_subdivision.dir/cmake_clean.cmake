@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/iis_subdivision"
+  "../bench/iis_subdivision.pdb"
+  "CMakeFiles/iis_subdivision.dir/iis_subdivision.cpp.o"
+  "CMakeFiles/iis_subdivision.dir/iis_subdivision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iis_subdivision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

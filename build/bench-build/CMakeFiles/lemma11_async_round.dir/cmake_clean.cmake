@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma11_async_round"
+  "../bench/lemma11_async_round.pdb"
+  "CMakeFiles/lemma11_async_round.dir/lemma11_async_round.cpp.o"
+  "CMakeFiles/lemma11_async_round.dir/lemma11_async_round.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma11_async_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lemma11_async_round.
+# This may be replaced when dependencies are built.

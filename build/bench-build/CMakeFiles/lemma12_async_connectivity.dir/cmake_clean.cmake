@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma12_async_connectivity"
+  "../bench/lemma12_async_connectivity.pdb"
+  "CMakeFiles/lemma12_async_connectivity.dir/lemma12_async_connectivity.cpp.o"
+  "CMakeFiles/lemma12_async_connectivity.dir/lemma12_async_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma12_async_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

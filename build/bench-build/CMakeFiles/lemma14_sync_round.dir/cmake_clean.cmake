@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma14_sync_round"
+  "../bench/lemma14_sync_round.pdb"
+  "CMakeFiles/lemma14_sync_round.dir/lemma14_sync_round.cpp.o"
+  "CMakeFiles/lemma14_sync_round.dir/lemma14_sync_round.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma14_sync_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemma14_sync_round.
+# This may be replaced when dependencies are built.

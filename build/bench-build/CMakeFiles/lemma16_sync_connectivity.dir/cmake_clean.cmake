@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma16_sync_connectivity"
+  "../bench/lemma16_sync_connectivity.pdb"
+  "CMakeFiles/lemma16_sync_connectivity.dir/lemma16_sync_connectivity.cpp.o"
+  "CMakeFiles/lemma16_sync_connectivity.dir/lemma16_sync_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma16_sync_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

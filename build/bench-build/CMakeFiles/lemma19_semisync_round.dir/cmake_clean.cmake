@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma19_semisync_round"
+  "../bench/lemma19_semisync_round.pdb"
+  "CMakeFiles/lemma19_semisync_round.dir/lemma19_semisync_round.cpp.o"
+  "CMakeFiles/lemma19_semisync_round.dir/lemma19_semisync_round.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma19_semisync_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

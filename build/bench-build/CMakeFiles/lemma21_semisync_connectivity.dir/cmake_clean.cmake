@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma21_semisync_connectivity"
+  "../bench/lemma21_semisync_connectivity.pdb"
+  "CMakeFiles/lemma21_semisync_connectivity.dir/lemma21_semisync_connectivity.cpp.o"
+  "CMakeFiles/lemma21_semisync_connectivity.dir/lemma21_semisync_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma21_semisync_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

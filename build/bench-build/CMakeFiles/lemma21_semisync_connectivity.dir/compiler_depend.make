@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemma21_semisync_connectivity.
+# This may be replaced when dependencies are built.

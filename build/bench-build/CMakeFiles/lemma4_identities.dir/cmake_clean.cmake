@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma4_identities"
+  "../bench/lemma4_identities.pdb"
+  "CMakeFiles/lemma4_identities.dir/lemma4_identities.cpp.o"
+  "CMakeFiles/lemma4_identities.dir/lemma4_identities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma4_identities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_complexes"
+  "../bench/perf_complexes.pdb"
+  "CMakeFiles/perf_complexes.dir/perf_complexes.cpp.o"
+  "CMakeFiles/perf_complexes.dir/perf_complexes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_complexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

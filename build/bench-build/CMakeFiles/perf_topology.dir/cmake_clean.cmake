@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_topology"
+  "../bench/perf_topology.pdb"
+  "CMakeFiles/perf_topology.dir/perf_topology.cpp.o"
+  "CMakeFiles/perf_topology.dir/perf_topology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

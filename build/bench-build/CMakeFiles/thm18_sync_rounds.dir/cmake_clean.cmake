@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm18_sync_rounds"
+  "../bench/thm18_sync_rounds.pdb"
+  "CMakeFiles/thm18_sync_rounds.dir/thm18_sync_rounds.cpp.o"
+  "CMakeFiles/thm18_sync_rounds.dir/thm18_sync_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm18_sync_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

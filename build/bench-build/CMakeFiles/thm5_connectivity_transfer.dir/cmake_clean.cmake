@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm5_connectivity_transfer"
+  "../bench/thm5_connectivity_transfer.pdb"
+  "CMakeFiles/thm5_connectivity_transfer.dir/thm5_connectivity_transfer.cpp.o"
+  "CMakeFiles/thm5_connectivity_transfer.dir/thm5_connectivity_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm5_connectivity_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm9_decision_search"
+  "../bench/thm9_decision_search.pdb"
+  "CMakeFiles/thm9_decision_search.dir/thm9_decision_search.cpp.o"
+  "CMakeFiles/thm9_decision_search.dir/thm9_decision_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm9_decision_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

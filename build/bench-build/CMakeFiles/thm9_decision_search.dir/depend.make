@@ -1,0 +1,2 @@
+# Empty dependencies file for thm9_decision_search.
+# This may be replaced when dependencies are built.

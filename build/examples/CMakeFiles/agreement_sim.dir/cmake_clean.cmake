@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agreement_sim.dir/agreement_sim.cpp.o"
+  "CMakeFiles/agreement_sim.dir/agreement_sim.cpp.o.d"
+  "agreement_sim"
+  "agreement_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agreement_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperner_demo.dir/sperner_demo.cpp.o"
+  "CMakeFiles/sperner_demo.dir/sperner_demo.cpp.o.d"
+  "sperner_demo"
+  "sperner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

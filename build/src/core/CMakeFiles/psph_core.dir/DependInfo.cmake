@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agreement.cpp" "src/core/CMakeFiles/psph_core.dir/agreement.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/agreement.cpp.o.d"
+  "/root/repo/src/core/async_complex.cpp" "src/core/CMakeFiles/psph_core.dir/async_complex.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/async_complex.cpp.o.d"
+  "/root/repo/src/core/chains.cpp" "src/core/CMakeFiles/psph_core.dir/chains.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/chains.cpp.o.d"
+  "/root/repo/src/core/decision_search.cpp" "src/core/CMakeFiles/psph_core.dir/decision_search.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/decision_search.cpp.o.d"
+  "/root/repo/src/core/iis_complex.cpp" "src/core/CMakeFiles/psph_core.dir/iis_complex.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/iis_complex.cpp.o.d"
+  "/root/repo/src/core/pseudosphere.cpp" "src/core/CMakeFiles/psph_core.dir/pseudosphere.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/pseudosphere.cpp.o.d"
+  "/root/repo/src/core/semisync_complex.cpp" "src/core/CMakeFiles/psph_core.dir/semisync_complex.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/semisync_complex.cpp.o.d"
+  "/root/repo/src/core/sperner.cpp" "src/core/CMakeFiles/psph_core.dir/sperner.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/sperner.cpp.o.d"
+  "/root/repo/src/core/sync_complex.cpp" "src/core/CMakeFiles/psph_core.dir/sync_complex.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/sync_complex.cpp.o.d"
+  "/root/repo/src/core/theorems.cpp" "src/core/CMakeFiles/psph_core.dir/theorems.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/theorems.cpp.o.d"
+  "/root/repo/src/core/view.cpp" "src/core/CMakeFiles/psph_core.dir/view.cpp.o" "gcc" "src/core/CMakeFiles/psph_core.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/psph_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/psph_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psph_core.dir/agreement.cpp.o"
+  "CMakeFiles/psph_core.dir/agreement.cpp.o.d"
+  "CMakeFiles/psph_core.dir/async_complex.cpp.o"
+  "CMakeFiles/psph_core.dir/async_complex.cpp.o.d"
+  "CMakeFiles/psph_core.dir/chains.cpp.o"
+  "CMakeFiles/psph_core.dir/chains.cpp.o.d"
+  "CMakeFiles/psph_core.dir/decision_search.cpp.o"
+  "CMakeFiles/psph_core.dir/decision_search.cpp.o.d"
+  "CMakeFiles/psph_core.dir/iis_complex.cpp.o"
+  "CMakeFiles/psph_core.dir/iis_complex.cpp.o.d"
+  "CMakeFiles/psph_core.dir/pseudosphere.cpp.o"
+  "CMakeFiles/psph_core.dir/pseudosphere.cpp.o.d"
+  "CMakeFiles/psph_core.dir/semisync_complex.cpp.o"
+  "CMakeFiles/psph_core.dir/semisync_complex.cpp.o.d"
+  "CMakeFiles/psph_core.dir/sperner.cpp.o"
+  "CMakeFiles/psph_core.dir/sperner.cpp.o.d"
+  "CMakeFiles/psph_core.dir/sync_complex.cpp.o"
+  "CMakeFiles/psph_core.dir/sync_complex.cpp.o.d"
+  "CMakeFiles/psph_core.dir/theorems.cpp.o"
+  "CMakeFiles/psph_core.dir/theorems.cpp.o.d"
+  "CMakeFiles/psph_core.dir/view.cpp.o"
+  "CMakeFiles/psph_core.dir/view.cpp.o.d"
+  "libpsph_core.a"
+  "libpsph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bigint.cpp" "src/math/CMakeFiles/psph_math.dir/bigint.cpp.o" "gcc" "src/math/CMakeFiles/psph_math.dir/bigint.cpp.o.d"
+  "/root/repo/src/math/combinatorics.cpp" "src/math/CMakeFiles/psph_math.dir/combinatorics.cpp.o" "gcc" "src/math/CMakeFiles/psph_math.dir/combinatorics.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/psph_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/psph_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/smith.cpp" "src/math/CMakeFiles/psph_math.dir/smith.cpp.o" "gcc" "src/math/CMakeFiles/psph_math.dir/smith.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

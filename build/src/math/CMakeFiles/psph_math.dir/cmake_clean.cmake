@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psph_math.dir/bigint.cpp.o"
+  "CMakeFiles/psph_math.dir/bigint.cpp.o.d"
+  "CMakeFiles/psph_math.dir/combinatorics.cpp.o"
+  "CMakeFiles/psph_math.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/psph_math.dir/matrix.cpp.o"
+  "CMakeFiles/psph_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/psph_math.dir/smith.cpp.o"
+  "CMakeFiles/psph_math.dir/smith.cpp.o.d"
+  "libpsph_math.a"
+  "libpsph_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psph_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/approx_agreement.cpp" "src/protocols/CMakeFiles/psph_protocols.dir/approx_agreement.cpp.o" "gcc" "src/protocols/CMakeFiles/psph_protocols.dir/approx_agreement.cpp.o.d"
+  "/root/repo/src/protocols/async_kset.cpp" "src/protocols/CMakeFiles/psph_protocols.dir/async_kset.cpp.o" "gcc" "src/protocols/CMakeFiles/psph_protocols.dir/async_kset.cpp.o.d"
+  "/root/repo/src/protocols/early_stopping.cpp" "src/protocols/CMakeFiles/psph_protocols.dir/early_stopping.cpp.o" "gcc" "src/protocols/CMakeFiles/psph_protocols.dir/early_stopping.cpp.o.d"
+  "/root/repo/src/protocols/floodset.cpp" "src/protocols/CMakeFiles/psph_protocols.dir/floodset.cpp.o" "gcc" "src/protocols/CMakeFiles/psph_protocols.dir/floodset.cpp.o.d"
+  "/root/repo/src/protocols/semisync_kset.cpp" "src/protocols/CMakeFiles/psph_protocols.dir/semisync_kset.cpp.o" "gcc" "src/protocols/CMakeFiles/psph_protocols.dir/semisync_kset.cpp.o.d"
+  "/root/repo/src/protocols/synchronizer.cpp" "src/protocols/CMakeFiles/psph_protocols.dir/synchronizer.cpp.o" "gcc" "src/protocols/CMakeFiles/psph_protocols.dir/synchronizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/psph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psph_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/psph_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/psph_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psph_protocols.dir/approx_agreement.cpp.o"
+  "CMakeFiles/psph_protocols.dir/approx_agreement.cpp.o.d"
+  "CMakeFiles/psph_protocols.dir/async_kset.cpp.o"
+  "CMakeFiles/psph_protocols.dir/async_kset.cpp.o.d"
+  "CMakeFiles/psph_protocols.dir/early_stopping.cpp.o"
+  "CMakeFiles/psph_protocols.dir/early_stopping.cpp.o.d"
+  "CMakeFiles/psph_protocols.dir/floodset.cpp.o"
+  "CMakeFiles/psph_protocols.dir/floodset.cpp.o.d"
+  "CMakeFiles/psph_protocols.dir/semisync_kset.cpp.o"
+  "CMakeFiles/psph_protocols.dir/semisync_kset.cpp.o.d"
+  "CMakeFiles/psph_protocols.dir/synchronizer.cpp.o"
+  "CMakeFiles/psph_protocols.dir/synchronizer.cpp.o.d"
+  "libpsph_protocols.a"
+  "libpsph_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psph_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversary.cpp" "src/sim/CMakeFiles/psph_sim.dir/adversary.cpp.o" "gcc" "src/sim/CMakeFiles/psph_sim.dir/adversary.cpp.o.d"
+  "/root/repo/src/sim/async_executor.cpp" "src/sim/CMakeFiles/psph_sim.dir/async_executor.cpp.o" "gcc" "src/sim/CMakeFiles/psph_sim.dir/async_executor.cpp.o.d"
+  "/root/repo/src/sim/bridge.cpp" "src/sim/CMakeFiles/psph_sim.dir/bridge.cpp.o" "gcc" "src/sim/CMakeFiles/psph_sim.dir/bridge.cpp.o.d"
+  "/root/repo/src/sim/semisync_executor.cpp" "src/sim/CMakeFiles/psph_sim.dir/semisync_executor.cpp.o" "gcc" "src/sim/CMakeFiles/psph_sim.dir/semisync_executor.cpp.o.d"
+  "/root/repo/src/sim/semisync_round_enum.cpp" "src/sim/CMakeFiles/psph_sim.dir/semisync_round_enum.cpp.o" "gcc" "src/sim/CMakeFiles/psph_sim.dir/semisync_round_enum.cpp.o.d"
+  "/root/repo/src/sim/sync_executor.cpp" "src/sim/CMakeFiles/psph_sim.dir/sync_executor.cpp.o" "gcc" "src/sim/CMakeFiles/psph_sim.dir/sync_executor.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/psph_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/psph_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/psph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/psph_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psph_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/psph_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

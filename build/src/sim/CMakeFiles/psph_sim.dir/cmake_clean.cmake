@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psph_sim.dir/adversary.cpp.o"
+  "CMakeFiles/psph_sim.dir/adversary.cpp.o.d"
+  "CMakeFiles/psph_sim.dir/async_executor.cpp.o"
+  "CMakeFiles/psph_sim.dir/async_executor.cpp.o.d"
+  "CMakeFiles/psph_sim.dir/bridge.cpp.o"
+  "CMakeFiles/psph_sim.dir/bridge.cpp.o.d"
+  "CMakeFiles/psph_sim.dir/semisync_executor.cpp.o"
+  "CMakeFiles/psph_sim.dir/semisync_executor.cpp.o.d"
+  "CMakeFiles/psph_sim.dir/semisync_round_enum.cpp.o"
+  "CMakeFiles/psph_sim.dir/semisync_round_enum.cpp.o.d"
+  "CMakeFiles/psph_sim.dir/sync_executor.cpp.o"
+  "CMakeFiles/psph_sim.dir/sync_executor.cpp.o.d"
+  "CMakeFiles/psph_sim.dir/trace.cpp.o"
+  "CMakeFiles/psph_sim.dir/trace.cpp.o.d"
+  "libpsph_sim.a"
+  "libpsph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/collapse.cpp" "src/topology/CMakeFiles/psph_topology.dir/collapse.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/collapse.cpp.o.d"
+  "/root/repo/src/topology/complex.cpp" "src/topology/CMakeFiles/psph_topology.dir/complex.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/complex.cpp.o.d"
+  "/root/repo/src/topology/components.cpp" "src/topology/CMakeFiles/psph_topology.dir/components.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/components.cpp.o.d"
+  "/root/repo/src/topology/export.cpp" "src/topology/CMakeFiles/psph_topology.dir/export.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/export.cpp.o.d"
+  "/root/repo/src/topology/homology.cpp" "src/topology/CMakeFiles/psph_topology.dir/homology.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/homology.cpp.o.d"
+  "/root/repo/src/topology/isomorphism.cpp" "src/topology/CMakeFiles/psph_topology.dir/isomorphism.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/topology/mayer_vietoris.cpp" "src/topology/CMakeFiles/psph_topology.dir/mayer_vietoris.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/mayer_vietoris.cpp.o.d"
+  "/root/repo/src/topology/operations.cpp" "src/topology/CMakeFiles/psph_topology.dir/operations.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/operations.cpp.o.d"
+  "/root/repo/src/topology/simplex.cpp" "src/topology/CMakeFiles/psph_topology.dir/simplex.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/simplex.cpp.o.d"
+  "/root/repo/src/topology/subdivision.cpp" "src/topology/CMakeFiles/psph_topology.dir/subdivision.cpp.o" "gcc" "src/topology/CMakeFiles/psph_topology.dir/subdivision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/psph_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

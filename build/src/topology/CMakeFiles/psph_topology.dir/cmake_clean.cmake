@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psph_topology.dir/collapse.cpp.o"
+  "CMakeFiles/psph_topology.dir/collapse.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/complex.cpp.o"
+  "CMakeFiles/psph_topology.dir/complex.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/components.cpp.o"
+  "CMakeFiles/psph_topology.dir/components.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/export.cpp.o"
+  "CMakeFiles/psph_topology.dir/export.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/homology.cpp.o"
+  "CMakeFiles/psph_topology.dir/homology.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/isomorphism.cpp.o"
+  "CMakeFiles/psph_topology.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/mayer_vietoris.cpp.o"
+  "CMakeFiles/psph_topology.dir/mayer_vietoris.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/operations.cpp.o"
+  "CMakeFiles/psph_topology.dir/operations.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/simplex.cpp.o"
+  "CMakeFiles/psph_topology.dir/simplex.cpp.o.d"
+  "CMakeFiles/psph_topology.dir/subdivision.cpp.o"
+  "CMakeFiles/psph_topology.dir/subdivision.cpp.o.d"
+  "libpsph_topology.a"
+  "libpsph_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psph_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

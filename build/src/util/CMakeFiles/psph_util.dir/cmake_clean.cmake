@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psph_util.dir/cli.cpp.o"
+  "CMakeFiles/psph_util.dir/cli.cpp.o.d"
+  "CMakeFiles/psph_util.dir/logging.cpp.o"
+  "CMakeFiles/psph_util.dir/logging.cpp.o.d"
+  "CMakeFiles/psph_util.dir/random.cpp.o"
+  "CMakeFiles/psph_util.dir/random.cpp.o.d"
+  "CMakeFiles/psph_util.dir/timer.cpp.o"
+  "CMakeFiles/psph_util.dir/timer.cpp.o.d"
+  "libpsph_util.a"
+  "libpsph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_agreement_test.dir/approx_agreement_test.cpp.o"
+  "CMakeFiles/approx_agreement_test.dir/approx_agreement_test.cpp.o.d"
+  "approx_agreement_test"
+  "approx_agreement_test.pdb"
+  "approx_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

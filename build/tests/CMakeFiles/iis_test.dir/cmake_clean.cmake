@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iis_test.dir/iis_test.cpp.o"
+  "CMakeFiles/iis_test.dir/iis_test.cpp.o.d"
+  "iis_test"
+  "iis_test.pdb"
+  "iis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

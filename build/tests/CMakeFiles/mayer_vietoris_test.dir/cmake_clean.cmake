@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayer_vietoris_test.dir/mayer_vietoris_test.cpp.o"
+  "CMakeFiles/mayer_vietoris_test.dir/mayer_vietoris_test.cpp.o.d"
+  "mayer_vietoris_test"
+  "mayer_vietoris_test.pdb"
+  "mayer_vietoris_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayer_vietoris_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

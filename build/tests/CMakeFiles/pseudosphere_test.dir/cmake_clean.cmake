@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudosphere_test.dir/pseudosphere_test.cpp.o"
+  "CMakeFiles/pseudosphere_test.dir/pseudosphere_test.cpp.o.d"
+  "pseudosphere_test"
+  "pseudosphere_test.pdb"
+  "pseudosphere_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudosphere_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

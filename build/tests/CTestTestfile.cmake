@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/math_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/pseudosphere_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/theorems_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/synchronizer_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement_test[1]_include.cmake")
+include("/root/repo/build/tests/iis_test[1]_include.cmake")
+include("/root/repo/build/tests/export_test[1]_include.cmake")
+include("/root/repo/build/tests/mayer_vietoris_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/chains_test[1]_include.cmake")
+include("/root/repo/build/tests/early_stopping_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_agreement_test[1]_include.cmake")
