@@ -7,10 +7,34 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "util/parallel.h"
+
 namespace psph::bench {
+
+/// Consumes a leading-anywhere `--threads=N` / `--threads N` flag, applying
+/// it via util::set_thread_count, and compacts argv. Returns the new argc.
+/// The perf binaries call this before benchmark::Initialize so the flag
+/// coexists with google-benchmark's own arguments.
+inline int apply_threads_flag(int argc, char** argv) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      util::set_thread_count(std::atoi(argv[i] + 10));
+      continue;
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      util::set_thread_count(std::atoi(argv[++i]));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  return out;
+}
 
 class Report {
  public:

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/async_complex.h"
 #include "core/decision_search.h"
 #include "core/pseudosphere.h"
@@ -120,4 +122,13 @@ BENCHMARK(BM_SemiSyncExecution)->DenseRange(3, 8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so --threads reaches the pool
+// before google-benchmark sees (and would reject) the flag.
+int main(int argc, char** argv) {
+  argc = psph::bench::apply_threads_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,27 +1,34 @@
 #pragma once
 
-// Sparse integer matrices in row-major triplet/row-list form. These hold
+// Sparse integer matrices in row-major flat-row form. These hold
 // simplicial boundary operators, whose entries start in {-1, 0, +1}; the
 // Smith normal form reduction mutates entries, so the value type is int64
 // here and BigInt in the exact SNF path (see smith.h).
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace psph::math {
 
-/// A sparse matrix with int64 entries. Rows are kept as sorted
-/// (column -> value) maps; zero values are never stored.
+/// A sparse matrix with int64 entries. Each row is a flat vector of
+/// (column, value) pairs sorted by column; zero values are never stored.
+/// Flat rows keep the GF(p) elimination inner loop allocation-free: row
+/// updates are two-pointer merges into a reused scratch buffer instead of
+/// node-by-node mutation of a std::map.
 class SparseMatrix {
  public:
+  using Entry = std::pair<std::size_t, std::int64_t>;
+  using Row = std::vector<Entry>;
+
   SparseMatrix() = default;
   SparseMatrix(std::size_t rows, std::size_t cols);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
-  /// Sets entry (r, c); storing 0 erases it.
+  /// Sets entry (r, c); storing 0 erases it. Appending in increasing
+  /// column order per row is O(1).
   void set(std::size_t r, std::size_t c, std::int64_t value);
 
   /// Adds delta to entry (r, c).
@@ -32,21 +39,21 @@ class SparseMatrix {
   /// Number of stored nonzero entries.
   std::size_t nonzeros() const;
 
-  const std::map<std::size_t, std::int64_t>& row(std::size_t r) const {
-    return entries_[r];
-  }
+  const Row& row(std::size_t r) const { return entries_[r]; }
 
   /// Dense copy (tests and small exact computations only).
   std::vector<std::vector<std::int64_t>> to_dense() const;
 
-  /// Matrix rank over GF(p) via fraction-free-ish Gaussian elimination on a
-  /// working copy. Does not modify *this.
+  /// Matrix rank over GF(p) via sparse Gaussian elimination on a working
+  /// copy; p == 2 takes a dense-bitset XOR path. Does not modify *this.
   std::size_t rank_mod_p(std::int64_t p) const;
 
  private:
+  std::size_t rank_mod_2() const;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<std::map<std::size_t, std::int64_t>> entries_;
+  std::vector<Row> entries_;
 };
 
 }  // namespace psph::math

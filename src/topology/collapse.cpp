@@ -22,9 +22,9 @@ struct Poset {
 Poset build_poset(const SimplicialComplex& k) {
   Poset poset;
   for (int d = 0; d <= k.dimension(); ++d) {
-    for (Simplex& s : k.simplices_of_dim(d)) {
+    for (const Simplex& s : k.simplices_of_dim(d)) {
       poset.index.emplace(s, poset.faces.size());
-      poset.faces.push_back(std::move(s));
+      poset.faces.push_back(s);
     }
   }
   const std::size_t n = poset.faces.size();

@@ -6,12 +6,61 @@
 
 namespace psph::topology {
 
+SimplicialComplex::SimplicialComplex(const SimplicialComplex& other) {
+  *this = other;
+}
+
+SimplicialComplex& SimplicialComplex::operator=(
+    const SimplicialComplex& other) {
+  if (this == &other) return *this;
+  // Lock the source's cache so copying while another thread lazily builds
+  // other's tables stays race-free; the destination mutex is fresh.
+  std::lock_guard<std::mutex> lock(other.face_cache_mutex_);
+  slots_ = other.slots_;
+  live_count_ = other.live_count_;
+  min_facet_dim_ = other.min_facet_dim_;
+  max_facet_dim_ = other.max_facet_dim_;
+  by_vertex_ = other.by_vertex_;
+  facet_set_ = other.facet_set_;
+  face_cache_ = other.face_cache_;
+  face_cache_valid_.store(
+      other.face_cache_valid_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+SimplicialComplex::SimplicialComplex(SimplicialComplex&& other) noexcept {
+  *this = std::move(other);
+}
+
+SimplicialComplex& SimplicialComplex::operator=(
+    SimplicialComplex&& other) noexcept {
+  if (this == &other) return *this;
+  // Moving-from implies exclusive access to `other`; no lock needed.
+  slots_ = std::move(other.slots_);
+  live_count_ = other.live_count_;
+  min_facet_dim_ = other.min_facet_dim_;
+  max_facet_dim_ = other.max_facet_dim_;
+  by_vertex_ = std::move(other.by_vertex_);
+  facet_set_ = std::move(other.facet_set_);
+  face_cache_ = std::move(other.face_cache_);
+  face_cache_valid_.store(
+      other.face_cache_valid_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.live_count_ = 0;
+  other.min_facet_dim_ = std::numeric_limits<int>::max();
+  other.max_facet_dim_ = -1;
+  other.face_cache_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 void SimplicialComplex::add_facet(Simplex s) {
   if (s.empty()) {
     throw std::invalid_argument("add_facet: empty simplex");
   }
   if (facet_set_.count(s) != 0) return;
   if (dominated(s)) return;
+  invalidate_face_cache();
 
   // Remove facets *strictly* contained in s (equal-dimension facets cannot
   // be: a same-size subset is equality, which the hash check above already
@@ -70,14 +119,6 @@ void SimplicialComplex::merge(const SimplicialComplex& other) {
   other.for_each_facet([this](const Simplex& s) { add_facet(s); });
 }
 
-int SimplicialComplex::dimension() const {
-  int best = -1;
-  for (const Simplex& facet : slots_) {
-    if (!facet.empty()) best = std::max(best, facet.dimension());
-  }
-  return best;
-}
-
 std::vector<Simplex> SimplicialComplex::facets() const {
   std::vector<Simplex> result;
   result.reserve(live_count_);
@@ -100,28 +141,69 @@ bool SimplicialComplex::contains(const Simplex& s) const {
   return dominated(s) || facet_set_.count(s) != 0;
 }
 
-std::vector<Simplex> SimplicialComplex::simplices_of_dim(int d) const {
-  std::unordered_set<Simplex, SimplexHash> seen;
+void SimplicialComplex::invalidate_face_cache() {
+  // Mutators run with exclusive access (same contract as std containers),
+  // so relaxed ordering suffices.
+  face_cache_valid_.store(false, std::memory_order_relaxed);
+  face_cache_.clear();
+}
+
+void SimplicialComplex::build_face_cache() const {
+  face_cache_.clear();
+  if (max_facet_dim_ < 0) return;
+  // One pass over the live facets enumerates every face of every dimension;
+  // the per-dimension hash sets deduplicate faces shared between facets.
+  std::vector<std::unordered_set<Simplex, SimplexHash>> seen(
+      static_cast<std::size_t>(max_facet_dim_) + 1);
   for (const Simplex& facet : slots_) {
-    if (facet.empty() || facet.dimension() < d) continue;
-    for (Simplex& face : facet.faces_of_dim(d)) {
-      seen.insert(std::move(face));
+    if (facet.empty()) continue;
+    for (Simplex& face : facet.all_faces()) {
+      seen[static_cast<std::size_t>(face.dimension())].insert(
+          std::move(face));
     }
   }
-  std::vector<Simplex> result(seen.begin(), seen.end());
-  std::sort(result.begin(), result.end());
-  return result;
+  face_cache_.resize(seen.size());
+  for (std::size_t d = 0; d < seen.size(); ++d) {
+    FaceTable& table = face_cache_[d];
+    table.faces.assign(seen[d].begin(), seen[d].end());
+    std::sort(table.faces.begin(), table.faces.end());
+    table.index.reserve(table.faces.size());
+    for (std::size_t i = 0; i < table.faces.size(); ++i) {
+      table.index.emplace(table.faces[i], i);
+    }
+  }
+}
+
+void SimplicialComplex::warm_face_cache() const {
+  if (face_cache_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(face_cache_mutex_);
+  if (face_cache_valid_.load(std::memory_order_relaxed)) return;
+  build_face_cache();
+  face_cache_valid_.store(true, std::memory_order_release);
+}
+
+const SimplicialComplex::FaceTable* SimplicialComplex::face_table(
+    int d) const {
+  if (d < 0 || d > max_facet_dim_) return nullptr;
+  warm_face_cache();
+  return &face_cache_[static_cast<std::size_t>(d)];
+}
+
+const std::vector<Simplex>& SimplicialComplex::simplices_of_dim(int d) const {
+  static const std::vector<Simplex> kNoFaces;
+  const FaceTable* table = face_table(d);
+  return table ? table->faces : kNoFaces;
+}
+
+const std::unordered_map<Simplex, std::size_t, SimplexHash>&
+SimplicialComplex::face_index_of_dim(int d) const {
+  static const std::unordered_map<Simplex, std::size_t, SimplexHash> kNoIndex;
+  const FaceTable* table = face_table(d);
+  return table ? table->index : kNoIndex;
 }
 
 std::size_t SimplicialComplex::count_of_dim(int d) const {
-  std::unordered_set<Simplex, SimplexHash> seen;
-  for (const Simplex& facet : slots_) {
-    if (facet.empty() || facet.dimension() < d) continue;
-    for (Simplex& face : facet.faces_of_dim(d)) {
-      seen.insert(std::move(face));
-    }
-  }
-  return seen.size();
+  return simplices_of_dim(d).size();
 }
 
 std::vector<VertexId> SimplicialComplex::vertex_ids() const {
@@ -136,9 +218,12 @@ std::vector<VertexId> SimplicialComplex::vertex_ids() const {
 }
 
 std::vector<std::size_t> SimplicialComplex::f_vector() const {
-  const int dim = dimension();
+  warm_face_cache();
   std::vector<std::size_t> result;
-  for (int d = 0; d <= dim; ++d) result.push_back(count_of_dim(d));
+  result.reserve(face_cache_.size());
+  for (const FaceTable& table : face_cache_) {
+    result.push_back(table.faces.size());
+  }
   return result;
 }
 
@@ -153,9 +238,8 @@ long long SimplicialComplex::euler_characteristic() const {
 }
 
 bool SimplicialComplex::is_pure() const {
-  const int dim = dimension();
   for (const Simplex& facet : slots_) {
-    if (!facet.empty() && facet.dimension() != dim) return false;
+    if (!facet.empty() && facet.dimension() != max_facet_dim_) return false;
   }
   return true;
 }

@@ -6,10 +6,22 @@
 // containment is implicit, and faces are enumerated on demand. add_facet
 // maintains maximality: dominated insertions are dropped and newly dominated
 // facets are removed, so unions of pseudospheres deduplicate automatically.
+//
+// Face queries (simplices_of_dim, count_of_dim, f_vector,
+// euler_characteristic, boundary matrices) all read one lazily built
+// per-dimension face table. The cache is invalidated by any mutation
+// (add_facet / merge), so references returned by simplices_of_dim /
+// face_index_of_dim are valid only until the next mutation. Concurrent
+// *const* access is safe: the lazy build is guarded by a mutex behind an
+// atomic validity flag (warm_face_cache() lets callers pay the build before
+// fanning out). Mutation requires external synchronization, as for standard
+// containers.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,6 +35,10 @@ namespace psph::topology {
 class SimplicialComplex {
  public:
   SimplicialComplex() = default;
+  SimplicialComplex(const SimplicialComplex& other);
+  SimplicialComplex& operator=(const SimplicialComplex& other);
+  SimplicialComplex(SimplicialComplex&& other) noexcept;
+  SimplicialComplex& operator=(SimplicialComplex&& other) noexcept;
 
   /// Inserts `s` as a (candidate) facet. No-op if some existing facet
   /// already contains it; removes existing facets that it contains.
@@ -35,8 +51,8 @@ class SimplicialComplex {
   /// True if the complex has no simplexes at all.
   bool empty() const { return live_count_ == 0; }
 
-  /// Largest dimension of any facet; -1 for the empty complex.
-  int dimension() const;
+  /// Largest dimension of any facet; -1 for the empty complex. O(1).
+  int dimension() const { return max_facet_dim_; }
 
   std::size_t facet_count() const { return live_count_; }
 
@@ -50,13 +66,26 @@ class SimplicialComplex {
   /// every nonempty complex.
   bool contains(const Simplex& s) const;
 
-  /// All distinct d-simplexes (deterministic sorted order).
-  std::vector<Simplex> simplices_of_dim(int d) const;
+  /// All distinct d-simplexes in sorted order, from the face cache. The
+  /// reference is valid until the next mutation. Empty for d outside
+  /// [0, dimension()].
+  const std::vector<Simplex>& simplices_of_dim(int d) const;
 
-  /// Count of distinct d-simplexes.
+  /// Index map of the d-simplexes: maps each simplex to its position in
+  /// simplices_of_dim(d). Same lifetime contract as simplices_of_dim.
+  const std::unordered_map<Simplex, std::size_t, SimplexHash>&
+  face_index_of_dim(int d) const;
+
+  /// Count of distinct d-simplexes. O(1) once the face cache is warm.
   std::size_t count_of_dim(int d) const;
 
-  /// All vertex ids used by at least one facet, sorted.
+  /// Builds the face cache if stale. Purely an optimization for callers
+  /// about to issue face queries from several threads: the accessors also
+  /// build lazily (under a mutex), so skipping this is never incorrect.
+  void warm_face_cache() const;
+
+  /// All vertex ids used by at least one facet, sorted. Does not touch the
+  /// face cache (linear in the facet representation).
   std::vector<VertexId> vertex_ids() const;
 
   /// f-vector: entry d is the number of d-simplexes, d = 0..dimension().
@@ -91,19 +120,38 @@ class SimplicialComplex {
  private:
   friend class FacetIndex;
 
+  // One dimension's slice of the face lattice: the sorted d-simplex list
+  // plus the rank of each simplex in it (boundary-operator row/col ids).
+  struct FaceTable {
+    std::vector<Simplex> faces;
+    std::unordered_map<Simplex, std::size_t, SimplexHash> index;
+  };
+
   bool dominated(const Simplex& s) const;
+  void invalidate_face_cache();
+  void build_face_cache() const;
+  const FaceTable* face_table(int d) const;
 
   // Stable slots; erased facets become empty simplexes (tombstones).
   std::vector<Simplex> slots_;
   std::size_t live_count_ = 0;
-  // Conservative bounds on live facet dimensions (never shrunk on removal);
-  // they gate the domination scans so pure-complex bulk inserts are O(1).
+  // Bounds on live facet dimensions, gating the domination scans so
+  // pure-complex bulk inserts are O(1). The max is *exact*: add_facet only
+  // removes facets strictly smaller than the facet it inserts, so the
+  // maximum can never be held by a tombstone. The min is conservative
+  // (never shrunk on removal).
   int min_facet_dim_ = std::numeric_limits<int>::max();
   int max_facet_dim_ = -1;
   // vertex -> slot indices of live facets containing it (may contain stale
   // slot references which are skipped on read).
   std::unordered_map<VertexId, std::vector<std::size_t>> by_vertex_;
   std::unordered_set<Simplex, SimplexHash> facet_set_;
+
+  // Lazily built face lattice, entry d = FaceTable for the d-simplexes.
+  // Double-checked: readers take the mutex only while the flag is false.
+  mutable std::vector<FaceTable> face_cache_;
+  mutable std::atomic<bool> face_cache_valid_{false};
+  mutable std::mutex face_cache_mutex_;
 };
 
 }  // namespace psph::topology

@@ -2,16 +2,16 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
 
 #include "math/smith.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace psph::topology {
 
 math::SparseMatrix boundary_matrix(const SimplicialComplex& k, int d) {
   if (d < 0) throw std::invalid_argument("boundary_matrix: d < 0");
-  const std::vector<Simplex> columns = k.simplices_of_dim(d);
+  const std::vector<Simplex>& columns = k.simplices_of_dim(d);
 
   if (d == 0) {
     // Augmentation C_0 → Z: one row of ones.
@@ -20,12 +20,11 @@ math::SparseMatrix boundary_matrix(const SimplicialComplex& k, int d) {
     return matrix;
   }
 
-  const std::vector<Simplex> rows = k.simplices_of_dim(d - 1);
-  std::unordered_map<Simplex, std::size_t, SimplexHash> row_index;
-  row_index.reserve(rows.size());
-  for (std::size_t r = 0; r < rows.size(); ++r) row_index.emplace(rows[r], r);
+  // Both the (d-1)-skeleton and its index map come from the complex's face
+  // cache, so building ∂_d shares one enumeration with every other query.
+  const auto& row_index = k.face_index_of_dim(d - 1);
 
-  math::SparseMatrix matrix(rows.size(), columns.size());
+  math::SparseMatrix matrix(k.count_of_dim(d - 1), columns.size());
   for (std::size_t c = 0; c < columns.size(); ++c) {
     const Simplex& simplex = columns[c];
     std::int64_t sign = 1;
@@ -56,18 +55,25 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
   std::vector<math::SparseMatrix> boundaries(
       static_cast<std::size_t>(options.max_dim) + 2);
 
+  // One face enumeration serves every dimension: warming the cache up
+  // front makes the counts O(1) and lets the per-dimension boundary-rank
+  // computations below read the tables concurrently. Each dimension is
+  // independent and writes only its own slots, so the results are
+  // bit-identical at every thread count.
+  k.warm_face_cache();
   for (int d = 0; d <= options.max_dim + 1; ++d) {
-    const std::size_t slot = static_cast<std::size_t>(d);
-    counts[slot] = k.count_of_dim(d);
+    counts[static_cast<std::size_t>(d)] = k.count_of_dim(d);
+  }
+  util::parallel_for(counts.size(), [&](std::size_t slot) {
     if (counts[slot] == 0) {
       // No d-simplexes: the boundary map is zero from an empty space.
       boundaries[slot] = math::SparseMatrix(0, 0);
       ranks[slot] = 0;
-      continue;
+      return;
     }
-    boundaries[slot] = boundary_matrix(k, d);
+    boundaries[slot] = boundary_matrix(k, static_cast<int>(slot));
     ranks[slot] = boundaries[slot].rank_mod_p(options.prime);
-  }
+  });
 
   for (int d = 0; d <= options.max_dim; ++d) {
     const std::size_t slot = static_cast<std::size_t>(d);
@@ -78,11 +84,19 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
   }
 
   if (options.exact) {
+    // The per-dimension SNF cross-checks are independent; run them on the
+    // pool, then fold the results in serially so warnings and report slots
+    // are filled in deterministic dimension order.
+    std::vector<math::SmithResult> snfs(
+        static_cast<std::size_t>(options.max_dim) + 1);
+    util::parallel_for(snfs.size(), [&](std::size_t slot) {
+      if (counts[slot + 1] == 0) return;
+      snfs[slot] = math::smith_normal_form(boundaries[slot + 1]);
+    });
     for (int d = 0; d <= options.max_dim; ++d) {
       const std::size_t slot = static_cast<std::size_t>(d);
       if (counts[slot + 1] == 0) continue;
-      const math::SmithResult snf =
-          math::smith_normal_form(boundaries[slot + 1]);
+      const math::SmithResult& snf = snfs[slot];
       // Cross-check the GF(p) rank against the exact one.
       if (snf.rank() != ranks[slot + 1]) {
         PSPH_LOG(warn) << "GF(p) rank " << ranks[slot + 1]

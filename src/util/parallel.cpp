@@ -1,0 +1,152 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace psph::util {
+
+namespace {
+
+// True while the current thread is executing a parallel_for body; nested
+// calls detect it and run inline instead of re-entering the shared pool.
+thread_local bool t_inside_parallel = false;
+
+int clamp_count(int n) {
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int env_thread_count() {
+  const char* raw = std::getenv("PSPH_THREADS");
+  if (raw == nullptr || *raw == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return 1;
+  return clamp_count(static_cast<int>(parsed));
+}
+
+// 0 means "not yet resolved from the environment".
+std::atomic<int> g_thread_count{0};
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+int thread_count() {
+  int count = g_thread_count.load(std::memory_order_relaxed);
+  if (count == 0) {
+    count = env_thread_count();
+    int expected = 0;
+    if (!g_thread_count.compare_exchange_strong(expected, count,
+                                                std::memory_order_relaxed)) {
+      count = expected;
+    }
+  }
+  return count;
+}
+
+void set_thread_count(int n) {
+  g_thread_count.store(clamp_count(n), std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) workers = 0;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::work_off(const std::function<void(std::size_t)>& fn,
+                          std::size_t n) {
+  const bool was_inside = t_inside_parallel;
+  t_inside_parallel = true;
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+  t_inside_parallel = was_inside;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      n = job_size_;
+    }
+    work_off(*job, n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--busy_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    busy_ = workers_.size();
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  work_off(fn, n);
+  std::unique_lock<std::mutex> lock(mutex_);
+  // run() returns only after every worker has left this epoch, so the next
+  // epoch cannot race with a straggler still reading job_.
+  done_cv_.wait(lock, [&] { return busy_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const int threads = thread_count();
+  if (threads <= 1 || n <= 1 || t_inside_parallel) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Holding g_pool_mutex across run() serializes concurrent top-level
+  // parallel_for calls on the one shared pool; nested calls took the inline
+  // branch above, so no thread waits on itself.
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool || g_pool->workers() != threads - 1) {
+    g_pool = std::make_unique<ThreadPool>(threads - 1);
+  }
+  g_pool->run(n, fn);
+}
+
+}  // namespace psph::util

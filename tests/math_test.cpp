@@ -308,6 +308,75 @@ TEST(SparseMatrix, RankRandomProductBound) {
   EXPECT_LE(product.rank_mod_p(kDefaultPrime), 2u);
 }
 
+namespace {
+
+// Dense GF(2) Gaussian elimination, the reference for the bitset fast path.
+std::size_t dense_rank_mod_2(std::vector<std::vector<std::int64_t>> a) {
+  std::size_t rank = 0;
+  const std::size_t rows = a.size();
+  const std::size_t cols = rows == 0 ? 0 : a[0].size();
+  for (std::size_t c = 0; c < cols && rank < rows; ++c) {
+    std::size_t pivot = rank;
+    while (pivot < rows && (a[pivot][c] & 1) == 0) ++pivot;
+    if (pivot == rows) continue;
+    std::swap(a[rank], a[pivot]);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r != rank && (a[r][c] & 1) != 0) {
+        for (std::size_t j = c; j < cols; ++j) a[r][j] ^= a[rank][j];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace
+
+TEST(SparseMatrix, RankMod2BitsetMatchesDenseReference) {
+  util::Rng rng(211);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Mix shapes around the 64-bit word boundary to cover multi-word rows.
+    const std::size_t rows = 1 + rng.next_below(8);
+    const std::size_t cols = 1 + rng.next_below(trial % 2 == 0 ? 8 : 130);
+    SparseMatrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (rng.next_bool(0.3)) m.set(i, j, rng.next_in(-3, 3));
+      }
+    }
+    EXPECT_EQ(m.rank_mod_p(2), dense_rank_mod_2(m.to_dense()))
+        << "trial " << trial;
+  }
+}
+
+TEST(SparseMatrix, RankMod2AgreesWithOddPrimeOnTorsionFreeMatrix) {
+  // A boundary-like ±1 incidence matrix of a path graph: torsion-free, so
+  // the GF(2) rank equals the rank at the default (large) prime.
+  SparseMatrix m(5, 4);
+  for (std::size_t e = 0; e < 4; ++e) {
+    m.set(e, e, -1);
+    m.set(e + 1, e, 1);
+  }
+  EXPECT_EQ(m.rank_mod_p(2), m.rank_mod_p(kDefaultPrime));
+  EXPECT_EQ(m.rank_mod_p(2), 4u);
+}
+
+TEST(SparseMatrix, SetOutOfIncreasingColumnOrder) {
+  // The flat rows keep entries sorted even when columns arrive backwards.
+  SparseMatrix m(1, 6);
+  m.set(0, 5, 1);
+  m.set(0, 1, 2);
+  m.set(0, 3, 3);
+  m.set(0, 1, 0);  // erase
+  EXPECT_EQ(m.get(0, 1), 0);
+  EXPECT_EQ(m.get(0, 3), 3);
+  EXPECT_EQ(m.get(0, 5), 1);
+  EXPECT_EQ(m.nonzeros(), 2u);
+  const auto& row = m.row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_LT(row[0].first, row[1].first);
+}
+
 // ---------------------------------------------------------------- smith --
 
 TEST(Smith, DiagonalMatrix) {

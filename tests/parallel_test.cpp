@@ -1,0 +1,161 @@
+// Thread pool unit tests plus the homology thread-parity guarantee: Betti
+// numbers and torsion must be byte-identical at every thread count (the
+// pool only changes *when* a dimension's rank is computed, never its
+// value). Run these under -DPSPH_SANITIZE=thread to validate the pool.
+
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pseudosphere.h"
+#include "core/sync_complex.h"
+#include "core/theorems.h"
+#include "topology/homology.h"
+
+namespace {
+
+using namespace psph;
+
+// Every test restores the global thread count so ordering does not leak
+// configuration between tests.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = util::thread_count(); }
+  void TearDown() override { util::set_thread_count(previous_); }
+
+ private:
+  int previous_ = 1;
+};
+
+TEST_F(ParallelTest, PoolRunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST_F(ParallelTest, PoolWithZeroWorkersRunsInline) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(5);
+  pool.run(seen.size(), [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST_F(ParallelTest, PoolIsReusableAcrossBatches) {
+  util::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    pool.run(10, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST_F(ParallelTest, PoolRethrowsFirstExceptionAfterDraining) {
+  util::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.run(64,
+                        [&](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                          ++completed;
+                        }),
+               std::runtime_error);
+  // Every index other than the throwing one still ran.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST_F(ParallelTest, ParallelForInlineWhenSingleThreaded) {
+  util::set_thread_count(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  util::parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  util::set_thread_count(4);
+  std::atomic<int> total{0};
+  util::parallel_for(4, [&](std::size_t) {
+    util::parallel_for(4, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST_F(ParallelTest, SetThreadCountRoundTrip) {
+  util::set_thread_count(8);
+  EXPECT_EQ(util::thread_count(), 8);
+  util::set_thread_count(1);
+  EXPECT_EQ(util::thread_count(), 1);
+  // n <= 0 selects hardware concurrency, which is always at least 1.
+  util::set_thread_count(0);
+  EXPECT_GE(util::thread_count(), 1);
+}
+
+// ------------------------------------------------------- thread parity --
+
+// The Figure 1-3 complexes exercised by the experiment binaries.
+topology::SimplicialComplex fig1_binary_pseudosphere(int n1) {
+  topology::VertexArena arena;
+  std::vector<core::ProcessId> pids;
+  for (int i = 0; i < n1; ++i) pids.push_back(i);
+  return core::pseudosphere_uniform(pids, {0, 1}, arena);
+}
+
+topology::SimplicialComplex fig2_ternary_pseudosphere() {
+  topology::VertexArena arena;
+  return core::pseudosphere_uniform({0, 1}, {0, 1, 2}, arena);
+}
+
+topology::SimplicialComplex fig3_sync_one_round() {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  return core::sync_round_complex(input, {3, 1, 1, 1}, views, arena);
+}
+
+std::string homology_at_threads(const topology::SimplicialComplex& k,
+                                int threads, int max_dim) {
+  util::set_thread_count(threads);
+  const topology::HomologyReport report =
+      topology::reduced_homology(k, {.max_dim = max_dim, .exact = true});
+  return report.to_string();
+}
+
+TEST_F(ParallelTest, HomologyIdenticalAcrossThreadCounts) {
+  const std::vector<topology::SimplicialComplex> complexes = {
+      fig1_binary_pseudosphere(3),
+      fig1_binary_pseudosphere(4),
+      fig2_ternary_pseudosphere(),
+      fig3_sync_one_round(),
+  };
+  for (const topology::SimplicialComplex& k : complexes) {
+    const int max_dim = k.dimension() + 1;
+    const std::string serial = homology_at_threads(k, 1, max_dim);
+    const std::string parallel = homology_at_threads(k, 8, max_dim);
+    EXPECT_EQ(serial, parallel) << k.to_string();
+  }
+}
+
+TEST_F(ParallelTest, ConnectivityIdenticalAcrossThreadCounts) {
+  const topology::SimplicialComplex sphere = fig1_binary_pseudosphere(4);
+  util::set_thread_count(1);
+  const int serial = topology::homological_connectivity(sphere, 3);
+  util::set_thread_count(8);
+  const int parallel = topology::homological_connectivity(sphere, 3);
+  EXPECT_EQ(serial, parallel);
+  // ψ(S^3; {0,1}) is the 3-sphere: 2-connected with H̃_3 ≠ 0.
+  EXPECT_EQ(serial, 2);
+}
+
+}  // namespace

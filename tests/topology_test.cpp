@@ -124,6 +124,83 @@ TEST(Complex, FVectorAndEuler) {
   EXPECT_EQ(k.euler_characteristic(), 1);
 }
 
+TEST(FaceCache, InvalidatedByAddFacet) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  // Prime the cache, then mutate; every cached quantity must refresh.
+  EXPECT_EQ(k.f_vector(), (std::vector<std::size_t>{3, 3, 1}));
+  EXPECT_EQ(k.count_of_dim(1), 3u);
+  k.add_facet(Simplex{2, 3, 4});
+  EXPECT_EQ(k.f_vector(), (std::vector<std::size_t>{4, 5, 2}));
+  EXPECT_EQ(k.count_of_dim(1), 5u);
+  EXPECT_EQ(k.euler_characteristic(), 1);
+  EXPECT_EQ(k.simplices_of_dim(0).size(), 4u);
+}
+
+TEST(FaceCache, InvalidatedWhenInsertDominatesCachedFacet) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2});
+  EXPECT_EQ(k.count_of_dim(1), 1u);
+  EXPECT_EQ(k.dimension(), 1);
+  // {1,2,3} swallows the cached facet {1,2}; dimension and faces follow.
+  k.add_facet(Simplex{1, 2, 3});
+  EXPECT_EQ(k.dimension(), 2);
+  EXPECT_EQ(k.facet_count(), 1u);
+  EXPECT_EQ(k.f_vector(), (std::vector<std::size_t>{3, 3, 1}));
+}
+
+TEST(FaceCache, InvalidatedByMerge) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  EXPECT_EQ(k.count_of_dim(0), 3u);
+  SimplicialComplex other;
+  other.add_facet(Simplex{3, 4});
+  other.add_facet(Simplex{5});
+  k.merge(other);
+  EXPECT_EQ(k.f_vector(), (std::vector<std::size_t>{5, 4, 1}));
+  EXPECT_EQ(k.dimension(), 2);
+  // The merge source keeps its own (still valid) cache.
+  EXPECT_EQ(other.f_vector(), (std::vector<std::size_t>{3, 1}));
+}
+
+TEST(FaceCache, ApplyVertexMapAfterCachedQuery) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  k.add_facet(Simplex{2, 3, 4});
+  EXPECT_EQ(k.count_of_dim(2), 2u);
+  const SimplicialComplex image =
+      k.apply_vertex_map([](VertexId v) { return v + 10; });
+  EXPECT_EQ(image.f_vector(), k.f_vector());
+  EXPECT_TRUE(image.contains(Simplex{12, 13}));
+  // Collapsing map: both triangles land on the edge {20, 21}.
+  const SimplicialComplex collapsed = k.apply_vertex_map(
+      [](VertexId v) { return v < 3 ? 20 : 21; }, /*allow_collapse=*/true);
+  EXPECT_EQ(collapsed.f_vector(), (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(FaceCache, CopyAndMoveCarryCache) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2, 3});
+  EXPECT_EQ(k.count_of_dim(1), 3u);  // warm the cache
+  SimplicialComplex copy = k;
+  EXPECT_EQ(copy.f_vector(), (std::vector<std::size_t>{3, 3, 1}));
+  copy.add_facet(Simplex{3, 4});  // mutating the copy leaves k intact
+  EXPECT_EQ(copy.count_of_dim(0), 4u);
+  EXPECT_EQ(k.count_of_dim(0), 3u);
+  const SimplicialComplex moved = std::move(copy);
+  EXPECT_EQ(moved.count_of_dim(0), 4u);
+  EXPECT_EQ(moved.dimension(), 2);
+}
+
+TEST(FaceCache, OutOfRangeDimensionsAreEmpty) {
+  SimplicialComplex k;
+  k.add_facet(Simplex{1, 2});
+  EXPECT_TRUE(k.simplices_of_dim(-1).empty());
+  EXPECT_TRUE(k.simplices_of_dim(2).empty());
+  EXPECT_TRUE(k.face_index_of_dim(7).empty());
+  EXPECT_EQ(k.face_index_of_dim(1).at(Simplex{1, 2}), 0u);
+}
+
 TEST(Complex, EqualityAndSubcomplex) {
   SimplicialComplex a, b;
   a.add_facet(Simplex{1, 2});
