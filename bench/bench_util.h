@@ -5,6 +5,8 @@
 // nonzero if any checked property failed, so `for b in build/bench/*; do $b;
 // done` doubles as an acceptance run.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,16 +20,35 @@ namespace psph::bench {
 /// Consumes a leading-anywhere `--threads=N` / `--threads N` flag, applying
 /// it via util::set_thread_count, and compacts argv. Returns the new argc.
 /// The perf binaries call this before benchmark::Initialize so the flag
-/// coexists with google-benchmark's own arguments.
+/// coexists with google-benchmark's own arguments. A --threads with no
+/// value or a malformed count is a hard error (exit 2), not a silent
+/// fallback to a default thread count.
 inline int apply_threads_flag(int argc, char** argv) {
+  const auto parse_count = [](const char* text) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (*text == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+        value < INT_MIN || value > INT_MAX) {
+      std::fprintf(stderr, "bad value for --threads: '%s'\n", text);
+      std::exit(2);
+    }
+    return static_cast<int>(value);
+  };
   int out = 0;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      util::set_thread_count(std::atoi(argv[i] + 10));
+      util::set_thread_count(parse_count(argv[i] + 10));
       continue;
     }
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      util::set_thread_count(std::atoi(argv[++i]));
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "flag --threads needs a value but is last on the "
+                     "command line\n");
+        std::exit(2);
+      }
+      util::set_thread_count(parse_count(argv[++i]));
       continue;
     }
     argv[out++] = argv[i];

@@ -2,88 +2,264 @@
 // value sets is (m-1)-connected, and unions ∪_i ψ(S^m; A_i) with a common
 // value remain (m-1)-connected. Swept over dimensions and value-set shapes;
 // connectivity measured homologically.
+//
+// With --cache-dir both sweeps run through sweep::SweepEngine. The Cor 6
+// jobs are keyed on the value-set shape; the Cor 8 union jobs are keyed on
+// the *canonical facet encoding* of the explicitly built union complex, so
+// any construction that produces the same complex shares the cache entry.
+// Default (no flag) output is identical to the uncached original.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/pseudosphere.h"
+#include "store/serialize.h"
+#include "sweep/sweep.h"
 #include "topology/homology.h"
+#include "util/cli.h"
 #include "util/random.h"
 #include "util/timer.h"
 
-int main() {
-  using namespace psph;
+namespace {
+
+using namespace psph;
+
+/// Everything one Cor 6 row and its wedge-profile check consume.
+struct Cor6Result {
+  std::uint64_t facets = 0;
+  int measured = -2;
+  topology::HomologyReport homology;
+};
+
+std::vector<std::uint8_t> serialize_cor6(const Cor6Result& result) {
+  store::ByteWriter out;
+  out.u64(result.facets);
+  out.i32(result.measured);
+  store::encode_homology_report(out, result.homology);
+  return store::seal(store::PayloadKind::kRawBytes, out.bytes());
+}
+
+Cor6Result deserialize_cor6(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> payload =
+      store::unseal(bytes, store::PayloadKind::kRawBytes);
+  store::ByteReader in(payload);
+  Cor6Result result;
+  result.facets = in.u64();
+  result.measured = in.i32();
+  result.homology = store::decode_homology_report(in);
+  in.expect_done("cor6 result");
+  return result;
+}
+
+topology::SimplicialComplex build_pseudosphere(
+    const std::vector<int>& sizes) {
+  topology::VertexArena arena;
+  std::vector<core::ProcessId> pids;
+  std::vector<std::vector<core::StateId>> sets;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    pids.push_back(static_cast<core::ProcessId>(i));
+    std::vector<core::StateId> values;
+    for (int v = 0; v < sizes[i]; ++v) {
+      values.push_back(static_cast<core::StateId>(8 * i + v));
+    }
+    sets.push_back(std::move(values));
+  }
+  return core::pseudosphere(pids, sets, arena);
+}
+
+topology::SimplicialComplex build_union(int m1, int families) {
+  topology::VertexArena arena;
+  std::vector<core::ProcessId> pids;
+  for (int i = 0; i < m1; ++i) pids.push_back(i);
+  topology::SimplicialComplex u;
+  for (int a = 0; a < families; ++a) {
+    // Family A_a = {0 (shared), 10 + a}.
+    u.merge(core::pseudosphere_uniform(
+        pids, {0, static_cast<core::StateId>(10 + a)}, arena));
+  }
+  return u;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string cache_dir;
+  int threads = 0;
+  util::Cli cli("cor6_connectivity",
+                "Corollaries 6/8: pseudosphere connectivity sweep");
+  cli.flag("cache-dir", &cache_dir,
+           "result-store root; empty disables caching");
+  cli.flag("threads", &threads,
+           "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
+  cli.parse(argc, argv);
+  if (threads > 0) util::set_thread_count(threads);
+
   bench::Report report(
       "Corollaries 6 and 8",
       "pseudospheres are (m-1)-connected; unions sharing a value stay so");
   report.header("  m+1 shape          facets  conn>=  expect  build");
   util::Rng rng(607);
 
+  // The value-set shapes, precomputed in the original loop order so the
+  // rng draws (variant 2) match the uncached binary exactly.
+  struct Cor6Point {
+    int m1 = 0;
+    std::vector<int> sizes;
+    std::string shape;
+  };
+  std::vector<Cor6Point> points;
   for (int m1 = 1; m1 <= 4; ++m1) {
     for (int variant = 0; variant < 3; ++variant) {
-      util::Timer timer;
-      topology::VertexArena arena;
-      std::vector<core::ProcessId> pids;
-      std::vector<std::vector<core::StateId>> sets;
-      std::string shape;
+      Cor6Point point;
+      point.m1 = m1;
       for (int i = 0; i < m1; ++i) {
-        pids.push_back(i);
         const int size = variant == 0 ? 2
                          : variant == 1
                              ? 3
                              : 1 + static_cast<int>(rng.next_below(4));
-        std::vector<core::StateId> values;
-        for (int v = 0; v < size; ++v) {
-          values.push_back(static_cast<core::StateId>(8 * i + v));
-        }
-        shape += (i ? "," : "") + std::to_string(size);
-        sets.push_back(std::move(values));
+        point.shape += (i ? "," : "") + std::to_string(size);
+        point.sizes.push_back(size);
       }
-      const topology::SimplicialComplex psi =
-          core::pseudosphere(pids, sets, arena);
-      const int expected = m1 - 2;  // (m - 1) with m = m1 - 1
-      const int measured =
-          topology::homological_connectivity(psi, std::max(expected, 0));
-      report.row("  %3d {%-12s} %6zu %7d %7d  %s", m1, shape.c_str(),
-                 psi.facet_count(), measured, expected,
-                 timer.pretty().c_str());
-      report.check(measured >= expected || expected < -1,
-                   "Cor 6 at m+1=" + std::to_string(m1) + " shape " + shape);
-      // Stronger than Cor 6: the exact wedge-of-spheres profile,
-      // β̃_{m} = Π(|U_i| - 1) and 0 below.
-      long long expected_top = 1;
-      for (const auto& set : sets) {
-        expected_top *= static_cast<long long>(set.size()) - 1;
-      }
-      const topology::HomologyReport h =
-          topology::reduced_homology(psi, {.max_dim = m1 - 1});
-      report.check(h.reduced_betti[static_cast<std::size_t>(m1 - 1)] ==
-                       expected_top,
-                   "wedge profile at m+1=" + std::to_string(m1) + " shape " +
-                       shape);
+      points.push_back(std::move(point));
     }
   }
 
-  // Corollary 8: unions with a shared value.
+  const auto emit_cor6 = [&](const Cor6Point& point, const Cor6Result& result,
+                             const char* build_time) {
+    const int m1 = point.m1;
+    const int expected = m1 - 2;  // (m - 1) with m = m1 - 1
+    report.row("  %3d {%-12s} %6zu %7d %7d  %s", m1, point.shape.c_str(),
+               static_cast<std::size_t>(result.facets), result.measured,
+               expected, build_time);
+    report.check(result.measured >= expected || expected < -1,
+                 "Cor 6 at m+1=" + std::to_string(m1) + " shape " +
+                     point.shape);
+    // Stronger than Cor 6: the exact wedge-of-spheres profile,
+    // β̃_{m} = Π(|U_i| - 1) and 0 below.
+    long long expected_top = 1;
+    for (int size : point.sizes) {
+      expected_top *= static_cast<long long>(size) - 1;
+    }
+    report.check(result.homology.reduced_betti[static_cast<std::size_t>(
+                     m1 - 1)] == expected_top,
+                 "wedge profile at m+1=" + std::to_string(m1) + " shape " +
+                     point.shape);
+  };
+
+  if (cache_dir.empty()) {
+    for (const Cor6Point& point : points) {
+      util::Timer timer;
+      const topology::SimplicialComplex psi = build_pseudosphere(point.sizes);
+      const int expected = point.m1 - 2;
+      Cor6Result result;
+      result.facets = psi.facet_count();
+      result.measured =
+          topology::homological_connectivity(psi, std::max(expected, 0));
+      result.homology =
+          topology::reduced_homology(psi, {.max_dim = point.m1 - 1});
+      emit_cor6(point, result, timer.pretty().c_str());
+    }
+  } else {
+    std::vector<sweep::JobSpec> jobs;
+    for (const Cor6Point& point : points) {
+      sweep::JobSpec spec;
+      spec.kind = "cor6/pseudosphere-connectivity";
+      spec.params.push_back(point.m1);
+      for (int size : point.sizes) spec.params.push_back(size);
+      jobs.push_back(std::move(spec));
+    }
+    sweep::SweepEngine engine({.cache_dir = cache_dir});
+    const std::vector<Cor6Result> results = sweep::run_sweep<Cor6Result>(
+        engine, jobs,
+        [&points](const sweep::JobSpec&, std::size_t index) {
+          const Cor6Point& point = points[index];
+          const topology::SimplicialComplex psi =
+              build_pseudosphere(point.sizes);
+          const int expected = point.m1 - 2;
+          Cor6Result result;
+          result.facets = psi.facet_count();
+          result.measured =
+              topology::homological_connectivity(psi, std::max(expected, 0));
+          result.homology =
+              topology::reduced_homology(psi, {.max_dim = point.m1 - 1});
+          return result;
+        },
+        serialize_cor6, deserialize_cor6);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      emit_cor6(points[i], results[i], "-");
+    }
+    std::printf("sweep: %s\n", engine.stats().to_string().c_str());
+  }
+
+  // Corollary 8: unions with a shared value. Rows carry no time column, so
+  // cached and uncached output coincide.
   report.header("  union sweep: m+1 families  facets  conn>=  expect");
+  struct Cor8Point {
+    int m1 = 0;
+    int families = 0;
+    topology::SimplicialComplex complex;
+  };
+  std::vector<Cor8Point> unions;
   for (int m1 = 2; m1 <= 4; ++m1) {
     for (int families = 2; families <= 4; ++families) {
-      topology::VertexArena arena;
-      std::vector<core::ProcessId> pids;
-      for (int i = 0; i < m1; ++i) pids.push_back(i);
-      topology::SimplicialComplex u;
-      for (int a = 0; a < families; ++a) {
-        // Family A_a = {0 (shared), 10 + a}.
-        u.merge(core::pseudosphere_uniform(
-            pids, {0, static_cast<core::StateId>(10 + a)}, arena));
-      }
-      const int expected = m1 - 2;
-      const int measured =
-          topology::homological_connectivity(u, std::max(expected, 0));
-      report.row("               %3d %8d %7zu %7d %7d", m1, families,
-                 u.facet_count(), measured, expected);
-      report.check(measured >= expected,
-                   "Cor 8 at m+1=" + std::to_string(m1) + " families=" +
-                       std::to_string(families));
+      unions.push_back({m1, families, build_union(m1, families)});
     }
+  }
+
+  const auto emit_cor8 = [&](const Cor8Point& point,
+                             const core::ConnectivityCheck& check) {
+    report.row("               %3d %8d %7zu %7d %7d", point.m1,
+               point.families, static_cast<std::size_t>(check.facet_count),
+               check.measured, check.expected);
+    report.check(check.measured >= check.expected,
+                 "Cor 8 at m+1=" + std::to_string(point.m1) + " families=" +
+                     std::to_string(point.families));
+  };
+
+  const auto measure_cor8 = [](const Cor8Point& point) {
+    core::ConnectivityCheck check;
+    check.expected = point.m1 - 2;
+    check.facet_count = point.complex.facet_count();
+    check.vertex_count = point.complex.vertex_ids().size();
+    check.dimension = point.complex.dimension();
+    check.measured = topology::homological_connectivity(
+        point.complex, std::max(check.expected, 0));
+    check.satisfied = check.measured >= check.expected;
+    return check;
+  };
+
+  if (cache_dir.empty()) {
+    for (const Cor8Point& point : unions) emit_cor8(point, measure_cor8(point));
+  } else {
+    std::vector<sweep::JobSpec> jobs;
+    for (const Cor8Point& point : unions) {
+      sweep::JobSpec spec;
+      spec.kind = "cor8/union-connectivity";
+      spec.params = {point.m1, point.families};
+      // Key on the canonical facet encoding: the complex itself is the
+      // query, the (m1, families) params are just provenance.
+      store::ByteWriter encoding;
+      store::encode_complex(encoding, point.complex);
+      spec.key_extra = encoding.take();
+      jobs.push_back(std::move(spec));
+    }
+    sweep::SweepEngine engine({.cache_dir = cache_dir});
+    const std::vector<core::ConnectivityCheck> checks =
+        sweep::run_sweep<core::ConnectivityCheck>(
+            engine, jobs,
+            [&unions, &measure_cor8](const sweep::JobSpec&,
+                                     std::size_t index) {
+              return measure_cor8(unions[index]);
+            },
+            store::serialize_connectivity_check,
+            store::deserialize_connectivity_check);
+    for (std::size_t i = 0; i < unions.size(); ++i) {
+      emit_cor8(unions[i], checks[i]);
+    }
+    std::printf("sweep: %s\n", engine.stats().to_string().c_str());
   }
   return report.finish();
 }

@@ -1,41 +1,100 @@
 // Lemma 12: A^r(S^m) is (m - (n - f) - 1)-connected. Sweeps (n, m, f, r)
 // over everything that builds in seconds and reports measured homological
 // connectivity against the bound.
+//
+// With --cache-dir the sweep runs through sweep::SweepEngine: verdicts are
+// served from the result store when present (the time column shows "-" so
+// rows are byte-identical between cold and warm runs) and a sweep stats
+// line is appended. Without the flag, output is identical to the uncached
+// original.
+
+#include <array>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/theorems.h"
+#include "store/serialize.h"
+#include "sweep/sweep.h"
+#include "util/cli.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psph;
+  std::string cache_dir;
+  int threads = 0;
+  util::Cli cli("lemma12_async_connectivity",
+                "Lemma 12: A^r(S^m) connectivity sweep");
+  cli.flag("cache-dir", &cache_dir,
+           "result-store root; empty disables caching");
+  cli.flag("threads", &threads,
+           "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
+  cli.parse(argc, argv);
+  if (threads > 0) util::set_thread_count(threads);
+
   bench::Report report("Lemma 12",
                        "A^r(S^m) is (m - (n - f) - 1)-connected");
   report.header("  n+1 m+1  f  r   facets vertices  expect conn  build");
 
-  for (const auto& [n1, m1, f, r] : std::vector<std::array<int, 4>>{
-           {3, 3, 1, 1},
-           {3, 3, 1, 2},
-           {3, 3, 1, 3},
-           {3, 3, 2, 1},
-           {3, 3, 2, 2},
-           {3, 2, 1, 1},
-           {4, 4, 1, 1},
-           {4, 4, 2, 1},
-           {4, 3, 1, 1},
-           {4, 3, 2, 1},
-           {4, 4, 3, 1},
-           {5, 5, 1, 1}}) {
-    util::Timer timer;
-    const core::ConnectivityCheck check =
-        core::check_async_connectivity(n1, m1, f, r);
-    report.row("  %3d %3d %2d %2d %8zu %8zu %7d %4d  %s", n1, m1, f, r,
-               check.facet_count, check.vertex_count, check.expected,
-               check.measured, timer.pretty().c_str());
+  const std::vector<std::array<int, 4>> grid{{3, 3, 1, 1},
+                                             {3, 3, 1, 2},
+                                             {3, 3, 1, 3},
+                                             {3, 3, 2, 1},
+                                             {3, 3, 2, 2},
+                                             {3, 2, 1, 1},
+                                             {4, 4, 1, 1},
+                                             {4, 4, 2, 1},
+                                             {4, 3, 1, 1},
+                                             {4, 3, 2, 1},
+                                             {4, 4, 3, 1},
+                                             {5, 5, 1, 1}};
+
+  const auto check_row = [&](const std::array<int, 4>& point,
+                             const core::ConnectivityCheck& check) {
+    const auto& [n1, m1, f, r] = point;
     report.check(check.satisfied, "connectivity bound at n+1=" +
                                       std::to_string(n1) + " m+1=" +
                                       std::to_string(m1) + " f=" +
                                       std::to_string(f) + " r=" +
                                       std::to_string(r));
+  };
+
+  if (cache_dir.empty()) {
+    for (const auto& [n1, m1, f, r] : grid) {
+      util::Timer timer;
+      const core::ConnectivityCheck check =
+          core::check_async_connectivity(n1, m1, f, r);
+      report.row("  %3d %3d %2d %2d %8zu %8zu %7d %4d  %s", n1, m1, f, r,
+                 check.facet_count, check.vertex_count, check.expected,
+                 check.measured, timer.pretty().c_str());
+      check_row({n1, m1, f, r}, check);
+    }
+    return report.finish();
   }
+
+  std::vector<sweep::JobSpec> jobs;
+  for (const auto& [n1, m1, f, r] : grid) {
+    jobs.push_back({"lemma12/async-connectivity", {n1, m1, f, r}, {}});
+  }
+  sweep::SweepEngine engine({.cache_dir = cache_dir});
+  const std::vector<core::ConnectivityCheck> checks =
+      sweep::run_sweep<core::ConnectivityCheck>(
+          engine, jobs,
+          [](const sweep::JobSpec& spec, std::size_t) {
+            return core::check_async_connectivity(
+                static_cast<int>(spec.params[0]),
+                static_cast<int>(spec.params[1]),
+                static_cast<int>(spec.params[2]),
+                static_cast<int>(spec.params[3]));
+          },
+          store::serialize_connectivity_check,
+          store::deserialize_connectivity_check);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [n1, m1, f, r] = grid[i];
+    report.row("  %3d %3d %2d %2d %8zu %8zu %7d %4d  %s", n1, m1, f, r,
+               checks[i].facet_count, checks[i].vertex_count,
+               checks[i].expected, checks[i].measured, "-");
+    check_row(grid[i], checks[i]);
+  }
+  std::printf("sweep: %s\n", engine.stats().to_string().c_str());
   return report.finish();
 }

@@ -1,42 +1,95 @@
 // Lemmas 16 and 17: S^r(S^m) is (m - (n - k) - 1)-connected when
 // n >= rk + k. The sweep includes boundary cases where the hypothesis
 // *fails* (marked "n/a"), showing the hypothesis is doing real work.
+//
+// With --cache-dir verdicts are served from the result store (time column
+// "-", deterministic rows); without it, output matches the original.
+
+#include <array>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/theorems.h"
+#include "store/serialize.h"
+#include "sweep/sweep.h"
+#include "util/cli.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psph;
+  std::string cache_dir;
+  int threads = 0;
+  util::Cli cli("lemma16_sync_connectivity",
+                "Lemmas 16/17: S^r(S^m) connectivity sweep");
+  cli.flag("cache-dir", &cache_dir,
+           "result-store root; empty disables caching");
+  cli.flag("threads", &threads,
+           "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
+  cli.parse(argc, argv);
+  if (threads > 0) util::set_thread_count(threads);
+
   bench::Report report(
       "Lemmas 16 and 17",
       "S^r(S^m) is (m - (n - k) - 1)-connected when n >= rk + k");
   report.header(
       "  n+1 m+1  k  r hyp?   facets vertices  expect conn  build");
 
-  for (const auto& [n1, m1, k, r] : std::vector<std::array<int, 4>>{
-           {3, 3, 1, 1},
-           {4, 4, 1, 1},
-           {4, 4, 1, 2},
-           {4, 3, 1, 1},
-           {5, 5, 1, 1},
-           {5, 5, 2, 1},
-           {5, 5, 1, 2},
-           {3, 3, 1, 2},   // hypothesis violated: n = 2 < rk + k = 3
-           {5, 5, 2, 2}}) {  // hypothesis violated: n = 4 < 6
-    util::Timer timer;
+  const std::vector<std::array<int, 4>> grid{
+      {3, 3, 1, 1},
+      {4, 4, 1, 1},
+      {4, 4, 1, 2},
+      {4, 3, 1, 1},
+      {5, 5, 1, 1},
+      {5, 5, 2, 1},
+      {5, 5, 1, 2},
+      {3, 3, 1, 2},   // hypothesis violated: n = 2 < rk + k = 3
+      {5, 5, 2, 2}};  // hypothesis violated: n = 4 < 6
+
+  const auto emit = [&](const std::array<int, 4>& point,
+                        const core::ConnectivityCheck& check,
+                        const char* build_time) {
+    const auto& [n1, m1, k, r] = point;
     const bool hypothesis = (n1 - 1) >= r * k + k;
-    const core::ConnectivityCheck check =
-        core::check_sync_connectivity(n1, m1, k, r);
     report.row("  %3d %3d %2d %2d %4s %8zu %8zu %7d %4d  %s", n1, m1, k, r,
                hypothesis ? "yes" : "no", check.facet_count,
                check.vertex_count, check.expected, check.measured,
-               timer.pretty().c_str());
+               build_time);
     if (hypothesis) {
       report.check(check.satisfied,
                    "Lemma 16/17 at n+1=" + std::to_string(n1) + " k=" +
                        std::to_string(k) + " r=" + std::to_string(r));
     }
+  };
+
+  if (cache_dir.empty()) {
+    for (const auto& point : grid) {
+      const auto& [n1, m1, k, r] = point;
+      util::Timer timer;
+      const core::ConnectivityCheck check =
+          core::check_sync_connectivity(n1, m1, k, r);
+      emit(point, check, timer.pretty().c_str());
+    }
+    return report.finish();
   }
+
+  std::vector<sweep::JobSpec> jobs;
+  for (const auto& [n1, m1, k, r] : grid) {
+    jobs.push_back({"lemma16/sync-connectivity", {n1, m1, k, r}, {}});
+  }
+  sweep::SweepEngine engine({.cache_dir = cache_dir});
+  const std::vector<core::ConnectivityCheck> checks =
+      sweep::run_sweep<core::ConnectivityCheck>(
+          engine, jobs,
+          [](const sweep::JobSpec& spec, std::size_t) {
+            return core::check_sync_connectivity(
+                static_cast<int>(spec.params[0]),
+                static_cast<int>(spec.params[1]),
+                static_cast<int>(spec.params[2]),
+                static_cast<int>(spec.params[3]));
+          },
+          store::serialize_connectivity_check,
+          store::deserialize_connectivity_check);
+  for (std::size_t i = 0; i < grid.size(); ++i) emit(grid[i], checks[i], "-");
+  std::printf("sweep: %s\n", engine.stats().to_string().c_str());
   return report.finish();
 }

@@ -1,0 +1,134 @@
+// Result-store warm-cache benchmark: runs a Lemma 12 connectivity sweep
+// cold (every job computed and persisted) and then warm (every job served
+// from the store), reporting per-pass wall times and the speedup on the
+// largest sweep point. The acceptance bar is a >=5x wall-time reduction on
+// that point — in practice a warm load is a single checksummed file read
+// and lands orders of magnitude below the homology computation.
+//
+// By default the cache lives in a fresh temp directory that is removed on
+// exit; pass --cache-dir to aim at (and keep) a persistent store.
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/theorems.h"
+#include "store/serialize.h"
+#include "sweep/sweep.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace psph;
+  namespace fs = std::filesystem;
+
+  std::string cache_dir;
+  int threads = 0;
+  util::Cli cli("sweep_cache",
+                "warm-cache speedup of the sweep engine on Lemma 12 points");
+  cli.flag("cache-dir", &cache_dir,
+           "result-store root (default: fresh temp dir, removed on exit)");
+  cli.flag("threads", &threads,
+           "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
+  cli.parse(argc, argv);
+  if (threads > 0) util::set_thread_count(threads);
+
+  bool scratch = false;
+  if (cache_dir.empty()) {
+    cache_dir = (fs::temp_directory_path() /
+                 ("psph_sweep_cache." + std::to_string(::getpid())))
+                    .string();
+    fs::remove_all(cache_dir);
+    scratch = true;
+  }
+
+  bench::Report report("Sweep cache",
+                       "warm result-store sweeps skip recomputation "
+                       "(>=5x on the largest point)");
+
+  const std::vector<std::array<int, 4>> grid{
+      {3, 3, 1, 2}, {4, 4, 2, 1}, {4, 3, 2, 1}, {5, 5, 1, 1}, {3, 3, 1, 3}};
+  // {3,3,1,3} is the slowest point of the Lemma 12 grid (the r-round async
+  // complex grows exponentially in r).
+  const std::size_t largest = grid.size() - 1;
+
+  std::vector<sweep::JobSpec> jobs;
+  for (const auto& [n1, m1, f, r] : grid) {
+    jobs.push_back({"lemma12/async-connectivity", {n1, m1, f, r}, {}});
+  }
+  const auto compute = [](const sweep::JobSpec& spec, std::size_t) {
+    return core::check_async_connectivity(static_cast<int>(spec.params[0]),
+                                          static_cast<int>(spec.params[1]),
+                                          static_cast<int>(spec.params[2]),
+                                          static_cast<int>(spec.params[3]));
+  };
+  const auto run_pass = [&](const std::vector<sweep::JobSpec>& pass_jobs,
+                            sweep::SweepStats* stats_out) {
+    sweep::SweepEngine engine({.cache_dir = cache_dir});
+    const std::vector<core::ConnectivityCheck> checks =
+        sweep::run_sweep<core::ConnectivityCheck>(
+            engine, pass_jobs, compute, store::serialize_connectivity_check,
+            store::deserialize_connectivity_check);
+    if (stats_out != nullptr) *stats_out = engine.stats();
+    return checks;
+  };
+
+  report.header("  pass                 jobs  hits  computed      wall");
+
+  // Cold pass over the largest point alone, so its wall time is isolated.
+  util::Timer cold_timer;
+  sweep::SweepStats cold_stats;
+  const std::vector<core::ConnectivityCheck> cold_largest =
+      run_pass({jobs[largest]}, &cold_stats);
+  const double cold_ms = cold_timer.millis();
+  report.row("  largest cold        %5zu %5zu %9zu %8.1fms", cold_stats.jobs,
+             cold_stats.cache_hits, cold_stats.computed, cold_ms);
+  report.check(cold_stats.computed == 1, "cold pass computes the job");
+
+  // Cold pass over the rest of the grid (the largest point now hits).
+  sweep::SweepStats fill_stats;
+  util::Timer fill_timer;
+  run_pass(jobs, &fill_stats);
+  report.row("  grid fill           %5zu %5zu %9zu %8.1fms", fill_stats.jobs,
+             fill_stats.cache_hits, fill_stats.computed, fill_timer.millis());
+  report.check(fill_stats.cache_hits == 1 &&
+                   fill_stats.computed == grid.size() - 1,
+               "grid fill reuses the largest point");
+
+  // Fully warm pass: every job served from the store.
+  sweep::SweepStats warm_stats;
+  util::Timer warm_all_timer;
+  run_pass(jobs, &warm_stats);
+  report.row("  grid warm           %5zu %5zu %9zu %8.1fms", warm_stats.jobs,
+             warm_stats.cache_hits, warm_stats.computed,
+             warm_all_timer.millis());
+  report.check(warm_stats.cache_hits == grid.size() && warm_stats.computed == 0,
+               "warm pass is 100% cache hits");
+
+  // Warm pass over the largest point alone: the speedup measurement.
+  util::Timer warm_timer;
+  sweep::SweepStats warm_largest_stats;
+  const std::vector<core::ConnectivityCheck> warm_largest =
+      run_pass({jobs[largest]}, &warm_largest_stats);
+  const double warm_ms = warm_timer.millis();
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 1e9;
+  report.row("  largest warm        %5zu %5zu %9zu %8.1fms",
+             warm_largest_stats.jobs, warm_largest_stats.cache_hits,
+             warm_largest_stats.computed, warm_ms);
+  report.row("  largest point speedup: %.1fx (cold %.1fms / warm %.1fms)",
+             speedup, cold_ms, warm_ms);
+  report.check(speedup >= 5.0, "warm cache >=5x on the largest sweep point");
+  report.check(cold_largest[0].facet_count == warm_largest[0].facet_count &&
+                   cold_largest[0].measured == warm_largest[0].measured &&
+                   cold_largest[0].expected == warm_largest[0].expected &&
+                   cold_largest[0].satisfied == warm_largest[0].satisfied,
+               "warm result identical to cold result");
+
+  if (scratch) fs::remove_all(cache_dir);
+  return report.finish();
+}

@@ -50,6 +50,14 @@ void BigInt::trim() {
   if (magnitude_.empty()) negative_ = false;
 }
 
+BigInt BigInt::from_limbs(bool negative, std::vector<std::uint32_t> limbs) {
+  BigInt value;
+  value.negative_ = negative;
+  value.magnitude_ = std::move(limbs);
+  value.trim();
+  return value;
+}
+
 int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
                               const std::vector<std::uint32_t>& b) {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;

@@ -68,6 +68,15 @@ class BigInt {
   /// Number of 32-bit limbs (0 for zero); exposed for tests and heuristics.
   std::size_t limb_count() const { return magnitude_.size(); }
 
+  /// Little-endian 32-bit limbs of |*this| with no leading zero limb (empty
+  /// for zero). Together with is_negative() this is an exact external
+  /// representation, used by the binary serializers in src/store.
+  const std::vector<std::uint32_t>& limbs() const { return magnitude_; }
+
+  /// Rebuilds a value from limbs() + sign. Trailing zero limbs are trimmed;
+  /// a zero magnitude ignores `negative` (there is no negative zero).
+  static BigInt from_limbs(bool negative, std::vector<std::uint32_t> limbs);
+
  private:
   // Compares magnitudes only: -1, 0, +1.
   static int compare_magnitude(const std::vector<std::uint32_t>& a,

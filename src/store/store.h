@@ -1,0 +1,121 @@
+#pragma once
+
+// Content-addressed on-disk result store (DESIGN §5).
+//
+// A cache key is the 128-bit hash of a *key blob*: format version, query
+// kind, query parameters, and (when the query is over an explicit complex)
+// the canonical facet encoding. Entries live under the store root in a
+// two-level fan-out derived from the key's hex rendering,
+//
+//   <root>/objects/ab/cd/abcd0123...ef.psph
+//
+// so a directory never accumulates more than 256 children per level. Each
+// entry file is a sealed kCacheEntry envelope wrapping (key blob, result
+// bytes); load() re-validates the checksum AND compares the stored key blob
+// against the query's, so a hash collision or a corrupted/truncated entry
+// degrades to a cache miss plus recomputation, never a wrong answer.
+//
+// Publication is atomic: writers serialize into <root>/tmp/<unique> and
+// std::filesystem::rename onto the final path. rename(2) within one
+// filesystem is atomic, so concurrent writers race benignly (last rename
+// wins with identical content) and a crash mid-write leaves only a tmp
+// orphan, never a half-written entry.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/serialize.h"
+#include "topology/complex.h"
+
+namespace psph::store {
+
+/// 128-bit content hash, rendered as 32 lowercase hex characters.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  std::string hex() const;
+  bool operator==(const CacheKey& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+};
+
+/// Accumulates the canonical key blob for one query and hashes it.
+///
+///   CacheKeyBuilder key("lemma12");
+///   key.param(n1).param(m1).param(f).param(r);
+///   store.load(key) / store.save(key, result_bytes);
+///
+/// The blob starts with the format version, so bumping kFormatVersion
+/// invalidates every old entry by construction.
+class CacheKeyBuilder {
+ public:
+  explicit CacheKeyBuilder(const std::string& query_kind);
+
+  CacheKeyBuilder& param(std::int64_t value);
+  CacheKeyBuilder& param_string(const std::string& value);
+  /// Mixes in the canonical facet encoding of `k`.
+  CacheKeyBuilder& complex(const topology::SimplicialComplex& k);
+  /// Mixes in arbitrary pre-encoded key material (length-prefixed).
+  CacheKeyBuilder& raw(const std::vector<std::uint8_t>& bytes);
+
+  CacheKey key() const;
+  /// The exact bytes the key hashes; stored in each entry for collision
+  /// detection on load.
+  const std::vector<std::uint8_t>& blob() const { return writer_.bytes(); }
+
+ private:
+  ByteWriter writer_;
+};
+
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t corrupt_entries = 0;  // counted as misses
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class ResultStore {
+ public:
+  /// Creates <root>/objects and <root>/tmp if missing. Throws
+  /// std::runtime_error if the root exists but is not a directory.
+  explicit ResultStore(std::filesystem::path root);
+
+  /// Returns the stored result bytes for `key`, or nullopt on miss. A
+  /// present-but-invalid entry (truncated, corrupt, version-skewed, or a
+  /// key-blob mismatch) counts as a miss. Thread-safe.
+  std::optional<std::vector<std::uint8_t>> load(const CacheKeyBuilder& key);
+
+  /// Atomically publishes `result_bytes` under `key` (write temp + rename).
+  /// Thread-safe; concurrent saves of the same key are benign.
+  void save(const CacheKeyBuilder& key,
+            const std::vector<std::uint8_t>& result_bytes);
+
+  /// True if a valid entry exists (same validation as load). Thread-safe.
+  bool contains(const CacheKeyBuilder& key);
+
+  /// Final on-disk path for a key (exists only after a save).
+  std::filesystem::path entry_path(const CacheKey& key) const;
+
+  const std::filesystem::path& root() const { return root_; }
+
+  /// Snapshot of the counters (monotonic across the store's lifetime).
+  StoreStats stats() const;
+
+ private:
+  std::filesystem::path root_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace psph::store

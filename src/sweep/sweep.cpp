@@ -1,0 +1,196 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace psph::sweep {
+
+namespace {
+
+/// Minimal JSON string escaping (kinds are identifiers, but stay correct).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string pretty_bytes(std::uint64_t bytes) {
+  char buffer[32];
+  if (bytes < 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fKiB",
+                  static_cast<double>(bytes) / 1024.0);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+store::CacheKeyBuilder JobSpec::key_builder() const {
+  store::CacheKeyBuilder builder(kind);
+  for (std::int64_t p : params) builder.param(p);
+  if (!key_extra.empty()) builder.raw(key_extra);
+  return builder;
+}
+
+std::string JobSpec::params_json() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i) out << ",";
+    out << params[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string SweepStats::to_string() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%zu jobs: %zu cache hits (%zu resumed), %zu computed; "
+                "%s read, %s written; compute %.1fms, wall %.1fms",
+                jobs, cache_hits, resumed, computed,
+                pretty_bytes(bytes_read).c_str(),
+                pretty_bytes(bytes_written).c_str(), compute_millis,
+                wall_millis);
+  return buffer;
+}
+
+SweepEngine::SweepEngine(const SweepOptions& options) {
+  if (!options.cache_dir.empty()) {
+    store_ = std::make_unique<store::ResultStore>(options.cache_dir);
+    manifest_path_ = options.manifest_path.empty()
+                         ? (store_->root() / "manifest.jsonl").string()
+                         : options.manifest_path;
+    load_manifest();
+    manifest_.open(manifest_path_, std::ios::app);
+    if (!manifest_) {
+      throw std::runtime_error("sweep: cannot open manifest " +
+                               manifest_path_);
+    }
+  }
+}
+
+void SweepEngine::load_manifest() {
+  std::ifstream in(manifest_path_);
+  if (!in) return;  // first run: no manifest yet
+  std::string line;
+  while (std::getline(in, line)) {
+    // Each well-formed line starts {"key":"<32 hex>",...}. A torn final
+    // line (crash mid-append) simply fails the shape test and is ignored;
+    // the job it described re-runs, which is the safe direction.
+    const std::string prefix = "{\"key\":\"";
+    if (line.rfind(prefix, 0) != 0 || line.size() < prefix.size() + 32) {
+      continue;
+    }
+    const std::string hex = line.substr(prefix.size(), 32);
+    if (hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      continue;
+    }
+    logged_.insert(hex);
+  }
+  logged_before_run_ = logged_;
+}
+
+void SweepEngine::append_manifest(const JobSpec& spec,
+                                  const std::string& key_hex,
+                                  std::size_t bytes, double millis,
+                                  bool cached) {
+  if (store_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(manifest_mutex_);
+  if (!logged_.insert(key_hex).second) return;  // already logged
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"key\":\"%s\",\"kind\":\"%s\",\"params\":%s,"
+                "\"bytes\":%zu,\"millis\":%.3f,\"cached\":%s}\n",
+                key_hex.c_str(), json_escape(spec.kind).c_str(),
+                spec.params_json().c_str(), bytes, millis,
+                cached ? "true" : "false");
+  manifest_ << line;
+  manifest_.flush();  // a killed sweep keeps every completed line
+}
+
+std::vector<std::vector<std::uint8_t>> SweepEngine::run(
+    const std::vector<JobSpec>& jobs, const Compute& compute) {
+  util::Timer wall;
+  const store::StoreStats before =
+      store_ ? store_->stats() : store::StoreStats{};
+
+  std::vector<std::vector<std::uint8_t>> results(jobs.size());
+  std::vector<std::size_t> uncached;
+  stats_.jobs += jobs.size();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (store_ == nullptr) {
+      uncached.push_back(i);
+      continue;
+    }
+    const store::CacheKeyBuilder builder = jobs[i].key_builder();
+    std::optional<std::vector<std::uint8_t>> hit = store_->load(builder);
+    if (!hit.has_value()) {
+      uncached.push_back(i);
+      continue;
+    }
+    const std::string hex = builder.key().hex();
+    ++stats_.cache_hits;
+    if (logged_before_run_.count(hex) != 0) ++stats_.resumed;
+    append_manifest(jobs[i], hex, hit->size(), 0.0, true);
+    results[i] = std::move(*hit);
+  }
+
+  // Per-slot outputs keep the fan-out deterministic; the counters below
+  // survive a compute exception so stats stay truthful for aborted runs.
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::uint64_t> compute_micros{0};
+  try {
+    util::parallel_for(uncached.size(), [&](std::size_t u) {
+      const std::size_t i = uncached[u];
+      util::Timer timer;
+      std::vector<std::uint8_t> bytes = compute(jobs[i], i);
+      const double millis = timer.millis();
+      if (store_ != nullptr) {
+        const store::CacheKeyBuilder builder = jobs[i].key_builder();
+        store_->save(builder, bytes);
+        append_manifest(jobs[i], builder.key().hex(), bytes.size(), millis,
+                        false);
+      }
+      results[i] = std::move(bytes);
+      compute_micros.fetch_add(static_cast<std::uint64_t>(millis * 1000.0),
+                               std::memory_order_relaxed);
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (...) {
+    stats_.computed += completed.load();
+    stats_.compute_millis += static_cast<double>(compute_micros.load()) / 1000.0;
+    stats_.wall_millis += wall.millis();
+    if (store_) {
+      const store::StoreStats after = store_->stats();
+      stats_.bytes_read += after.bytes_read - before.bytes_read;
+      stats_.bytes_written += after.bytes_written - before.bytes_written;
+    }
+    throw;
+  }
+
+  stats_.computed += completed.load();
+  stats_.compute_millis += static_cast<double>(compute_micros.load()) / 1000.0;
+  stats_.wall_millis += wall.millis();
+  if (store_) {
+    const store::StoreStats after = store_->stats();
+    stats_.bytes_read += after.bytes_read - before.bytes_read;
+    stats_.bytes_written += after.bytes_written - before.bytes_written;
+  }
+  return results;
+}
+
+}  // namespace psph::sweep

@@ -1,0 +1,146 @@
+#pragma once
+
+// Declarative, resumable parameter sweeps over the result store.
+//
+// A sweep is a list of JobSpecs (query kind + integer parameters + an
+// optional extra key blob, e.g. a canonical facet encoding) plus a compute
+// functor producing sealed result bytes. For each job the engine:
+//
+//   1. consults the ResultStore (cache hit → no computation),
+//   2. fans the uncached jobs out on the shared util::parallel pool,
+//   3. persists each freshly computed result with an atomic save, and
+//   4. appends one JSONL line per completed job to a manifest file,
+//      flushed immediately, so a killed sweep loses at most the jobs that
+//      were in flight at the kill.
+//
+// On restart the engine reloads the manifest and finds completed jobs in
+// the store, so `resume = rerun the same command`. Results come back in job
+// order regardless of completion order (bit-identical output at any thread
+// count, same discipline as util::parallel_for).
+//
+// The engine is byte-level; run_sweep<Result> adds typed encode/decode glue
+// so callers never touch buffers:
+//
+//   sweep::SweepEngine engine({.cache_dir = dir});
+//   std::vector<core::ConnectivityCheck> rows = sweep::run_sweep<
+//       core::ConnectivityCheck>(
+//       engine, jobs,
+//       [](const sweep::JobSpec& spec, std::size_t) { return compute(spec); },
+//       store::serialize_connectivity_check,
+//       store::deserialize_connectivity_check);
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "store/store.h"
+
+namespace psph::sweep {
+
+/// One point of a parameter grid.
+struct JobSpec {
+  /// Query kind, e.g. "lemma12/connectivity". Distinct kinds never share
+  /// cache entries even with identical parameters.
+  std::string kind;
+  std::vector<std::int64_t> params;
+  /// Optional extra key material (canonical facet encoding of an input
+  /// complex, serialized options, ...). Part of the cache key.
+  std::vector<std::uint8_t> key_extra;
+
+  /// The cache key for this job: hash of (format version, kind, params,
+  /// key_extra) via CacheKeyBuilder.
+  store::CacheKeyBuilder key_builder() const;
+
+  /// Params as a JSON array, e.g. "[3,3,1,2]" (manifest rendering).
+  std::string params_json() const;
+};
+
+struct SweepStats {
+  std::size_t jobs = 0;
+  std::size_t cache_hits = 0;
+  std::size_t computed = 0;
+  /// Hits whose manifest line predates this run — completed by an earlier
+  /// (possibly killed) invocation sharing the manifest.
+  std::size_t resumed = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// Summed compute time of the jobs this run actually executed.
+  double compute_millis = 0.0;
+  /// End-to-end time of run() calls.
+  double wall_millis = 0.0;
+
+  std::string to_string() const;
+};
+
+struct SweepOptions {
+  /// Root of the ResultStore. Empty = no store and no manifest: every job
+  /// recomputes (the engine still parallelizes and orders results).
+  std::string cache_dir = "";
+  /// JSONL completion log; defaults to <cache_dir>/manifest.jsonl.
+  std::string manifest_path = "";
+};
+
+class SweepEngine {
+ public:
+  /// Computes sealed result bytes for one job. Called off-thread for
+  /// uncached jobs; must not touch shared mutable state.
+  using Compute =
+      std::function<std::vector<std::uint8_t>(const JobSpec&, std::size_t)>;
+
+  explicit SweepEngine(const SweepOptions& options);
+
+  /// Runs the sweep; element i of the result is the sealed bytes for
+  /// jobs[i]. An exception from `compute` aborts the run (first error is
+  /// rethrown), but every job that completed before the abort is already
+  /// persisted — rerunning resumes past them.
+  std::vector<std::vector<std::uint8_t>> run(const std::vector<JobSpec>& jobs,
+                                             const Compute& compute);
+
+  const SweepStats& stats() const { return stats_; }
+  const std::string& manifest_path() const { return manifest_path_; }
+  bool caching() const { return store_ != nullptr; }
+
+ private:
+  void load_manifest();
+  void append_manifest(const JobSpec& spec, const std::string& key_hex,
+                       std::size_t bytes, double millis, bool cached);
+
+  std::unique_ptr<store::ResultStore> store_;
+  std::string manifest_path_;
+  std::ofstream manifest_;
+  std::mutex manifest_mutex_;
+  /// Key hexes with a manifest line, loaded at construction + grown as
+  /// lines are appended (dedups re-logging of resumed jobs).
+  std::unordered_set<std::string> logged_;
+  std::unordered_set<std::string> logged_before_run_;
+  SweepStats stats_;
+};
+
+/// Typed sweep: compute returns Result, serialize/deserialize map it to the
+/// sealed byte representation stored on disk.
+template <typename Result, typename ComputeFn, typename SerializeFn,
+          typename DeserializeFn>
+std::vector<Result> run_sweep(SweepEngine& engine,
+                              const std::vector<JobSpec>& jobs,
+                              ComputeFn compute, SerializeFn serialize,
+                              DeserializeFn deserialize) {
+  const std::vector<std::vector<std::uint8_t>> raw = engine.run(
+      jobs, [&](const JobSpec& spec, std::size_t index) {
+        return serialize(compute(spec, index));
+      });
+  std::vector<Result> results;
+  results.reserve(raw.size());
+  for (const std::vector<std::uint8_t>& bytes : raw) {
+    results.push_back(deserialize(bytes));
+  }
+  return results;
+}
+
+}  // namespace psph::sweep

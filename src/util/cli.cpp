@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -60,6 +61,10 @@ Cli& Cli::flag(const std::string& name, int* target, const std::string& help) {
               [target](const std::string& text) {
                 std::int64_t wide = 0;
                 if (!parse_int64(text, &wide)) return false;
+                if (wide < std::numeric_limits<int>::min() ||
+                    wide > std::numeric_limits<int>::max()) {
+                  return false;  // reject instead of silently truncating
+                }
                 *target = static_cast<int>(wide);
                 return true;
               }});
@@ -117,16 +122,16 @@ std::string Cli::usage() const {
   return out.str();
 }
 
-std::vector<std::string> Cli::parse(int argc, char** argv) {
-  std::vector<std::string> positional;
+Cli::ParseResult Cli::try_parse(int argc, char** argv) {
+  ParseResult result;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::fputs(usage().c_str(), stdout);
-      std::exit(0);
+      result.help = true;
+      return result;
     }
     if (arg.rfind("--", 0) != 0) {
-      positional.push_back(std::move(arg));
+      result.positional.push_back(std::move(arg));
       continue;
     }
     arg.erase(0, 2);
@@ -140,25 +145,37 @@ std::vector<std::string> Cli::parse(int argc, char** argv) {
     }
     const Flag* flag = find(arg);
     if (flag == nullptr) {
-      std::fprintf(stderr, "unknown flag --%s\n\n%s", arg.c_str(),
-                   usage().c_str());
-      std::exit(2);
+      result.error = "unknown flag --" + arg;
+      return result;
     }
     if (!has_value && !flag->is_bool) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
-        std::exit(2);
+        result.error = "flag --" + arg +
+                       " needs a value but is last on the command line";
+        return result;
       }
       value = argv[++i];
       has_value = true;
     }
     if (!flag->set(value)) {
-      std::fprintf(stderr, "bad value for --%s: '%s'\n", arg.c_str(),
-                   value.c_str());
-      std::exit(2);
+      result.error = "bad value for --" + arg + ": '" + value + "'";
+      return result;
     }
   }
-  return positional;
+  return result;
+}
+
+std::vector<std::string> Cli::parse(int argc, char** argv) {
+  ParseResult result = try_parse(argc, argv);
+  if (result.help) {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+  if (result.error.has_value()) {
+    std::fprintf(stderr, "%s\n\n%s", result.error->c_str(), usage().c_str());
+    std::exit(2);
+  }
+  return std::move(result.positional);
 }
 
 }  // namespace psph::util

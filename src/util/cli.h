@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,25 @@ class Cli {
   Cli& flag(const std::string& name, std::string* target,
             const std::string& help);
 
-  /// Parses argv. On --help or malformed input prints usage and exits.
-  /// Returns positional (non-flag) arguments.
+  /// Outcome of try_parse: exactly one of {error set, help set, success}.
+  struct ParseResult {
+    /// Set on malformed input: unknown flag, a value-taking flag with no
+    /// value (including one that is last on the command line), or a value
+    /// the target type rejects (malformed/overflowing integer, bad double
+    /// or bool). Targets touched before the error keep their parsed values.
+    std::optional<std::string> error;
+    /// --help / -h was seen (parsing stops there).
+    bool help = false;
+    std::vector<std::string> positional;
+  };
+
+  /// Non-exiting parse; the exit-on-error policy lives in parse() so tests
+  /// and embedding callers can handle failures themselves.
+  ParseResult try_parse(int argc, char** argv);
+
+  /// Parses argv. On --help prints usage and exits 0; on malformed input
+  /// prints the error plus usage to stderr and exits 2. Returns positional
+  /// (non-flag) arguments.
   std::vector<std::string> parse(int argc, char** argv);
 
   /// Renders the usage string (also printed on --help).

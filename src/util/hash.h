@@ -25,6 +25,40 @@ std::size_t hash_range(const std::vector<T>& items, std::size_t seed = 0) {
   return hash_combine(seed, items.size());
 }
 
+/// Deterministic 64-bit hash of a byte range (xxhash-style mixing). Unlike
+/// std::hash, the value is specified by this implementation alone, so it is
+/// stable across processes, platforms, and standard libraries — safe to use
+/// in on-disk formats (store checksums, cache keys).
+inline std::uint64_t hash_bytes(const void* data, std::size_t size,
+                                std::uint64_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint64_t prime1 = 0x9e3779b185ebca87ULL;
+  const std::uint64_t prime2 = 0xc2b2ae3d27d4eb4fULL;
+  const std::uint64_t prime3 = 0x165667b19e3779f9ULL;
+  std::uint64_t h = seed + prime3 + size;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t block = 0;
+    for (int b = 0; b < 8; ++b) {
+      block |= static_cast<std::uint64_t>(p[i + b]) << (8 * b);
+    }
+    block *= prime2;
+    block = (block << 31) | (block >> 33);
+    h ^= block * prime1;
+    h = ((h << 27) | (h >> 37)) * prime1 + prime2;
+  }
+  for (; i < size; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]) * prime3;
+    h = ((h << 11) | (h >> 53)) * prime1;
+  }
+  h ^= h >> 33;
+  h *= prime2;
+  h ^= h >> 29;
+  h *= prime3;
+  h ^= h >> 32;
+  return h;
+}
+
 /// Hash for std::pair, usable as a map hasher.
 struct PairHash {
   template <typename A, typename B>

@@ -1,5 +1,5 @@
-// Tests for the CLI flag parser (happy paths; the exit-on-error paths are
-// exercised manually by the example binaries) and the trace renderer.
+// Tests for the CLI flag parser — happy paths via parse(), error paths via
+// the non-exiting try_parse() — and the trace renderer.
 
 #include <gtest/gtest.h>
 
@@ -68,6 +68,100 @@ TEST(Cli, UsageListsFlagsAndDefaults) {
   EXPECT_NE(usage.find("--n"), std::string::npos);
   EXPECT_NE(usage.find("default: 7"), std::string::npos);
   EXPECT_NE(usage.find("the n value"), std::string::npos);
+}
+
+TEST(Cli, TryParseSucceedsOnWellFormedInput) {
+  util::Cli cli("test", "test");
+  int n = 1;
+  cli.flag("n", &n, "int");
+  std::vector<std::string> args{"prog", "--n", "9", "rest"};
+  std::vector<char*> argv = argv_of(args);
+  const util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(result.error.has_value());
+  EXPECT_FALSE(result.help);
+  EXPECT_EQ(n, 9);
+  ASSERT_EQ(result.positional.size(), 1u);
+  EXPECT_EQ(result.positional[0], "rest");
+}
+
+TEST(Cli, TryParseRejectsValueFlagLastOnCommandLine) {
+  util::Cli cli("test", "test");
+  std::string dir;
+  cli.flag("cache-dir", &dir, "store root");
+  std::vector<std::string> args{"prog", "--cache-dir"};
+  std::vector<char*> argv = argv_of(args);
+  const util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_NE(result.error->find("--cache-dir"), std::string::npos);
+  EXPECT_NE(result.error->find("last on the command line"),
+            std::string::npos);
+  EXPECT_EQ(dir, "");  // no silent fallback
+}
+
+TEST(Cli, TryParseRejectsMalformedIntegers) {
+  util::Cli cli("test", "test");
+  int n = 7;
+  cli.flag("n", &n, "int");
+  for (const std::string bad : {"abc", "12x", "", "1.5", "0x10"}) {
+    std::vector<std::string> args{"prog", "--n=" + bad};
+    std::vector<char*> argv = argv_of(args);
+    const util::Cli::ParseResult result =
+        cli.try_parse(static_cast<int>(argv.size()), argv.data());
+    ASSERT_TRUE(result.error.has_value()) << "input: '" << bad << "'";
+    EXPECT_NE(result.error->find("bad value for --n"), std::string::npos);
+    EXPECT_EQ(n, 7) << "target must be untouched on error";
+  }
+}
+
+TEST(Cli, TryParseRejectsIntOverflowInsteadOfTruncating) {
+  util::Cli cli("test", "test");
+  int n = 7;
+  cli.flag("n", &n, "int");
+  std::vector<std::string> args{"prog", "--n=99999999999"};  // > INT_MAX
+  std::vector<char*> argv = argv_of(args);
+  const util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Cli, TryParseRejectsUnknownFlagAndBadTypedValues) {
+  util::Cli cli("test", "test");
+  double d = 1.0;
+  bool b = false;
+  cli.flag("d", &d, "double");
+  cli.flag("b", &b, "bool");
+
+  std::vector<std::string> unknown{"prog", "--nope=1"};
+  std::vector<char*> argv = argv_of(unknown);
+  util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_NE(result.error->find("unknown flag --nope"), std::string::npos);
+
+  std::vector<std::string> bad_double{"prog", "--d=fast"};
+  argv = argv_of(bad_double);
+  result = cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_DOUBLE_EQ(d, 1.0);
+
+  std::vector<std::string> bad_bool{"prog", "--b=maybe"};
+  argv = argv_of(bad_bool);
+  result = cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_FALSE(b);
+}
+
+TEST(Cli, TryParseReportsHelpWithoutExiting) {
+  util::Cli cli("test", "test");
+  std::vector<std::string> args{"prog", "-h"};
+  std::vector<char*> argv = argv_of(args);
+  const util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(result.help);
+  EXPECT_FALSE(result.error.has_value());
 }
 
 TEST(Trace, RenderingMentionsStatesAndDecisions) {

@@ -1,0 +1,86 @@
+// Smoke test for the cached-sweep pipeline, registered directly with ctest
+// (no gtest): runs a tiny real connectivity sweep twice against a fresh
+// cache directory and asserts the second pass is 100% cache hits with
+// byte-identical results. Exercises the same store/sweep path the bench
+// binaries use under --cache-dir.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/theorems.h"
+#include "store/serialize.h"
+#include "sweep/sweep.h"
+
+namespace fs = std::filesystem;
+
+int main() {
+  using psph::core::ConnectivityCheck;
+  namespace store = psph::store;
+  namespace sweep = psph::sweep;
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("psph_sweep_smoke." + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // A tiny corner of the Lemma 12 grid (n, participants, f, r) — small
+  // enough to finish in well under a second, real enough to run the
+  // homology engine.
+  std::vector<sweep::JobSpec> jobs;
+  for (const int n : {2, 3}) {
+    for (const int r : {1, 2}) {
+      jobs.push_back({"smoke/async-connectivity", {n, n, 1, r}, {}});
+    }
+  }
+  const auto compute = [](const sweep::JobSpec& spec, std::size_t) {
+    return psph::core::check_async_connectivity(
+        static_cast<int>(spec.params[0]), static_cast<int>(spec.params[1]),
+        static_cast<int>(spec.params[2]), static_cast<int>(spec.params[3]));
+  };
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL: %s\n", what);
+    }
+  };
+
+  sweep::SweepEngine cold({.cache_dir = dir.string()});
+  const std::vector<ConnectivityCheck> cold_rows =
+      sweep::run_sweep<ConnectivityCheck>(
+          cold, jobs, compute, store::serialize_connectivity_check,
+          store::deserialize_connectivity_check);
+  check(cold.stats().computed == jobs.size(), "cold pass computes every job");
+  check(cold.stats().cache_hits == 0, "cold pass has no hits");
+
+  sweep::SweepEngine warm({.cache_dir = dir.string()});
+  const std::vector<ConnectivityCheck> warm_rows =
+      sweep::run_sweep<ConnectivityCheck>(
+          warm, jobs, compute, store::serialize_connectivity_check,
+          store::deserialize_connectivity_check);
+  check(warm.stats().cache_hits == jobs.size(),
+        "warm pass is 100% cache hits");
+  check(warm.stats().computed == 0, "warm pass computes nothing");
+
+  check(warm_rows.size() == cold_rows.size(), "row counts match");
+  for (std::size_t i = 0; i < cold_rows.size() && i < warm_rows.size(); ++i) {
+    const ConnectivityCheck& a = cold_rows[i];
+    const ConnectivityCheck& b = warm_rows[i];
+    check(a.measured == b.measured && a.expected == b.expected &&
+              a.satisfied == b.satisfied && a.facet_count == b.facet_count &&
+              a.vertex_count == b.vertex_count && a.dimension == b.dimension,
+          "warm row identical to cold row");
+    check(a.satisfied, "connectivity bound holds on smoke grid");
+  }
+
+  fs::remove_all(dir);
+  std::printf("sweep_smoke: %s (%d jobs, warm hits %zu)\n",
+              failures == 0 ? "PASS" : "FAIL", static_cast<int>(jobs.size()),
+              warm.stats().cache_hits);
+  return failures == 0 ? 0 : 1;
+}

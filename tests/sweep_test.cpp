@@ -1,0 +1,257 @@
+// Tests for the resumable sweep engine: cold/warm cache behaviour, manifest
+// contents, kill-resume (a compute exception aborts the run; rerunning the
+// same sweep resumes past everything already persisted), and byte-identical
+// results between cold and warm passes.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "store/serialize.h"
+#include "sweep/sweep.h"
+#include "util/parallel.h"
+
+namespace psph {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("psph_sweep_test." + std::to_string(::getpid()) + "." +
+             std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::vector<sweep::JobSpec> grid_jobs(int count) {
+  std::vector<sweep::JobSpec> jobs;
+  for (int i = 0; i < count; ++i) {
+    jobs.push_back({"test/square", {i, i + 1}, {}});
+  }
+  return jobs;
+}
+
+// Seals i64(params[0] * params[0]) — cheap, deterministic, verifiable.
+std::vector<std::uint8_t> square_job(const sweep::JobSpec& spec,
+                                     std::size_t /*index*/) {
+  store::ByteWriter out;
+  out.i64(spec.params[0] * spec.params[0]);
+  return store::seal(store::PayloadKind::kRawBytes, out.bytes());
+}
+
+std::int64_t unseal_i64(const std::vector<std::uint8_t>& bytes) {
+  // ByteReader aliases the payload, so it must outlive the reader.
+  const std::vector<std::uint8_t> payload =
+      store::unseal(bytes, store::PayloadKind::kRawBytes);
+  store::ByteReader in(payload);
+  const std::int64_t value = in.i64();
+  in.expect_done("sweep_test payload");
+  return value;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+TEST(JobSpec, KeyAndJsonRendering) {
+  const sweep::JobSpec a{"test/kind", {3, -1, 12}, {}};
+  EXPECT_EQ(a.params_json(), "[3,-1,12]");
+  EXPECT_EQ(sweep::JobSpec{}.params_json(), "[]");
+  const sweep::JobSpec same{"test/kind", {3, -1, 12}, {}};
+  EXPECT_EQ(a.key_builder().key().hex(), same.key_builder().key().hex());
+  const sweep::JobSpec extra{"test/kind", {3, -1, 12}, {0xaa}};
+  EXPECT_NE(a.key_builder().key().hex(), extra.key_builder().key().hex());
+}
+
+TEST(Sweep, UncachedEngineComputesEverythingInOrder) {
+  sweep::SweepEngine engine({});
+  EXPECT_FALSE(engine.caching());
+  std::atomic<int> calls{0};
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(5);
+  const auto results =
+      engine.run(jobs, [&calls](const sweep::JobSpec& spec, std::size_t i) {
+        calls.fetch_add(1);
+        return square_job(spec, i);
+      });
+  EXPECT_EQ(calls.load(), 5);
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(unseal_i64(results[static_cast<std::size_t>(i)]), i * i);
+  }
+  EXPECT_EQ(engine.stats().jobs, 5u);
+  EXPECT_EQ(engine.stats().computed, 5u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+TEST(Sweep, WarmRunIsAllHitsAndByteIdentical) {
+  TempDir dir;
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(6);
+  std::atomic<int> calls{0};
+  const auto compute = [&calls](const sweep::JobSpec& spec, std::size_t i) {
+    calls.fetch_add(1);
+    return square_job(spec, i);
+  };
+
+  sweep::SweepEngine cold({.cache_dir = dir.str()});
+  const auto cold_results = cold.run(jobs, compute);
+  EXPECT_EQ(calls.load(), 6);
+  EXPECT_EQ(cold.stats().computed, 6u);
+  EXPECT_EQ(cold.stats().resumed, 0u);
+
+  sweep::SweepEngine warm({.cache_dir = dir.str()});
+  const auto warm_results = warm.run(jobs, compute);
+  EXPECT_EQ(calls.load(), 6) << "warm run must not recompute";
+  EXPECT_EQ(warm.stats().cache_hits, 6u);
+  EXPECT_EQ(warm.stats().computed, 0u);
+  EXPECT_EQ(warm.stats().resumed, 6u);
+  EXPECT_EQ(warm_results, cold_results);
+}
+
+TEST(Sweep, ManifestHasOneFlushedLinePerJob) {
+  TempDir dir;
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(4);
+  sweep::SweepEngine engine({.cache_dir = dir.str()});
+  engine.run(jobs, square_job);
+  EXPECT_EQ(engine.manifest_path(),
+            (dir.path() / "manifest.jsonl").string());
+
+  const std::string manifest = slurp(engine.manifest_path());
+  std::size_t lines = 0;
+  std::istringstream stream(manifest);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"kind\":\"test/square\""), std::string::npos);
+    EXPECT_NE(line.find("\"cached\":false"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(manifest.find("\"params\":[2,3]"), std::string::npos);
+
+  // A warm pass does not duplicate lines for already-logged jobs.
+  sweep::SweepEngine warm({.cache_dir = dir.str()});
+  warm.run(jobs, square_job);
+  std::size_t warm_lines = 0;
+  std::istringstream warm_stream(slurp(engine.manifest_path()));
+  while (std::getline(warm_stream, line)) ++warm_lines;
+  EXPECT_EQ(warm_lines, 4u);
+}
+
+TEST(Sweep, KillResumeLosesOnlyInFlightJobs) {
+  TempDir dir;
+  util::set_thread_count(1);  // sequential: deterministic abort point
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(5);
+
+  // First invocation "dies" after persisting jobs 0 and 1.
+  sweep::SweepEngine dying({.cache_dir = dir.str()});
+  std::atomic<int> first_calls{0};
+  EXPECT_THROW(
+      dying.run(jobs,
+                [&first_calls](const sweep::JobSpec& spec, std::size_t i) {
+                  if (i >= 2) throw std::runtime_error("killed");
+                  first_calls.fetch_add(1);
+                  return square_job(spec, i);
+                }),
+      std::runtime_error);
+  EXPECT_EQ(first_calls.load(), 2);
+
+  // Rerunning the same command resumes: only jobs 2..4 recompute.
+  sweep::SweepEngine resumed({.cache_dir = dir.str()});
+  std::atomic<int> second_calls{0};
+  const auto results = resumed.run(
+      jobs, [&second_calls](const sweep::JobSpec& spec, std::size_t i) {
+        second_calls.fetch_add(1);
+        return square_job(spec, i);
+      });
+  EXPECT_EQ(second_calls.load(), 3);
+  EXPECT_EQ(resumed.stats().cache_hits, 2u);
+  EXPECT_EQ(resumed.stats().computed, 3u);
+  EXPECT_EQ(resumed.stats().resumed, 2u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(unseal_i64(results[static_cast<std::size_t>(i)]), i * i);
+  }
+  util::set_thread_count(0);
+}
+
+TEST(Sweep, TornManifestLineIsIgnoredOnResume) {
+  TempDir dir;
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(3);
+  {
+    sweep::SweepEngine engine({.cache_dir = dir.str()});
+    engine.run(jobs, square_job);
+  }
+  // Simulate a kill mid-append: a torn, newline-less fragment at the end.
+  {
+    std::ofstream manifest(dir.path() / "manifest.jsonl",
+                           std::ios::binary | std::ios::app);
+    manifest << "{\"key\":\"0123";
+  }
+  sweep::SweepEngine engine({.cache_dir = dir.str()});
+  const auto results = engine.run(jobs, square_job);
+  EXPECT_EQ(engine.stats().cache_hits, 3u);
+  EXPECT_EQ(results.size(), 3u);
+}
+
+TEST(Sweep, TypedRunSweepRoundTrips) {
+  TempDir dir;
+  std::vector<sweep::JobSpec> jobs;
+  for (int i = 1; i <= 4; ++i) jobs.push_back({"test/cube", {i}, {}});
+  const auto compute = [](const sweep::JobSpec& spec, std::size_t) {
+    return spec.params[0] * spec.params[0] * spec.params[0];
+  };
+  const auto serialize = [](std::int64_t value) {
+    store::ByteWriter out;
+    out.i64(value);
+    return store::seal(store::PayloadKind::kRawBytes, out.bytes());
+  };
+  const auto deserialize = [](const std::vector<std::uint8_t>& bytes) {
+    return unseal_i64(bytes);
+  };
+
+  sweep::SweepEngine cold({.cache_dir = dir.str()});
+  const std::vector<std::int64_t> cold_values = sweep::run_sweep<std::int64_t>(
+      cold, jobs, compute, serialize, deserialize);
+  sweep::SweepEngine warm({.cache_dir = dir.str()});
+  const std::vector<std::int64_t> warm_values = sweep::run_sweep<std::int64_t>(
+      warm, jobs, compute, serialize, deserialize);
+  const std::vector<std::int64_t> expected{1, 8, 27, 64};
+  EXPECT_EQ(cold_values, expected);
+  EXPECT_EQ(warm_values, expected);
+  EXPECT_EQ(warm.stats().cache_hits, 4u);
+}
+
+TEST(Sweep, StatsToStringMentionsTheCounters) {
+  TempDir dir;
+  sweep::SweepEngine engine({.cache_dir = dir.str()});
+  engine.run(grid_jobs(2), square_job);
+  const std::string text = engine.stats().to_string();
+  EXPECT_NE(text.find("2 jobs"), std::string::npos);
+  EXPECT_NE(text.find("2 computed"), std::string::npos);
+  EXPECT_NE(text.find("0 cache hits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psph
