@@ -9,12 +9,35 @@
 //      the bound and scale the same way (columns: bound vs measured).
 
 #include "bench_util.h"
+#include "check/soak.h"
 #include "core/theorems.h"
 #include "protocols/semisync_kset.h"
+#include "util/cli.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psph;
+
+  std::int64_t seed = 2200;
+  std::string schedule_out, schedule_in;
+  util::Cli cli("cor22_semisync_time",
+                "wait-free semi-sync k-set agreement takes time >= "
+                "floor(f/k) d + C d");
+  cli.flag("seed", &seed, "base seed for the crash soaks");
+  cli.flag("schedule-out", &schedule_out,
+           "record one semi-sync adversary schedule to this file");
+  cli.flag("schedule-in", &schedule_in,
+           "replay a recorded schedule under the monitors and exit");
+  cli.parse(argc, argv);
+
+  if (!schedule_in.empty()) {
+    const check::RunOutcome outcome =
+        check::replay_schedule(check::load_schedule(schedule_in));
+    std::printf("replayed %s: %s\n", outcome.schedule.summary().c_str(),
+                outcome.ok() ? "ok" : outcome.violations.front().detail.c_str());
+    return outcome.ok() ? 0 : 1;
+  }
+
   bench::Report report(
       "Corollary 22",
       "wait-free semi-sync k-set agreement takes time >= floor(f/k) d + C d");
@@ -74,12 +97,26 @@ int main() {
     config.timing = {.c1 = 1, .c2 = 2, .d = 5, .num_processes = n1};
     config.max_failures = f;
     config.k = k;
-    const protocols::SemiSyncAudit audit =
-        protocols::soak_semisync_kset(config, 2200 + n1, 200);
+    const protocols::SemiSyncAudit audit = protocols::soak_semisync_kset(
+        config, static_cast<std::uint64_t>(seed) + n1, 200);
     report.row("                            %3d %2d %2d -> %s (%s)", n1, f, k,
                audit.ok() ? "ok" : audit.failure.c_str(),
                timer.pretty().c_str());
     report.check(audit.ok(), "soak at n+1=" + std::to_string(n1));
+  }
+
+  if (!schedule_out.empty()) {
+    check::RunSpec spec;
+    spec.protocol = check::ProtocolKind::kSemiSyncKSet;
+    spec.n = 4;
+    spec.f = 2;
+    spec.k = 1;
+    spec.c1 = 1;
+    spec.c2 = 2;
+    spec.d = 5;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    check::save_schedule(schedule_out, check::run_recorded(spec).schedule);
+    std::printf("recorded schedule -> %s\n", schedule_out.c_str());
   }
   return report.finish();
 }

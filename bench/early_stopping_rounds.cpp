@@ -4,8 +4,10 @@
 // rounds-used table from scripted adversaries.
 
 #include "bench_util.h"
+#include "check/soak.h"
 #include "protocols/early_stopping.h"
 #include "protocols/floodset.h"
+#include "util/cli.h"
 #include "util/timer.h"
 
 namespace {
@@ -32,8 +34,28 @@ class CrashSome : public psph::sim::SyncAdversary {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psph;
+
+  std::int64_t seed = 7700;
+  std::string schedule_out, schedule_in;
+  util::Cli cli("early_stopping_rounds",
+                "decides in min(f'+2, f+1) rounds vs FloodSet's fixed f+1");
+  cli.flag("seed", &seed, "base seed for the protocol soaks");
+  cli.flag("schedule-out", &schedule_out,
+           "record one early-stopping adversary schedule to this file");
+  cli.flag("schedule-in", &schedule_in,
+           "replay a recorded schedule under the monitors and exit");
+  cli.parse(argc, argv);
+
+  if (!schedule_in.empty()) {
+    const check::RunOutcome outcome =
+        check::replay_schedule(check::load_schedule(schedule_in));
+    std::printf("replayed %s: %s\n", outcome.schedule.summary().c_str(),
+                outcome.ok() ? "ok" : outcome.violations.front().detail.c_str());
+    return outcome.ok() ? 0 : 1;
+  }
+
   bench::Report report(
       "Early-stopping consensus",
       "decides in min(f'+2, f+1) rounds vs FloodSet's fixed f+1");
@@ -79,12 +101,22 @@ int main() {
   for (const auto& [n1, f] :
        std::vector<std::array<int, 2>>{{3, 1}, {4, 2}, {5, 2}, {6, 3}}) {
     util::Timer timer;
-    const protocols::EarlyAudit audit =
-        protocols::soak_early_stopping({n1, f}, 7700 + n1, 400);
+    const protocols::EarlyAudit audit = protocols::soak_early_stopping(
+        {n1, f}, static_cast<std::uint64_t>(seed) + n1, 400);
     report.row("        %3d %d %10d -> %s (%s)", n1, f, 400,
                audit.ok() ? "ok" : audit.failure.c_str(),
                timer.pretty().c_str());
     report.check(audit.ok(), "soak at n+1=" + std::to_string(n1));
+  }
+
+  if (!schedule_out.empty()) {
+    check::RunSpec spec;
+    spec.protocol = check::ProtocolKind::kEarlyStopping;
+    spec.n = 4;
+    spec.f = 2;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    check::save_schedule(schedule_out, check::run_recorded(spec).schedule);
+    std::printf("recorded schedule -> %s\n", schedule_out.c_str());
   }
   return report.finish();
 }

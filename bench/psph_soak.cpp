@@ -1,0 +1,165 @@
+// psph_soak: randomized soak harness over the three executor models with
+// schedule recording, replay, and counterexample shrinking.
+//
+// Every run's adversary decisions are recorded; the first run that trips an
+// invariant monitor (agreement, validity, decision bounds, no-zombie-sends)
+// has its schedule saved (--schedule-out) and optionally delta-debugged to
+// a minimal reproducer (--shrink). A saved schedule replays bit-for-bit
+// with --schedule-in.
+//
+//   ./psph_soak --runs 1000 --seed 42            # all four protocols
+//   ./psph_soak --protocol floodset --n 6 --f 3  # one protocol, other sizes
+//   ./psph_soak --schedule-in repro.psph         # replay a saved failure
+//   ./psph_soak --schedule-in repro.psph --shrink --schedule-out min.psph
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/shrink.h"
+#include "check/soak.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace psph;
+
+/// Replays a schedule, prints the verdict, optionally shrinks a failure.
+int replay_main(const std::string& schedule_in,
+                const std::string& schedule_out, bool do_shrink) {
+  const check::Schedule schedule = check::load_schedule(schedule_in);
+  const check::RunOutcome outcome = check::replay_schedule(schedule);
+  std::printf("replayed %s\n", schedule.summary().c_str());
+  if (outcome.ok()) {
+    std::printf("no invariant violations\n");
+    return 0;
+  }
+  for (const check::Violation& violation : outcome.violations) {
+    std::printf("VIOLATION %s: %s\n", violation.monitor.c_str(),
+                violation.detail.c_str());
+  }
+  if (do_shrink) {
+    const check::ShrinkResult shrunk = check::shrink(
+        schedule, [](const check::Schedule& candidate) {
+          return !check::replay_schedule(candidate).ok();
+        });
+    std::printf("shrunk: %s (%zu -> %zu choices, %zu oracle calls)\n",
+                shrunk.schedule.summary().c_str(), schedule.choice_count(),
+                shrunk.schedule.choice_count(), shrunk.oracle_calls);
+    if (!schedule_out.empty()) {
+      check::save_schedule(schedule_out, shrunk.schedule);
+      std::printf("minimal schedule -> %s\n", schedule_out.c_str());
+    }
+  } else if (!schedule_out.empty()) {
+    check::save_schedule(schedule_out, schedule);
+    std::printf("schedule -> %s\n", schedule_out.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int runs = 1000;
+  std::int64_t seed = 42;
+  std::string protocol = "all";
+  int n = 4, f = 2, k = 1, monitor_k = -1;
+  std::int64_t c1 = 1, c2 = 2, d = 5;
+  std::string schedule_out, schedule_in;
+  bool do_shrink = false;
+
+  util::Cli cli("psph_soak",
+                "soak the agreement protocols under recorded random "
+                "adversaries; replay and shrink failures");
+  cli.flag("runs", &runs, "seeded runs per protocol");
+  cli.flag("seed", &seed, "base seed (run i uses seed+i)");
+  cli.flag("protocol", &protocol,
+           "floodset | early_stopping | async_kset | semisync_kset | all");
+  cli.flag("n", &n, "number of processes");
+  cli.flag("f", &f, "failure budget");
+  cli.flag("k", &k, "agreement degree");
+  cli.flag("monitor-k", &monitor_k,
+           "agreement degree the monitors enforce (-1 = protocol's k)");
+  cli.flag("c1", &c1, "min step spacing (semisync)");
+  cli.flag("c2", &c2, "max step spacing (semisync)");
+  cli.flag("d", &d, "max message delay (semisync)");
+  cli.flag("schedule-out", &schedule_out,
+           "save the first violating schedule (or the replayed/shrunk one)");
+  cli.flag("schedule-in", &schedule_in,
+           "replay a saved schedule instead of soaking");
+  cli.flag("shrink", &do_shrink, "delta-debug failures to a minimal repro");
+  cli.parse(argc, argv);
+
+  if (!schedule_in.empty()) {
+    return replay_main(schedule_in, schedule_out, do_shrink);
+  }
+
+  std::vector<check::ProtocolKind> protocols;
+  if (protocol == "all") {
+    protocols = {check::ProtocolKind::kFloodSet,
+                 check::ProtocolKind::kEarlyStopping,
+                 check::ProtocolKind::kAsyncKSet,
+                 check::ProtocolKind::kSemiSyncKSet};
+  } else {
+    bool found = false;
+    for (const check::ProtocolKind candidate :
+         {check::ProtocolKind::kFloodSet, check::ProtocolKind::kEarlyStopping,
+          check::ProtocolKind::kAsyncKSet,
+          check::ProtocolKind::kSemiSyncKSet}) {
+      if (protocol == check::protocol_name(candidate)) {
+        protocols = {candidate};
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown protocol '%s'\n", protocol.c_str());
+      return 2;
+    }
+  }
+
+  bool failed = false;
+  for (const check::ProtocolKind kind : protocols) {
+    check::RunSpec spec;
+    spec.protocol = kind;
+    spec.n = n;
+    spec.f = f;
+    spec.k = k;
+    spec.monitor_k = monitor_k;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    spec.c1 = c1;
+    spec.c2 = c2;
+    spec.d = d;
+
+    util::Timer timer;
+    const check::SoakReport report =
+        check::soak(spec, static_cast<std::size_t>(runs));
+    std::printf("%-14s %s n=%d f=%d k=%d: %zu runs, %zu violations (%s)\n",
+                check::protocol_name(kind),
+                check::model_name(check::protocol_model(kind)), n, f,
+                spec.effective_monitor_k(), report.runs, report.violations,
+                timer.pretty().c_str());
+    if (report.ok()) continue;
+
+    failed = true;
+    for (const check::Violation& violation : report.first_violations) {
+      std::printf("  VIOLATION %s: %s\n", violation.monitor.c_str(),
+                  violation.detail.c_str());
+    }
+    std::printf("  schedule: %s\n", report.first_schedule.summary().c_str());
+    check::Schedule to_save = report.first_schedule;
+    if (do_shrink) {
+      const check::ShrinkResult shrunk = check::shrink(
+          report.first_schedule, [](const check::Schedule& candidate) {
+            return !check::replay_schedule(candidate).ok();
+          });
+      std::printf("  shrunk to: %s\n", shrunk.schedule.summary().c_str());
+      to_save = shrunk.schedule;
+    }
+    if (!schedule_out.empty()) {
+      check::save_schedule(schedule_out, to_save);
+      std::printf("  schedule -> %s\n", schedule_out.c_str());
+    }
+  }
+  return failed ? 1 : 0;
+}

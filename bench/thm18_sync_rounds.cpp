@@ -10,12 +10,34 @@
 //      adversaries, never violates k-agreement at the bound.
 
 #include "bench_util.h"
+#include "check/soak.h"
 #include "core/theorems.h"
 #include "protocols/floodset.h"
+#include "util/cli.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psph;
+
+  std::int64_t seed = 180000;
+  std::string schedule_out, schedule_in;
+  util::Cli cli("thm18_sync_rounds",
+                "sync k-set agreement takes exactly floor(f/k)+1 rounds");
+  cli.flag("seed", &seed, "base seed for the protocol soaks");
+  cli.flag("schedule-out", &schedule_out,
+           "record one FloodSet adversary schedule to this file");
+  cli.flag("schedule-in", &schedule_in,
+           "replay a recorded schedule under the monitors and exit");
+  cli.parse(argc, argv);
+
+  if (!schedule_in.empty()) {
+    const check::RunOutcome outcome =
+        check::replay_schedule(check::load_schedule(schedule_in));
+    std::printf("replayed %s: %s\n", outcome.schedule.summary().c_str(),
+                outcome.ok() ? "ok" : outcome.violations.front().detail.c_str());
+    return outcome.ok() ? 0 : 1;
+  }
+
   bench::Report report(
       "Theorem 18",
       "sync k-set agreement takes exactly floor(f/k)+1 rounds");
@@ -82,8 +104,8 @@ int main() {
            {3, 1, 1}, {4, 2, 1}, {4, 2, 2}, {5, 3, 2}, {6, 4, 2}}) {
     util::Timer timer;
     const protocols::FloodSetConfig config{n1, f, k};
-    const protocols::AgreementAudit result =
-        protocols::soak_floodset(config, 180000 + n1, 400);
+    const protocols::AgreementAudit result = protocols::soak_floodset(
+        config, static_cast<std::uint64_t>(seed) + n1, 400);
     report.row("               %3d %2d %2d %6d %10d -> %s (%s)", n1, f, k,
                protocols::floodset_rounds(config), 400,
                result.ok() ? "ok" : result.failure.c_str(),
@@ -91,6 +113,17 @@ int main() {
     report.check(result.ok(), "soak at n+1=" + std::to_string(n1) + " f=" +
                                   std::to_string(f) + " k=" +
                                   std::to_string(k));
+  }
+
+  if (!schedule_out.empty()) {
+    check::RunSpec spec;
+    spec.protocol = check::ProtocolKind::kFloodSet;
+    spec.n = 4;
+    spec.f = 2;
+    spec.k = 1;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    check::save_schedule(schedule_out, check::run_recorded(spec).schedule);
+    std::printf("recorded schedule -> %s\n", schedule_out.c_str());
   }
   return report.finish();
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "check/soak.h"
 #include "protocols/async_kset.h"
 #include "protocols/floodset.h"
 #include "protocols/semisync_kset.h"
@@ -31,7 +32,41 @@ int main(int argc, char** argv) {
   cli.flag("c1", &c1, "min step spacing (semisync)");
   cli.flag("c2", &c2, "max step spacing (semisync)");
   cli.flag("d", &d, "max message delay (semisync)");
+  std::string schedule_out, schedule_in;
+  cli.flag("schedule-out", &schedule_out,
+           "record one run's adversary schedule to this file");
+  cli.flag("schedule-in", &schedule_in,
+           "replay a recorded schedule under the invariant monitors and exit");
   cli.parse(argc, argv);
+
+  if (!schedule_in.empty()) {
+    const check::RunOutcome outcome =
+        check::replay_schedule(check::load_schedule(schedule_in));
+    std::printf("replayed %s\n", outcome.schedule.summary().c_str());
+    for (const check::Violation& violation : outcome.violations) {
+      std::printf("VIOLATION %s: %s\n", violation.monitor.c_str(),
+                  violation.detail.c_str());
+    }
+    std::printf("%s\n", outcome.ok() ? "all invariants hold"
+                                     : "invariant violations found");
+    return outcome.ok() ? 0 : 1;
+  }
+  if (!schedule_out.empty()) {
+    check::RunSpec spec;
+    spec.protocol = model == "async"      ? check::ProtocolKind::kAsyncKSet
+                    : model == "semisync" ? check::ProtocolKind::kSemiSyncKSet
+                                          : check::ProtocolKind::kFloodSet;
+    spec.n = n;
+    spec.f = f;
+    spec.k = k;
+    spec.seed = static_cast<std::uint64_t>(seed);
+    spec.c1 = c1;
+    spec.c2 = c2;
+    spec.d = d;
+    check::save_schedule(schedule_out, check::run_recorded(spec).schedule);
+    std::printf("recorded one %s run's schedule -> %s\n", model.c_str(),
+                schedule_out.c_str());
+  }
 
   if (model == "sync") {
     const protocols::FloodSetConfig config{n, f, k};

@@ -1,0 +1,110 @@
+#include "check/monitors.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace psph::check {
+
+InvariantViolation::InvariantViolation(Violation violation, Schedule schedule)
+    : std::runtime_error(violation.monitor + ": " + violation.detail +
+                         " [" + schedule.summary() + "]"),
+      violation_(std::move(violation)),
+      schedule_(std::move(schedule)) {}
+
+std::optional<std::string> AgreementMonitor::check(
+    const RunRecord& run) const {
+  std::set<std::int64_t> values;
+  for (const sim::DecisionEvent& d : run.decisions) values.insert(d.value);
+  if (static_cast<int>(values.size()) <= run.k) return std::nullopt;
+  std::ostringstream out;
+  out << values.size() << " distinct decisions > k=" << run.k << " {";
+  bool first = true;
+  for (const std::int64_t v : values) {
+    if (!first) out << ",";
+    first = false;
+    out << v;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::optional<std::string> ValidityMonitor::check(const RunRecord& run) const {
+  for (const sim::DecisionEvent& d : run.decisions) {
+    if (std::find(run.inputs.begin(), run.inputs.end(), d.value) ==
+        run.inputs.end()) {
+      std::ostringstream out;
+      out << "P" << d.pid << " decided " << d.value
+          << ", which is no process's input";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> DecisionBoundMonitor::check(
+    const RunRecord& run) const {
+  for (const sim::DecisionEvent& d : run.decisions) {
+    if (run.round_bound > 0 && d.round > run.round_bound) {
+      std::ostringstream out;
+      out << "P" << d.pid << " decided in round " << d.round << " > bound "
+          << run.round_bound;
+      return out.str();
+    }
+    if (run.time_bound > 0 && d.time > run.time_bound) {
+      std::ostringstream out;
+      out << "P" << d.pid << " decided at time " << d.time << " > bound "
+          << run.time_bound;
+      return out.str();
+    }
+  }
+  if (run.require_all_alive_decided && !run.all_alive_decided) {
+    return std::string("a process alive at the end never decided");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> NoZombieSendMonitor::check(
+    const RunRecord& run) const {
+  if (run.trace == nullptr || run.views == nullptr) return std::nullopt;
+  const sim::Trace& trace = *run.trace;
+  for (std::size_t r = 1; r < trace.states.size(); ++r) {
+    const auto& previous = trace.states[r - 1];
+    for (const auto& [pid, state] : trace.states[r]) {
+      for (const sim::ProcessId sender : run.views->direct_senders(state)) {
+        if (previous.find(sender) == previous.end()) {
+          std::ostringstream out;
+          out << "P" << pid << "'s round-" << r << " view heard from P"
+              << sender << ", dead at the end of round " << (r - 1);
+          return out.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::shared_ptr<InvariantMonitor>> standard_monitors(Model model) {
+  std::vector<std::shared_ptr<InvariantMonitor>> monitors;
+  monitors.push_back(std::make_shared<AgreementMonitor>());
+  monitors.push_back(std::make_shared<ValidityMonitor>());
+  monitors.push_back(std::make_shared<DecisionBoundMonitor>());
+  if (model != Model::kSemiSync) {
+    monitors.push_back(std::make_shared<NoZombieSendMonitor>());
+  }
+  return monitors;
+}
+
+std::vector<Violation> check_all(
+    const std::vector<std::shared_ptr<InvariantMonitor>>& monitors,
+    const RunRecord& run) {
+  std::vector<Violation> violations;
+  for (const auto& monitor : monitors) {
+    if (std::optional<std::string> detail = monitor->check(run)) {
+      violations.push_back({monitor->name(), std::move(*detail)});
+    }
+  }
+  return violations;
+}
+
+}  // namespace psph::check

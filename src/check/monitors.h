@@ -1,0 +1,127 @@
+#pragma once
+
+// Invariant monitors: pluggable run-time checkers for protocol executions.
+//
+// Each executed run is summarized into a RunRecord (decisions, inputs, the
+// agreement parameter to check against, optional bounds, and — for the
+// round-based models — the full-information trace). Monitors inspect the
+// record and return a failure description when an invariant is broken:
+//
+//   * agreement    — at most k distinct decided values (k-set agreement),
+//   * validity     — every decided value is some process's input,
+//   * decision bounds — decisions land within the round bound implied by
+//                    Theorem 18 / the early-stopping rule, or the time
+//                    bound N_R·c2 of Corollary 22,
+//   * no-zombie-sends — no round-r view contains a direct sender that was
+//                    not alive at the end of round r-1 (an executor-level
+//                    sanity invariant: crashed processes stay silent).
+//
+// A violation is packaged as InvariantViolation carrying both the monitor's
+// diagnosis and the complete adversary Schedule of the offending run, so
+// the failure is replayable (and shrinkable) from the exception alone.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/schedule.h"
+#include "core/view.h"
+#include "sim/semisync_executor.h"
+#include "sim/trace.h"
+
+namespace psph::check {
+
+/// Everything a monitor may inspect about one finished run. Pointers are
+/// borrowed from the run outcome and may be null (monitors that need them
+/// skip silently); `k` is the *monitored* agreement degree, which tests may
+/// set tighter than the protocol's own k to plant violations.
+struct RunRecord {
+  Model model = Model::kSync;
+  int n = 0;
+  int f = 0;
+  int k = 1;
+  std::vector<std::int64_t> inputs;
+  std::vector<sim::DecisionEvent> decisions;
+  /// Crashes the adversary actually performed (f'); drives the
+  /// early-stopping bound min(f'+2, f+1).
+  int actual_failures = 0;
+  /// Decisions must satisfy round <= round_bound (0 = not checked).
+  int round_bound = 0;
+  /// Semi-sync: decisions must satisfy time <= time_bound (0 = not checked).
+  sim::Time time_bound = 0;
+  /// Semi-sync only: every process alive at the end must have decided.
+  bool require_all_alive_decided = false;
+  bool all_alive_decided = true;
+
+  const sim::Trace* trace = nullptr;
+  const core::ViewRegistry* views = nullptr;
+};
+
+/// One invariant failure: which monitor fired and why.
+struct Violation {
+  std::string monitor;
+  std::string detail;
+};
+
+/// Thrown by require_ok (soak.h) when any monitor fires; carries the full
+/// schedule of the offending run so callers can save, replay, or shrink it.
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(Violation violation, Schedule schedule);
+
+  const Violation& violation() const { return violation_; }
+  const Schedule& schedule() const { return schedule_; }
+
+ private:
+  Violation violation_;
+  Schedule schedule_;
+};
+
+class InvariantMonitor {
+ public:
+  virtual ~InvariantMonitor() = default;
+  virtual const char* name() const = 0;
+  /// Failure description, or nullopt if the invariant holds.
+  virtual std::optional<std::string> check(const RunRecord& run) const = 0;
+};
+
+/// At most k distinct decided values.
+class AgreementMonitor : public InvariantMonitor {
+ public:
+  const char* name() const override { return "agreement"; }
+  std::optional<std::string> check(const RunRecord& run) const override;
+};
+
+/// Every decided value is some process's input.
+class ValidityMonitor : public InvariantMonitor {
+ public:
+  const char* name() const override { return "validity"; }
+  std::optional<std::string> check(const RunRecord& run) const override;
+};
+
+/// Decisions respect round_bound / time_bound, and (semi-sync) every alive
+/// process decided when the record requires it.
+class DecisionBoundMonitor : public InvariantMonitor {
+ public:
+  const char* name() const override { return "decision-bound"; }
+  std::optional<std::string> check(const RunRecord& run) const override;
+};
+
+/// Round-r views only contain direct senders alive at the end of round r-1.
+class NoZombieSendMonitor : public InvariantMonitor {
+ public:
+  const char* name() const override { return "no-zombie-send"; }
+  std::optional<std::string> check(const RunRecord& run) const override;
+};
+
+/// The standard battery: agreement, validity, decision bounds, and (for the
+/// round-based models) no-zombie-sends.
+std::vector<std::shared_ptr<InvariantMonitor>> standard_monitors(Model model);
+
+/// Runs every monitor; returns all failures (empty = run is clean).
+std::vector<Violation> check_all(
+    const std::vector<std::shared_ptr<InvariantMonitor>>& monitors,
+    const RunRecord& run);
+
+}  // namespace psph::check

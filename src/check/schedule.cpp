@@ -1,0 +1,368 @@
+#include "check/schedule.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace psph::check {
+
+const char* model_name(Model model) {
+  switch (model) {
+    case Model::kSync: return "sync";
+    case Model::kAsync: return "async";
+    case Model::kSemiSync: return "semisync";
+  }
+  return "?";
+}
+
+std::int64_t Schedule::meta_or(const std::string& key,
+                               std::int64_t fallback) const {
+  const auto it = meta.find(key);
+  return it == meta.end() ? fallback : it->second;
+}
+
+std::size_t Schedule::choice_count() const {
+  std::size_t count = 0;
+  switch (model) {
+    case Model::kSync: {
+      // Alive set starts at {0..n-1} and shrinks by each round's crashes;
+      // interference = crashes + messages withheld from survivors.
+      const int n = static_cast<int>(meta_or("n", 0));
+      std::set<sim::ProcessId> alive;
+      for (int p = 0; p < n; ++p) alive.insert(p);
+      for (const sim::SyncRoundPlan& plan : sync_rounds) {
+        count += plan.crash.size();
+        const std::size_t survivors = alive.size() - plan.crash.size();
+        for (const sim::ProcessId crasher : plan.crash) {
+          const auto it = plan.delivered_to.find(crasher);
+          const std::size_t delivered =
+              it == plan.delivered_to.end() ? 0 : it->second.size();
+          count += survivors - std::min(survivors, delivered);
+        }
+        for (const sim::ProcessId crasher : plan.crash) alive.erase(crasher);
+      }
+      break;
+    }
+    case Model::kAsync: {
+      // Interference = messages scheduled "late" (left out of heard-sets).
+      for (const sim::AsyncRoundPlan& plan : async_rounds) {
+        const std::size_t participants = plan.heard.size();
+        for (const auto& [pid, heard] : plan.heard) {
+          (void)pid;
+          count += participants - std::min(participants, heard.size());
+        }
+      }
+      break;
+    }
+    case Model::kSemiSync: {
+      const sim::Time c1 = meta_or("c1", 1);
+      for (const auto& crash : crash_times) {
+        if (crash.has_value()) ++count;
+      }
+      for (const auto& [pid, spacing] : spacings) {
+        (void)pid;
+        if (spacing > c1) count += static_cast<std::size_t>(spacing - c1);
+      }
+      for (const sim::Time delay : delays) {
+        if (delay > 1) count += static_cast<std::size_t>(delay - 1);
+      }
+      break;
+    }
+  }
+  return count;
+}
+
+std::string Schedule::summary() const {
+  std::ostringstream out;
+  out << model_name(model) << " n=" << meta_or("n", 0);
+  switch (model) {
+    case Model::kSync: {
+      std::size_t crashes = 0;
+      for (const auto& plan : sync_rounds) crashes += plan.crash.size();
+      out << " rounds=" << sync_rounds.size() << " crashes=" << crashes;
+      break;
+    }
+    case Model::kAsync:
+      out << " rounds=" << async_rounds.size();
+      break;
+    case Model::kSemiSync: {
+      std::size_t crashes = 0;
+      for (const auto& crash : crash_times) {
+        if (crash.has_value()) ++crashes;
+      }
+      out << " steps=" << spacings.size() << " messages=" << delays.size()
+          << " crashes=" << crashes;
+      break;
+    }
+  }
+  out << " choices=" << choice_count();
+  return out.str();
+}
+
+// ---- recording ----
+
+sim::SyncRoundPlan RecordingSyncAdversary::plan_round(
+    int round, const std::vector<sim::ProcessId>& alive) {
+  sim::SyncRoundPlan plan = inner_.plan_round(round, alive);
+  out_.sync_rounds.push_back(plan);
+  return plan;
+}
+
+sim::AsyncRoundPlan RecordingAsyncAdversary::plan_round(
+    int round, const std::vector<sim::ProcessId>& participants,
+    int min_heard) {
+  sim::AsyncRoundPlan plan = inner_.plan_round(round, participants, min_heard);
+  out_.async_rounds.push_back(plan);
+  return plan;
+}
+
+sim::Time RecordingSemiSyncAdversary::step_spacing(sim::ProcessId pid,
+                                                   sim::Time now) {
+  const sim::Time spacing = inner_.step_spacing(pid, now);
+  out_.spacings.emplace_back(pid, spacing);
+  return spacing;
+}
+
+sim::Time RecordingSemiSyncAdversary::delivery_delay(
+    const sim::SemiSyncMessage& msg) {
+  const sim::Time delay = inner_.delivery_delay(msg);
+  out_.delays.push_back(delay);
+  return delay;
+}
+
+std::optional<sim::Time> RecordingSemiSyncAdversary::crash_time(
+    sim::ProcessId pid) {
+  const std::optional<sim::Time> crash = inner_.crash_time(pid);
+  if (pid >= 0) {
+    if (out_.crash_times.size() <= static_cast<std::size_t>(pid)) {
+      out_.crash_times.resize(static_cast<std::size_t>(pid) + 1);
+    }
+    out_.crash_times[static_cast<std::size_t>(pid)] = crash;
+  }
+  return crash;
+}
+
+// ---- replay ----
+
+sim::SyncRoundPlan ReplaySyncAdversary::plan_round(
+    int round, const std::vector<sim::ProcessId>& alive) {
+  (void)alive;
+  const std::size_t index = static_cast<std::size_t>(round - 1);
+  if (index >= schedule_.sync_rounds.size()) return {};
+  return schedule_.sync_rounds[index];
+}
+
+sim::AsyncRoundPlan ReplayAsyncAdversary::plan_round(
+    int round, const std::vector<sim::ProcessId>& participants,
+    int min_heard) {
+  (void)min_heard;
+  const std::size_t index = static_cast<std::size_t>(round - 1);
+  if (index < schedule_.async_rounds.size()) {
+    return schedule_.async_rounds[index];
+  }
+  // Past the recording: everyone hears everyone (least adversarial).
+  sim::AsyncRoundPlan plan;
+  const std::set<sim::ProcessId> all(participants.begin(), participants.end());
+  for (const sim::ProcessId pid : participants) plan.heard[pid] = all;
+  return plan;
+}
+
+ReplaySemiSyncAdversary::ReplaySemiSyncAdversary(const Schedule& schedule)
+    : schedule_(schedule), min_spacing_(schedule.meta_or("c1", 1)) {}
+
+sim::Time ReplaySemiSyncAdversary::step_spacing(sim::ProcessId pid,
+                                                sim::Time now) {
+  (void)pid;
+  (void)now;
+  if (next_spacing_ < schedule_.spacings.size()) {
+    return schedule_.spacings[next_spacing_++].second;
+  }
+  return min_spacing_;
+}
+
+sim::Time ReplaySemiSyncAdversary::delivery_delay(
+    const sim::SemiSyncMessage& msg) {
+  (void)msg;
+  if (next_delay_ < schedule_.delays.size()) {
+    return schedule_.delays[next_delay_++];
+  }
+  return 1;
+}
+
+std::optional<sim::Time> ReplaySemiSyncAdversary::crash_time(
+    sim::ProcessId pid) {
+  if (pid >= 0 &&
+      static_cast<std::size_t>(pid) < schedule_.crash_times.size()) {
+    return schedule_.crash_times[static_cast<std::size_t>(pid)];
+  }
+  return std::nullopt;
+}
+
+// ---- serialization ----
+
+namespace {
+
+void encode_pid_set(store::ByteWriter& out,
+                    const std::set<sim::ProcessId>& pids) {
+  out.u64(pids.size());
+  for (const sim::ProcessId pid : pids) out.i64(pid);
+}
+
+std::set<sim::ProcessId> decode_pid_set(store::ByteReader& in) {
+  const std::uint64_t count = in.u64();
+  std::set<sim::ProcessId> pids;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    pids.insert(static_cast<sim::ProcessId>(in.i64()));
+  }
+  return pids;
+}
+
+}  // namespace
+
+void encode_schedule(store::ByteWriter& out, const Schedule& schedule) {
+  out.u8(static_cast<std::uint8_t>(schedule.model));
+  out.u64(schedule.meta.size());
+  for (const auto& [key, value] : schedule.meta) {
+    out.str(key);
+    out.i64(value);
+  }
+  out.u64(schedule.inputs.size());
+  for (const std::int64_t input : schedule.inputs) out.i64(input);
+
+  out.u64(schedule.sync_rounds.size());
+  for (const sim::SyncRoundPlan& plan : schedule.sync_rounds) {
+    out.u64(plan.crash.size());
+    for (const sim::ProcessId pid : plan.crash) out.i64(pid);
+    out.u64(plan.delivered_to.size());
+    for (const auto& [crasher, receivers] : plan.delivered_to) {
+      out.i64(crasher);
+      encode_pid_set(out, receivers);
+    }
+  }
+
+  out.u64(schedule.async_rounds.size());
+  for (const sim::AsyncRoundPlan& plan : schedule.async_rounds) {
+    out.u64(plan.heard.size());
+    for (const auto& [pid, heard] : plan.heard) {
+      out.i64(pid);
+      encode_pid_set(out, heard);
+    }
+  }
+
+  out.u64(schedule.crash_times.size());
+  for (const std::optional<sim::Time>& crash : schedule.crash_times) {
+    out.u8(crash.has_value() ? 1 : 0);
+    out.i64(crash.value_or(0));
+  }
+  out.u64(schedule.spacings.size());
+  for (const auto& [pid, spacing] : schedule.spacings) {
+    out.i64(pid);
+    out.i64(spacing);
+  }
+  out.u64(schedule.delays.size());
+  for (const sim::Time delay : schedule.delays) out.i64(delay);
+}
+
+Schedule decode_schedule(store::ByteReader& in) {
+  Schedule schedule;
+  const std::uint8_t model = in.u8();
+  if (model > static_cast<std::uint8_t>(Model::kSemiSync)) {
+    throw store::SerializationError("schedule: unknown model tag " +
+                                    std::to_string(model));
+  }
+  schedule.model = static_cast<Model>(model);
+  const std::uint64_t meta_count = in.u64();
+  for (std::uint64_t i = 0; i < meta_count; ++i) {
+    const std::string key = in.str();
+    schedule.meta[key] = in.i64();
+  }
+  const std::uint64_t input_count = in.u64();
+  for (std::uint64_t i = 0; i < input_count; ++i) {
+    schedule.inputs.push_back(in.i64());
+  }
+
+  const std::uint64_t sync_count = in.u64();
+  for (std::uint64_t r = 0; r < sync_count; ++r) {
+    sim::SyncRoundPlan plan;
+    const std::uint64_t crash_count = in.u64();
+    for (std::uint64_t i = 0; i < crash_count; ++i) {
+      plan.crash.push_back(static_cast<sim::ProcessId>(in.i64()));
+    }
+    const std::uint64_t delivered_count = in.u64();
+    for (std::uint64_t i = 0; i < delivered_count; ++i) {
+      const sim::ProcessId crasher = static_cast<sim::ProcessId>(in.i64());
+      plan.delivered_to[crasher] = decode_pid_set(in);
+    }
+    schedule.sync_rounds.push_back(std::move(plan));
+  }
+
+  const std::uint64_t async_count = in.u64();
+  for (std::uint64_t r = 0; r < async_count; ++r) {
+    sim::AsyncRoundPlan plan;
+    const std::uint64_t heard_count = in.u64();
+    for (std::uint64_t i = 0; i < heard_count; ++i) {
+      const sim::ProcessId pid = static_cast<sim::ProcessId>(in.i64());
+      plan.heard[pid] = decode_pid_set(in);
+    }
+    schedule.async_rounds.push_back(std::move(plan));
+  }
+
+  const std::uint64_t crash_count = in.u64();
+  for (std::uint64_t i = 0; i < crash_count; ++i) {
+    const bool has = in.u8() != 0;
+    const std::int64_t when = in.i64();
+    schedule.crash_times.push_back(
+        has ? std::optional<sim::Time>(when) : std::nullopt);
+  }
+  const std::uint64_t spacing_count = in.u64();
+  for (std::uint64_t i = 0; i < spacing_count; ++i) {
+    const sim::ProcessId pid = static_cast<sim::ProcessId>(in.i64());
+    schedule.spacings.emplace_back(pid, in.i64());
+  }
+  const std::uint64_t delay_count = in.u64();
+  for (std::uint64_t i = 0; i < delay_count; ++i) {
+    schedule.delays.push_back(in.i64());
+  }
+  return schedule;
+}
+
+std::vector<std::uint8_t> serialize_schedule(const Schedule& schedule) {
+  store::ByteWriter payload;
+  encode_schedule(payload, schedule);
+  return store::seal(store::PayloadKind::kSchedule, payload.bytes());
+}
+
+Schedule deserialize_schedule(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> payload =
+      store::unseal(bytes, store::PayloadKind::kSchedule);
+  store::ByteReader in(payload);
+  Schedule schedule = decode_schedule(in);
+  in.expect_done("schedule");
+  return schedule;
+}
+
+void save_schedule(const std::string& path, const Schedule& schedule) {
+  const std::vector<std::uint8_t> bytes = serialize_schedule(schedule);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open schedule file for write: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("short write to schedule file: " + path);
+  }
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open schedule file: " + path);
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return deserialize_schedule(bytes);
+}
+
+}  // namespace psph::check

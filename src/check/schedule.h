@@ -1,0 +1,196 @@
+#pragma once
+
+// First-class adversary schedules: record, serialize, replay.
+//
+// The paper's models are *sets of runs* selected by an adversary; related
+// work (generalized adversary-computability theory, message-adversary
+// characterizations) treats the adversary itself as the model's defining
+// object. Operationally that means every adversary decision our executors
+// consume — sync crash plans, async heard-sets, semi-sync step spacings,
+// delivery delays, and crash times — must be capturable into a value that
+// can be saved, diffed, minimized, and replayed bit-for-bit.
+//
+// A Schedule is exactly that value. Recording wrappers intercept a live
+// adversary and append its answers; replay adversaries feed a stored
+// Schedule back to the executor. Because the executors are deterministic
+// given the adversary's answers and the inputs (which the Schedule also
+// carries), replaying a recorded schedule reproduces the original Trace /
+// SemiSyncResult bit-identically — the property check_test enforces for all
+// three models.
+//
+// Replay is *total*: a schedule edited by the shrinker may perturb the
+// semi-sync event interleaving, so replay adversaries fall back to the
+// least-adversarial answer (no crash, minimal spacing, delay 1) once a
+// recorded stream is exhausted. An unedited recording never hits the
+// fallback.
+//
+// On disk a schedule travels as a sealed PayloadKind::kSchedule envelope
+// (store/serialize.h), so truncation and bit-rot are detected on load.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "sim/semisync_executor.h"
+#include "store/serialize.h"
+
+namespace psph::check {
+
+enum class Model : std::uint8_t { kSync = 0, kAsync = 1, kSemiSync = 2 };
+
+const char* model_name(Model model);
+
+/// One run's complete adversary decisions plus the inputs and parameters
+/// needed to re-execute it. Only the section matching `model` is populated.
+struct Schedule {
+  Model model = Model::kSync;
+
+  /// Reproduction parameters: "protocol", "n", "f", "k", "seed", and for
+  /// the semi-synchronous model "c1", "c2", "d", "max_time". The soak
+  /// engine reads these back on replay; unknown keys round-trip untouched.
+  std::map<std::string, std::int64_t> meta;
+
+  /// Input value of each process (index = pid).
+  std::vector<std::int64_t> inputs;
+
+  // --- sync: one plan per round, index = round - 1 ---
+  std::vector<sim::SyncRoundPlan> sync_rounds;
+
+  // --- async: one plan per round, index = round - 1 ---
+  std::vector<sim::AsyncRoundPlan> async_rounds;
+
+  // --- semisync: crash decisions by pid; spacing/delay answers in the
+  // exact order the executor asked for them ---
+  std::vector<std::optional<sim::Time>> crash_times;
+  std::vector<std::pair<sim::ProcessId, sim::Time>> spacings;
+  std::vector<sim::Time> delays;
+
+  bool operator==(const Schedule&) const = default;
+
+  std::int64_t meta_or(const std::string& key, std::int64_t fallback) const;
+
+  /// Total "adversary interference" in this schedule: crashes, withheld
+  /// crasher deliveries, withheld async messages, excess step spacing over
+  /// c1, and excess delivery delay over 1. The shrinker only accepts edits
+  /// that strictly decrease this count, so minimization terminates and the
+  /// minimized schedule provably contains fewer adversary choices.
+  std::size_t choice_count() const;
+
+  /// Human-readable one-line summary ("sync 3 rounds, 2 crashes, ...").
+  std::string summary() const;
+};
+
+// ---- recording wrappers (pass-through + append to a Schedule) ----
+
+class RecordingSyncAdversary : public sim::SyncAdversary {
+ public:
+  RecordingSyncAdversary(sim::SyncAdversary& inner, Schedule& out)
+      : inner_(inner), out_(out) {}
+
+  sim::SyncRoundPlan plan_round(int round,
+                                const std::vector<sim::ProcessId>& alive)
+      override;
+
+ private:
+  sim::SyncAdversary& inner_;
+  Schedule& out_;
+};
+
+class RecordingAsyncAdversary : public sim::AsyncAdversary {
+ public:
+  RecordingAsyncAdversary(sim::AsyncAdversary& inner, Schedule& out)
+      : inner_(inner), out_(out) {}
+
+  sim::AsyncRoundPlan plan_round(int round,
+                                 const std::vector<sim::ProcessId>& participants,
+                                 int min_heard) override;
+
+ private:
+  sim::AsyncAdversary& inner_;
+  Schedule& out_;
+};
+
+class RecordingSemiSyncAdversary : public sim::SemiSyncAdversary {
+ public:
+  RecordingSemiSyncAdversary(sim::SemiSyncAdversary& inner, Schedule& out)
+      : inner_(inner), out_(out) {}
+
+  sim::Time step_spacing(sim::ProcessId pid, sim::Time now) override;
+  sim::Time delivery_delay(const sim::SemiSyncMessage& msg) override;
+  std::optional<sim::Time> crash_time(sim::ProcessId pid) override;
+
+ private:
+  sim::SemiSyncAdversary& inner_;
+  Schedule& out_;
+};
+
+// ---- replay adversaries (feed a stored Schedule back) ----
+
+/// Replays recorded sync round plans; rounds beyond the recording are
+/// failure-free.
+class ReplaySyncAdversary : public sim::SyncAdversary {
+ public:
+  explicit ReplaySyncAdversary(const Schedule& schedule)
+      : schedule_(schedule) {}
+
+  sim::SyncRoundPlan plan_round(int round,
+                                const std::vector<sim::ProcessId>& alive)
+      override;
+
+ private:
+  const Schedule& schedule_;
+};
+
+/// Replays recorded async round plans; rounds beyond the recording deliver
+/// everything to everyone.
+class ReplayAsyncAdversary : public sim::AsyncAdversary {
+ public:
+  explicit ReplayAsyncAdversary(const Schedule& schedule)
+      : schedule_(schedule) {}
+
+  sim::AsyncRoundPlan plan_round(int round,
+                                 const std::vector<sim::ProcessId>& participants,
+                                 int min_heard) override;
+
+ private:
+  const Schedule& schedule_;
+};
+
+/// Replays recorded semi-sync decision streams in call order; exhausted
+/// streams fall back to spacing c1 (from meta) and delay 1.
+class ReplaySemiSyncAdversary : public sim::SemiSyncAdversary {
+ public:
+  explicit ReplaySemiSyncAdversary(const Schedule& schedule);
+
+  sim::Time step_spacing(sim::ProcessId pid, sim::Time now) override;
+  sim::Time delivery_delay(const sim::SemiSyncMessage& msg) override;
+  std::optional<sim::Time> crash_time(sim::ProcessId pid) override;
+
+ private:
+  const Schedule& schedule_;
+  sim::Time min_spacing_;
+  std::size_t next_spacing_ = 0;
+  std::size_t next_delay_ = 0;
+};
+
+// ---- serialization ----
+
+void encode_schedule(store::ByteWriter& out, const Schedule& schedule);
+Schedule decode_schedule(store::ByteReader& in);
+
+/// Sealed kSchedule envelope round-trip (bit-rot and truncation detected on
+/// deserialize via store::SerializationError).
+std::vector<std::uint8_t> serialize_schedule(const Schedule& schedule);
+Schedule deserialize_schedule(const std::vector<std::uint8_t>& bytes);
+
+/// File helpers; save writes atomically-ish (whole buffer, single stream).
+/// load throws std::runtime_error on a missing file and SerializationError
+/// on a corrupt one.
+void save_schedule(const std::string& path, const Schedule& schedule);
+Schedule load_schedule(const std::string& path);
+
+}  // namespace psph::check

@@ -1,0 +1,122 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <set>
+
+namespace psph::check {
+
+namespace {
+
+void sync_candidates(const Schedule& schedule,
+                     std::vector<Schedule>& candidates) {
+  const int n = static_cast<int>(schedule.meta_or("n", 0));
+  // Alive set entering each round, for computing that round's survivors.
+  std::set<sim::ProcessId> alive;
+  for (int p = 0; p < n; ++p) alive.insert(p);
+
+  for (std::size_t r = 0; r < schedule.sync_rounds.size(); ++r) {
+    const sim::SyncRoundPlan& plan = schedule.sync_rounds[r];
+    std::set<sim::ProcessId> survivors = alive;
+    for (const sim::ProcessId crasher : plan.crash) survivors.erase(crasher);
+
+    for (std::size_t c = 0; c < plan.crash.size(); ++c) {
+      const sim::ProcessId crasher = plan.crash[c];
+      // Un-crash: the process runs to completion (later plans never name
+      // it, so they stay legal — old survivor sets only grow).
+      {
+        Schedule candidate = schedule;
+        sim::SyncRoundPlan& edited = candidate.sync_rounds[r];
+        edited.crash.erase(edited.crash.begin() +
+                           static_cast<std::ptrdiff_t>(c));
+        edited.delivered_to.erase(crasher);
+        candidates.push_back(std::move(candidate));
+      }
+      // Deliver one more of the crasher's messages.
+      const auto it = plan.delivered_to.find(crasher);
+      for (const sim::ProcessId survivor : survivors) {
+        if (it != plan.delivered_to.end() &&
+            it->second.count(survivor) != 0) {
+          continue;
+        }
+        Schedule candidate = schedule;
+        candidate.sync_rounds[r].delivered_to[crasher].insert(survivor);
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    alive = std::move(survivors);
+  }
+}
+
+void async_candidates(const Schedule& schedule,
+                      std::vector<Schedule>& candidates) {
+  for (std::size_t r = 0; r < schedule.async_rounds.size(); ++r) {
+    const sim::AsyncRoundPlan& plan = schedule.async_rounds[r];
+    for (const auto& [pid, heard] : plan.heard) {
+      for (const auto& [sender, sender_heard] : plan.heard) {
+        (void)sender_heard;
+        if (heard.count(sender) != 0) continue;
+        Schedule candidate = schedule;
+        candidate.async_rounds[r].heard[pid].insert(sender);
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+}
+
+void semisync_candidates(const Schedule& schedule,
+                         std::vector<Schedule>& candidates) {
+  const sim::Time c1 = schedule.meta_or("c1", 1);
+  for (std::size_t p = 0; p < schedule.crash_times.size(); ++p) {
+    if (!schedule.crash_times[p].has_value()) continue;
+    Schedule candidate = schedule;
+    candidate.crash_times[p].reset();
+    candidates.push_back(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < schedule.spacings.size(); ++i) {
+    if (schedule.spacings[i].second <= c1) continue;
+    Schedule candidate = schedule;
+    candidate.spacings[i].second = c1;
+    candidates.push_back(std::move(candidate));
+  }
+  for (std::size_t i = 0; i < schedule.delays.size(); ++i) {
+    if (schedule.delays[i] <= 1) continue;
+    Schedule candidate = schedule;
+    candidate.delays[i] = 1;
+    candidates.push_back(std::move(candidate));
+  }
+}
+
+}  // namespace
+
+std::vector<Schedule> shrink_candidates(const Schedule& schedule) {
+  std::vector<Schedule> candidates;
+  switch (schedule.model) {
+    case Model::kSync: sync_candidates(schedule, candidates); break;
+    case Model::kAsync: async_candidates(schedule, candidates); break;
+    case Model::kSemiSync: semisync_candidates(schedule, candidates); break;
+  }
+  return candidates;
+}
+
+ShrinkResult shrink(const Schedule& schedule,
+                    const ShrinkOracle& still_fails) {
+  ShrinkResult result;
+  result.schedule = schedule;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    const std::size_t current = result.schedule.choice_count();
+    for (Schedule& candidate : shrink_candidates(result.schedule)) {
+      if (candidate.choice_count() >= current) continue;
+      ++result.oracle_calls;
+      if (!still_fails(candidate)) continue;
+      result.schedule = std::move(candidate);
+      ++result.accepted;
+      progressed = true;
+      break;  // restart from the reduced schedule
+    }
+  }
+  return result;
+}
+
+}  // namespace psph::check

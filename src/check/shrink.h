@@ -1,0 +1,56 @@
+#pragma once
+
+// Counterexample shrinking (delta debugging over adversary schedules).
+//
+// Given a schedule whose replay trips an invariant monitor, the shrinker
+// searches for a *smaller* schedule that still trips one. Candidate edits
+// always move toward the failure-free run:
+//
+//   sync      — un-crash a process (dropping its delivery plan), or deliver
+//               a withheld crasher message to one more survivor;
+//   async     — grow one process's heard-set by one sender;
+//   semi-sync — clear one crash, snap one step spacing down to c1, or snap
+//               one delivery delay down to 1.
+//
+// A candidate is accepted only if (a) the oracle says it still fails and
+// (b) its choice_count() is *strictly* below the current schedule's. (b) is
+// not redundant: un-crashing a process enlarges later rounds' survivor
+// sets, which can raise the withheld-message count of later crashers, so
+// not every edit shrinks the metric. Filtering on the metric makes the
+// greedy loop terminate and yields the guarantee tests assert: a shrunk
+// schedule contains strictly fewer adversary choices than the original
+// (unless the original was already minimal).
+//
+// Shrunk semi-sync schedules can perturb the event interleaving, so their
+// replay may consume the recorded decision streams out of step; replay
+// adversaries pad with least-adversarial defaults (schedule.h), keeping the
+// oracle total.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "check/schedule.h"
+
+namespace psph::check {
+
+/// Returns true when the candidate schedule still reproduces the failure
+/// (typically: !replay_schedule(candidate).ok()).
+using ShrinkOracle = std::function<bool(const Schedule&)>;
+
+/// All single-edit reductions of `schedule` (not yet filtered by the
+/// oracle or the choice-count metric). Exposed for tests.
+std::vector<Schedule> shrink_candidates(const Schedule& schedule);
+
+struct ShrinkResult {
+  Schedule schedule;        // the minimized counterexample
+  std::size_t oracle_calls = 0;
+  std::size_t accepted = 0;  // edits that survived the oracle
+};
+
+/// Greedy delta debugging: repeatedly applies the first acceptable
+/// candidate until none remains. The result replays to a failure whenever
+/// the input does (the input itself is returned if already minimal).
+ShrinkResult shrink(const Schedule& schedule, const ShrinkOracle& still_fails);
+
+}  // namespace psph::check

@@ -1,0 +1,291 @@
+#include "check/soak.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/async_kset.h"
+#include "protocols/early_stopping.h"
+#include "protocols/floodset.h"
+#include "protocols/semisync_kset.h"
+#include "util/random.h"
+
+namespace psph::check {
+
+const char* protocol_name(ProtocolKind protocol) {
+  switch (protocol) {
+    case ProtocolKind::kFloodSet: return "floodset";
+    case ProtocolKind::kEarlyStopping: return "early_stopping";
+    case ProtocolKind::kAsyncKSet: return "async_kset";
+    case ProtocolKind::kSemiSyncKSet: return "semisync_kset";
+  }
+  return "?";
+}
+
+Model protocol_model(ProtocolKind protocol) {
+  switch (protocol) {
+    case ProtocolKind::kFloodSet:
+    case ProtocolKind::kEarlyStopping:
+      return Model::kSync;
+    case ProtocolKind::kAsyncKSet:
+      return Model::kAsync;
+    case ProtocolKind::kSemiSyncKSet:
+      return Model::kSemiSync;
+  }
+  return Model::kSync;
+}
+
+int RunSpec::effective_monitor_k() const {
+  if (monitor_k >= 0) return monitor_k;
+  // The async protocol achieves k = f + 1 regardless of the k field.
+  return protocol == ProtocolKind::kAsyncKSet ? f + 1 : k;
+}
+
+namespace {
+
+std::vector<std::int64_t> resolve_inputs(const RunSpec& spec) {
+  if (!spec.inputs.empty()) return spec.inputs;
+  std::vector<std::int64_t> inputs;
+  for (int p = 0; p < spec.n; ++p) inputs.push_back(p);
+  return inputs;
+}
+
+Schedule base_schedule(const RunSpec& spec) {
+  Schedule schedule;
+  schedule.model = protocol_model(spec.protocol);
+  schedule.meta["protocol"] = static_cast<std::int64_t>(spec.protocol);
+  schedule.meta["n"] = spec.n;
+  schedule.meta["f"] = spec.f;
+  schedule.meta["k"] = spec.k;
+  schedule.meta["monitor_k"] = spec.monitor_k;
+  schedule.meta["seed"] = static_cast<std::int64_t>(spec.seed);
+  if (schedule.model == Model::kSemiSync) {
+    schedule.meta["c1"] = spec.c1;
+    schedule.meta["c2"] = spec.c2;
+    schedule.meta["d"] = spec.d;
+    schedule.meta["max_time"] = spec.max_time;
+  }
+  schedule.inputs = resolve_inputs(spec);
+  return schedule;
+}
+
+std::size_t total_crashes(const sim::Trace& trace) {
+  std::size_t count = 0;
+  for (const auto& round : trace.crashed_in) count += round.size();
+  return count;
+}
+
+/// Runs the spec's protocol under the given (recording or replay) adversary
+/// — exactly one of the three pointers is non-null, matching the model —
+/// then monitors the result. `schedule` is moved into the outcome after the
+/// run, by which point a recording wrapper has filled it in.
+RunOutcome execute(const RunSpec& spec, Schedule& schedule,
+                   sim::SyncAdversary* sync_adversary,
+                   sim::AsyncAdversary* async_adversary,
+                   sim::SemiSyncAdversary* semisync_adversary) {
+  const std::vector<std::int64_t> inputs = schedule.inputs;
+  RunOutcome out;
+  RunRecord record;
+  record.model = schedule.model;
+  record.n = spec.n;
+  record.f = spec.f;
+  record.k = spec.effective_monitor_k();
+  record.inputs = inputs;
+
+  switch (spec.protocol) {
+    case ProtocolKind::kFloodSet: {
+      out.views = std::make_shared<core::ViewRegistry>();
+      protocols::FloodSetConfig config;
+      config.num_processes = spec.n;
+      config.max_failures = spec.f;
+      config.k = spec.k;
+      protocols::FloodSetOutcome result =
+          protocols::run_floodset(inputs, config, *sync_adversary, *out.views);
+      out.trace = std::make_shared<sim::Trace>(std::move(result.trace));
+      for (const auto& [pid, value] : result.decisions) {
+        sim::DecisionEvent event;
+        event.pid = pid;
+        event.value = value;
+        event.round = result.rounds_used;
+        record.decisions.push_back(event);
+      }
+      record.round_bound = protocols::floodset_rounds(config);
+      break;
+    }
+    case ProtocolKind::kEarlyStopping: {
+      out.views = std::make_shared<core::ViewRegistry>();
+      protocols::EarlyStoppingConfig config;
+      config.num_processes = spec.n;
+      config.max_failures = spec.f;
+      protocols::EarlyStoppingOutcome result = protocols::run_early_stopping(
+          inputs, config, *sync_adversary, *out.views);
+      out.trace = std::make_shared<sim::Trace>(std::move(result.trace));
+      for (const auto& [pid, decision] : result.decisions) {
+        sim::DecisionEvent event;
+        event.pid = pid;
+        event.value = decision.value;
+        event.round = decision.round;
+        record.decisions.push_back(event);
+      }
+      const int actual = static_cast<int>(total_crashes(*out.trace));
+      record.round_bound = std::min(actual + 2, spec.f + 1);
+      break;
+    }
+    case ProtocolKind::kAsyncKSet: {
+      out.views = std::make_shared<core::ViewRegistry>();
+      protocols::AsyncKSetConfig config;
+      config.num_processes = spec.n;
+      config.max_failures = spec.f;
+      config.rounds = 1;
+      protocols::AsyncKSetOutcome result = protocols::run_async_kset(
+          inputs, config, *async_adversary, *out.views);
+      out.trace = std::make_shared<sim::Trace>(std::move(result.trace));
+      for (const auto& [pid, value] : result.decisions) {
+        sim::DecisionEvent event;
+        event.pid = pid;
+        event.value = value;
+        event.round = config.rounds;
+        record.decisions.push_back(event);
+      }
+      record.round_bound = config.rounds;
+      break;
+    }
+    case ProtocolKind::kSemiSyncKSet: {
+      protocols::SemiSyncKSetConfig config;
+      config.timing.c1 = spec.c1;
+      config.timing.c2 = spec.c2;
+      config.timing.d = spec.d;
+      config.timing.num_processes = spec.n;
+      config.timing.max_time = spec.max_time;
+      config.max_failures = spec.f;
+      config.k = spec.k;
+      sim::SemiSyncResult result =
+          sim::run_semisync(inputs, config.timing,
+                            protocols::make_semisync_kset(config),
+                            *semisync_adversary);
+      out.semisync = std::make_shared<sim::SemiSyncResult>(std::move(result));
+      for (const auto& [pid, event] : out.semisync->decisions) {
+        (void)pid;
+        record.decisions.push_back(event);
+      }
+      const std::vector<sim::Time> steps = protocols::round_step_schedule(
+          config);
+      record.time_bound = steps.empty() ? spec.max_time
+                                        : steps.back() * spec.c2;
+      record.require_all_alive_decided = true;
+      record.all_alive_decided = out.semisync->all_alive_decided;
+      record.actual_failures =
+          static_cast<int>(out.semisync->crashes.size());
+      break;
+    }
+  }
+
+  if (out.trace != nullptr) {
+    record.trace = out.trace.get();
+    record.views = out.views.get();
+    record.actual_failures = static_cast<int>(total_crashes(*out.trace));
+  }
+  out.schedule = std::move(schedule);
+  out.record = std::move(record);
+  out.violations = check_all(standard_monitors(out.record.model), out.record);
+  return out;
+}
+
+}  // namespace
+
+RunOutcome run_recorded(const RunSpec& spec) {
+  Schedule schedule = base_schedule(spec);
+  switch (schedule.model) {
+    case Model::kSync: {
+      sim::RandomSyncAdversary inner(util::Rng(spec.seed), spec.f);
+      RecordingSyncAdversary recording(inner, schedule);
+      return execute(spec, schedule, &recording, nullptr, nullptr);
+    }
+    case Model::kAsync: {
+      sim::RandomAsyncAdversary inner{util::Rng(spec.seed)};
+      RecordingAsyncAdversary recording(inner, schedule);
+      return execute(spec, schedule, nullptr, &recording, nullptr);
+    }
+    case Model::kSemiSync: {
+      sim::SemiSyncConfig timing;
+      timing.c1 = spec.c1;
+      timing.c2 = spec.c2;
+      timing.d = spec.d;
+      timing.num_processes = spec.n;
+      timing.max_time = spec.max_time;
+      protocols::SemiSyncKSetConfig kset;
+      kset.timing = timing;
+      kset.max_failures = spec.f;
+      kset.k = spec.k;
+      const std::vector<sim::Time> steps =
+          protocols::round_step_schedule(kset);
+      const sim::Time horizon =
+          steps.empty() ? spec.d : steps.back() * spec.c2;
+      sim::RandomSemiSyncAdversary inner(util::Rng(spec.seed), timing, spec.f,
+                                         /*crash_probability=*/0.3, horizon);
+      RecordingSemiSyncAdversary recording(inner, schedule);
+      return execute(spec, schedule, nullptr, nullptr, &recording);
+    }
+  }
+  throw std::logic_error("run_recorded: unknown model");
+}
+
+RunSpec spec_from_schedule(const Schedule& schedule) {
+  RunSpec spec;
+  spec.protocol =
+      static_cast<ProtocolKind>(schedule.meta_or("protocol", 0));
+  spec.n = static_cast<int>(schedule.meta_or("n", 0));
+  spec.f = static_cast<int>(schedule.meta_or("f", 0));
+  spec.k = static_cast<int>(schedule.meta_or("k", 1));
+  spec.monitor_k = static_cast<int>(schedule.meta_or("monitor_k", -1));
+  spec.seed = static_cast<std::uint64_t>(schedule.meta_or("seed", 0));
+  spec.inputs = schedule.inputs;
+  spec.c1 = schedule.meta_or("c1", 1);
+  spec.c2 = schedule.meta_or("c2", 2);
+  spec.d = schedule.meta_or("d", 4);
+  spec.max_time = schedule.meta_or("max_time", 1'000'000);
+  return spec;
+}
+
+RunOutcome replay_schedule(const Schedule& schedule) {
+  const RunSpec spec = spec_from_schedule(schedule);
+  Schedule copy = schedule;
+  switch (schedule.model) {
+    case Model::kSync: {
+      ReplaySyncAdversary adversary(schedule);
+      return execute(spec, copy, &adversary, nullptr, nullptr);
+    }
+    case Model::kAsync: {
+      ReplayAsyncAdversary adversary(schedule);
+      return execute(spec, copy, nullptr, &adversary, nullptr);
+    }
+    case Model::kSemiSync: {
+      ReplaySemiSyncAdversary adversary(schedule);
+      return execute(spec, copy, nullptr, nullptr, &adversary);
+    }
+  }
+  throw std::logic_error("replay_schedule: unknown model");
+}
+
+void require_ok(const RunOutcome& outcome) {
+  if (outcome.ok()) return;
+  throw InvariantViolation(outcome.violations.front(), outcome.schedule);
+}
+
+SoakReport soak(const RunSpec& base, std::size_t runs) {
+  SoakReport report;
+  for (std::size_t i = 0; i < runs; ++i) {
+    RunSpec spec = base;
+    spec.seed = base.seed + i;
+    RunOutcome outcome = run_recorded(spec);
+    ++report.runs;
+    if (!outcome.ok()) {
+      ++report.violations;
+      report.first_violations = outcome.violations;
+      report.first_schedule = std::move(outcome.schedule);
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace psph::check

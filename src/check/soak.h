@@ -1,0 +1,110 @@
+#pragma once
+
+// The soak engine: run a protocol under a seeded random adversary with
+// every adversary decision recorded, monitor the outcome, and replay any
+// schedule bit-for-bit later.
+//
+// One RunSpec names a (model, protocol, n, f, k, seed) point; run_recorded
+// executes it with a RecordingXxxAdversary wrapped around the model's
+// random adversary and returns a RunOutcome whose Schedule reproduces the
+// run exactly: replay_schedule(outcome.schedule) re-executes with a fresh
+// ViewRegistry and a ReplayXxxAdversary and yields identical decisions,
+// trace states, and crash records (StateIds are deterministic in interning
+// order, so even they match). The schedule's meta block carries the spec,
+// which makes a saved schedule file a complete self-describing repro.
+//
+// soak() drives many seeds (seed, seed+1, ...) and stops at the first run
+// any invariant monitor rejects; the psph_soak bench and the soak_smoke
+// test are thin wrappers around it. The shrinker's oracle is
+// replay_schedule too: a candidate counterexample "still fails" iff its
+// replay still trips a monitor.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/monitors.h"
+#include "check/schedule.h"
+
+namespace psph::check {
+
+enum class ProtocolKind : std::uint8_t {
+  kFloodSet = 0,       // sync, k-set, ⌊f/k⌋+1 rounds
+  kEarlyStopping = 1,  // sync consensus, min(f'+2, f+1) rounds
+  kAsyncKSet = 2,      // async, k = f+1, one round
+  kSemiSyncKSet = 3,   // semi-sync FloodMin over timeouts
+};
+
+const char* protocol_name(ProtocolKind protocol);
+
+/// The model a protocol runs on (fixed per protocol).
+Model protocol_model(ProtocolKind protocol);
+
+struct RunSpec {
+  ProtocolKind protocol = ProtocolKind::kFloodSet;
+  int n = 4;  // number of processes
+  int f = 1;  // failure budget handed to the adversary / protocol
+  int k = 1;  // protocol agreement degree (async ignores it: k = f+1)
+  /// Agreement degree the monitors check; -1 = the protocol's effective k.
+  /// Tests set this tighter than k to plant violations on purpose.
+  int monitor_k = -1;
+  std::uint64_t seed = 1;
+  /// Inputs by pid; empty = pid i gets input i (all-distinct worst case).
+  std::vector<std::int64_t> inputs;
+  /// Semi-synchronous timing (ignored by the round-based models).
+  sim::Time c1 = 1;
+  sim::Time c2 = 2;
+  sim::Time d = 4;
+  sim::Time max_time = 1'000'000;
+
+  /// The agreement degree the monitors use.
+  int effective_monitor_k() const;
+};
+
+/// One executed (or replayed) run: its schedule, the monitored record, and
+/// any violations. The views/trace/semisync objects are owned here so the
+/// record's borrowed pointers stay valid for the outcome's lifetime.
+struct RunOutcome {
+  Schedule schedule;
+  RunRecord record;
+  std::vector<Violation> violations;
+
+  std::shared_ptr<core::ViewRegistry> views;
+  std::shared_ptr<sim::Trace> trace;
+  std::shared_ptr<sim::SemiSyncResult> semisync;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs `spec` under the model's seeded random adversary, recording every
+/// adversary decision, and monitors the result.
+RunOutcome run_recorded(const RunSpec& spec);
+
+/// Re-executes a schedule (recorded or shrunk) through the matching replay
+/// adversary and monitors the result. The spec is reconstructed from the
+/// schedule's meta block.
+RunOutcome replay_schedule(const Schedule& schedule);
+
+/// Reconstructs the RunSpec a schedule was recorded from (meta block).
+RunSpec spec_from_schedule(const Schedule& schedule);
+
+/// Throws InvariantViolation (first violation + full schedule) unless the
+/// outcome is clean.
+void require_ok(const RunOutcome& outcome);
+
+struct SoakReport {
+  std::size_t runs = 0;
+  std::size_t violations = 0;
+  /// First offending run's details, if any.
+  std::vector<Violation> first_violations;
+  Schedule first_schedule;
+
+  bool ok() const { return violations == 0; }
+};
+
+/// Runs `runs` executions of `base` at seeds base.seed, base.seed+1, ...;
+/// stops at the first run with a violation.
+SoakReport soak(const RunSpec& base, std::size_t runs);
+
+}  // namespace psph::check

@@ -25,6 +25,8 @@ struct SyncRoundPlan {
   /// For each crashing process, the survivors that still receive its
   /// round message.
   std::map<ProcessId, std::set<ProcessId>> delivered_to;
+
+  bool operator==(const SyncRoundPlan&) const = default;
 };
 
 class SyncAdversary {
@@ -56,6 +58,8 @@ class RandomSyncAdversary : public SyncAdversary {
 /// size >= num_processes - max_failures).
 struct AsyncRoundPlan {
   std::map<ProcessId, std::set<ProcessId>> heard;
+
+  bool operator==(const AsyncRoundPlan&) const = default;
 };
 
 class AsyncAdversary {

@@ -67,12 +67,28 @@ Trace run_async(const std::vector<std::int64_t>& inputs,
   for (int round = 1; round <= config.rounds; ++round) {
     const AsyncRoundPlan plan =
         adversary.plan_round(round, participants, min_heard);
+    // Reject malformed plans with a distinct error per defect; `participants`
+    // is sorted (resolve_participants), so membership is a binary search.
     for (ProcessId p : participants) {
       const auto it = plan.heard.find(p);
-      if (it == plan.heard.end() ||
-          static_cast<int>(it->second.size()) < min_heard ||
-          it->second.count(p) == 0) {
-        throw std::logic_error("async adversary produced an illegal plan");
+      if (it == plan.heard.end()) {
+        throw std::logic_error(
+            "async adversary omitted a participant's heard-set");
+      }
+      if (static_cast<int>(it->second.size()) < min_heard) {
+        throw std::logic_error(
+            "async adversary heard-set smaller than n+1-f");
+      }
+      if (it->second.count(p) == 0) {
+        throw std::logic_error(
+            "async adversary dropped a process's own message");
+      }
+      for (ProcessId sender : it->second) {
+        if (!std::binary_search(participants.begin(), participants.end(),
+                                sender)) {
+          throw std::logic_error(
+              "async adversary delivered from a non-participant");
+        }
       }
     }
     trace.states.push_back(

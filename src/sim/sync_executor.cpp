@@ -64,9 +64,28 @@ Trace run_sync(const std::vector<std::int64_t>& inputs,
       alive.push_back(p);
     }
     const SyncRoundPlan plan = adversary.plan_round(round, alive);
+    // Reject malformed plans loudly: a silently-ignored illegal choice
+    // would make recorded schedules unfaithful to the executed run.
+    std::set<ProcessId> crashing;
     for (ProcessId c : plan.crash) {
       if (current.find(c) == current.end()) {
-        throw std::logic_error("adversary crashed a dead process");
+        throw std::logic_error("sync adversary crashed a dead process");
+      }
+      if (!crashing.insert(c).second) {
+        throw std::logic_error("sync adversary crashed a process twice");
+      }
+    }
+    for (const auto& [sender, receivers] : plan.delivered_to) {
+      if (crashing.count(sender) == 0) {
+        throw std::logic_error(
+            "sync adversary gave a delivery plan for a non-crashing process");
+      }
+      for (ProcessId receiver : receivers) {
+        if (current.find(receiver) == current.end() ||
+            crashing.count(receiver) != 0) {
+          throw std::logic_error(
+              "sync adversary delivered a crasher message to a non-survivor");
+        }
       }
     }
     current = step_round(current, plan.crash, plan.delivered_to, round, views);

@@ -1,0 +1,85 @@
+#include "store/fs_ops.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace psph::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void fail(const std::string& what, const fs::path& path) {
+  throw std::runtime_error(what + " " + path.string() + ": " +
+                           std::strerror(errno));
+}
+
+class RealFsOps final : public FsOps {
+ public:
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const fs::path& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) return std::nullopt;
+    return bytes;
+  }
+
+  void write_file(const fs::path& path, const std::uint8_t* data,
+                  std::size_t size) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail("store: cannot open for write", path);
+    std::size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        fail("store: write failed on", path);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    // Durability: the bytes must hit stable storage *before* the rename
+    // that publishes them, or a crash could expose a named-but-empty entry.
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      fail("store: fsync failed on", path);
+    }
+    if (::close(fd) != 0) fail("store: close failed on", path);
+  }
+
+  void rename(const fs::path& from, const fs::path& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      throw std::runtime_error("store: rename " + from.string() + " -> " +
+                               to.string() + ": " + ec.message());
+    }
+  }
+
+  void fsync_dir(const fs::path& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) fail("store: cannot open directory", dir);
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      fail("store: fsync failed on directory", dir);
+    }
+    ::close(fd);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<FsOps> FsOps::real() {
+  static const std::shared_ptr<FsOps> instance = std::make_shared<RealFsOps>();
+  return instance;
+}
+
+}  // namespace psph::store

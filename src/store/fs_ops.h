@@ -1,0 +1,54 @@
+#pragma once
+
+// Injectable filesystem operations for the result store.
+//
+// ResultStore performs exactly four kinds of filesystem I/O: whole-file
+// reads, durable whole-file writes, renames, and directory fsyncs. Routing
+// them through this interface lets the fault-injection harness
+// (check/fault_fs.h) simulate short writes, failed renames, ENOSPC, and
+// bit-rot on read against the *real* store logic — the property under test
+// is that every injected fault degrades to a cache miss plus recomputation,
+// never a wrong answer.
+//
+// The default implementation (FsOps::real()) is crash-safe: write_file
+// writes with POSIX I/O and fsyncs the file before returning, and the store
+// publishes with write-temp → fsync(temp) → rename → fsync(parent dir), so
+// a power cut at any instant leaves either no entry or a fully durable one
+// — never a torn entry that becomes observable after reboot.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace psph::store {
+
+class FsOps {
+ public:
+  virtual ~FsOps() = default;
+
+  /// Whole-file read; nullopt if the file is missing or unreadable.
+  virtual std::optional<std::vector<std::uint8_t>> read_file(
+      const std::filesystem::path& path) = 0;
+
+  /// Durable whole-file write (create/truncate, write all bytes, fsync).
+  /// Throws std::runtime_error on any failure, including a short write.
+  virtual void write_file(const std::filesystem::path& path,
+                          const std::uint8_t* data, std::size_t size) = 0;
+
+  /// Atomic rename within one filesystem. Throws std::runtime_error on
+  /// failure.
+  virtual void rename(const std::filesystem::path& from,
+                      const std::filesystem::path& to) = 0;
+
+  /// fsyncs a directory so a preceding rename into it survives a crash.
+  /// Throws std::runtime_error on failure.
+  virtual void fsync_dir(const std::filesystem::path& dir) = 0;
+
+  /// The shared POSIX-backed implementation.
+  static std::shared_ptr<FsOps> real();
+};
+
+}  // namespace psph::store

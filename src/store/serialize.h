@@ -50,6 +50,7 @@ enum class PayloadKind : std::uint16_t {
   kAgreementCheck = 5,
   kBigInt = 6,
   kCacheEntry = 7,  // store.h: key blob + sealed result
+  kSchedule = 8,    // check/schedule.h: recorded adversary schedule
 };
 
 /// Thrown on any malformed input to a decoder.

@@ -2,7 +2,6 @@
 
 #include <unistd.h>
 
-#include <fstream>
 #include <stdexcept>
 
 #include "util/hash.h"
@@ -18,15 +17,6 @@ namespace fs = std::filesystem;
 // load() still verifies the full key blob, so even a collision is safe).
 constexpr std::uint64_t kSeedHi = 0x5bd1e995u;
 constexpr std::uint64_t kSeedLo = 0x27d4eb2fu;
-
-std::optional<std::vector<std::uint8_t>> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) return std::nullopt;
-  return bytes;
-}
 
 }  // namespace
 
@@ -81,7 +71,8 @@ CacheKey CacheKeyBuilder::key() const {
   return key;
 }
 
-ResultStore::ResultStore(fs::path root) : root_(std::move(root)) {
+ResultStore::ResultStore(fs::path root, std::shared_ptr<FsOps> fs)
+    : root_(std::move(root)), fs_(fs ? std::move(fs) : FsOps::real()) {
   if (fs::exists(root_) && !fs::is_directory(root_)) {
     throw std::runtime_error("result store root is not a directory: " +
                              root_.string());
@@ -99,7 +90,7 @@ fs::path ResultStore::entry_path(const CacheKey& key) const {
 std::optional<std::vector<std::uint8_t>> ResultStore::load(
     const CacheKeyBuilder& key) {
   const fs::path path = entry_path(key.key());
-  std::optional<std::vector<std::uint8_t>> file = read_file(path);
+  std::optional<std::vector<std::uint8_t>> file = fs_->read_file(path);
   if (!file.has_value()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -153,22 +144,13 @@ void ResultStore::save(const CacheKeyBuilder& key,
       root_ / "tmp" /
       (key.key().hex() + "." + std::to_string(::getpid()) + "." +
        std::to_string(sequence));
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("result store: cannot open temp file " +
-                               tmp_path.string());
-    }
-    out.write(reinterpret_cast<const char*>(sealed.data()),
-              static_cast<std::streamsize>(sealed.size()));
-    out.flush();
-    if (!out.good()) {
-      throw std::runtime_error("result store: short write to " +
-                               tmp_path.string());
-    }
-  }
-  // Atomic publication: readers see either no entry or the whole entry.
-  fs::rename(tmp_path, final_path);
+  // Crash-safe publication: the temp write fsyncs the bytes, the rename
+  // makes them visible atomically, and the directory fsync makes the rename
+  // itself durable. Readers see either no entry or the whole entry — even
+  // across a power cut.
+  fs_->write_file(tmp_path, sealed.data(), sealed.size());
+  fs_->rename(tmp_path, final_path);
+  fs_->fsync_dir(final_path.parent_path());
   writes_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(sealed.size(), std::memory_order_relaxed);
 }

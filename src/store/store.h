@@ -15,19 +15,26 @@
 // against the query's, so a hash collision or a corrupted/truncated entry
 // degrades to a cache miss plus recomputation, never a wrong answer.
 //
-// Publication is atomic: writers serialize into <root>/tmp/<unique> and
-// std::filesystem::rename onto the final path. rename(2) within one
+// Publication is atomic AND durable: writers serialize into
+// <root>/tmp/<unique>, fsync the temp file, std::filesystem::rename onto
+// the final path, then fsync the parent directory. rename(2) within one
 // filesystem is atomic, so concurrent writers race benignly (last rename
-// wins with identical content) and a crash mid-write leaves only a tmp
-// orphan, never a half-written entry.
+// wins with identical content); the fsyncs mean a crash at any instant —
+// even a power cut mid-publish — leaves either no entry or a fully written
+// one after reboot, never a torn entry. All filesystem I/O goes through an
+// injectable FsOps (fs_ops.h) so the fault-injection harness can exercise
+// short writes, failed renames, ENOSPC, and read bit-rot against the real
+// store logic.
 
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "store/fs_ops.h"
 #include "store/serialize.h"
 #include "topology/complex.h"
 
@@ -84,8 +91,10 @@ struct StoreStats {
 class ResultStore {
  public:
   /// Creates <root>/objects and <root>/tmp if missing. Throws
-  /// std::runtime_error if the root exists but is not a directory.
-  explicit ResultStore(std::filesystem::path root);
+  /// std::runtime_error if the root exists but is not a directory. `fs`
+  /// routes all file I/O; null means the real filesystem.
+  explicit ResultStore(std::filesystem::path root,
+                       std::shared_ptr<FsOps> fs = nullptr);
 
   /// Returns the stored result bytes for `key`, or nullopt on miss. A
   /// present-but-invalid entry (truncated, corrupt, version-skewed, or a
@@ -110,6 +119,7 @@ class ResultStore {
 
  private:
   std::filesystem::path root_;
+  std::shared_ptr<FsOps> fs_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> writes_{0};

@@ -64,12 +64,17 @@ std::string SweepStats::to_string() const {
                 pretty_bytes(bytes_read).c_str(),
                 pretty_bytes(bytes_written).c_str(), compute_millis,
                 wall_millis);
-  return buffer;
+  std::string out = buffer;
+  if (save_failures != 0) {
+    out += "; " + std::to_string(save_failures) + " save failures";
+  }
+  return out;
 }
 
 SweepEngine::SweepEngine(const SweepOptions& options) {
   if (!options.cache_dir.empty()) {
-    store_ = std::make_unique<store::ResultStore>(options.cache_dir);
+    store_ = std::make_unique<store::ResultStore>(options.cache_dir,
+                                                  options.fs);
     manifest_path_ = options.manifest_path.empty()
                          ? (store_->root() / "manifest.jsonl").string()
                          : options.manifest_path;
@@ -152,6 +157,7 @@ std::vector<std::vector<std::uint8_t>> SweepEngine::run(
   // Per-slot outputs keep the fan-out deterministic; the counters below
   // survive a compute exception so stats stay truthful for aborted runs.
   std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> save_failures{0};
   std::atomic<std::uint64_t> compute_micros{0};
   try {
     util::parallel_for(uncached.size(), [&](std::size_t u) {
@@ -161,9 +167,16 @@ std::vector<std::vector<std::uint8_t>> SweepEngine::run(
       const double millis = timer.millis();
       if (store_ != nullptr) {
         const store::CacheKeyBuilder builder = jobs[i].key_builder();
-        store_->save(builder, bytes);
-        append_manifest(jobs[i], builder.key().hex(), bytes.size(), millis,
-                        false);
+        // A cache that cannot persist must not kill the computation: the
+        // result is still returned, the manifest line is withheld (the
+        // entry is not on disk), and the job recomputes next run.
+        try {
+          store_->save(builder, bytes);
+          append_manifest(jobs[i], builder.key().hex(), bytes.size(), millis,
+                          false);
+        } catch (const std::exception&) {
+          save_failures.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       results[i] = std::move(bytes);
       compute_micros.fetch_add(static_cast<std::uint64_t>(millis * 1000.0),
@@ -171,6 +184,7 @@ std::vector<std::vector<std::uint8_t>> SweepEngine::run(
       completed.fetch_add(1, std::memory_order_relaxed);
     });
   } catch (...) {
+    stats_.save_failures += save_failures.load();
     stats_.computed += completed.load();
     stats_.compute_millis += static_cast<double>(compute_micros.load()) / 1000.0;
     stats_.wall_millis += wall.millis();
@@ -182,6 +196,7 @@ std::vector<std::vector<std::uint8_t>> SweepEngine::run(
     throw;
   }
 
+  stats_.save_failures += save_failures.load();
   stats_.computed += completed.load();
   stats_.compute_millis += static_cast<double>(compute_micros.load()) / 1000.0;
   stats_.wall_millis += wall.millis();

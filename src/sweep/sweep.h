@@ -69,6 +69,10 @@ struct SweepStats {
   /// Hits whose manifest line predates this run — completed by an earlier
   /// (possibly killed) invocation sharing the manifest.
   std::size_t resumed = 0;
+  /// Computed results the store failed to persist (full disk, failed
+  /// rename, ...). The results are still returned and the sweep continues;
+  /// the affected jobs simply recompute on the next run.
+  std::size_t save_failures = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   /// Summed compute time of the jobs this run actually executed.
@@ -85,6 +89,9 @@ struct SweepOptions {
   std::string cache_dir = "";
   /// JSONL completion log; defaults to <cache_dir>/manifest.jsonl.
   std::string manifest_path = "";
+  /// Filesystem ops for the store; null = real filesystem. The
+  /// fault-injection tests substitute a faulty implementation here.
+  std::shared_ptr<store::FsOps> fs = nullptr;
 };
 
 class SweepEngine {

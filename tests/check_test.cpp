@@ -1,0 +1,460 @@
+// Tests for the psph_check subsystem: schedule recording/serialization,
+// bit-identical replay across all three executor models, invariant
+// monitors, and counterexample shrinking.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/monitors.h"
+#include "check/schedule.h"
+#include "check/shrink.h"
+#include "check/soak.h"
+#include "store/serialize.h"
+
+namespace psph::check {
+namespace {
+
+// ------------------------------------------------------- schedules --------
+
+Schedule sample_schedule() {
+  Schedule s;
+  s.model = Model::kSync;
+  s.meta["protocol"] = 0;
+  s.meta["n"] = 4;
+  s.meta["f"] = 2;
+  s.meta["seed"] = 99;
+  s.inputs = {0, 1, 2, 3};
+  sim::SyncRoundPlan round1;
+  round1.crash = {0};
+  round1.delivered_to[0] = {1, 2};
+  s.sync_rounds.push_back(round1);
+  s.sync_rounds.push_back({});
+  return s;
+}
+
+TEST(Schedule, SerializationRoundTrip) {
+  const Schedule original = sample_schedule();
+  const std::vector<std::uint8_t> bytes = serialize_schedule(original);
+  EXPECT_EQ(deserialize_schedule(bytes), original);
+}
+
+TEST(Schedule, SemiSyncSerializationRoundTrip) {
+  Schedule s;
+  s.model = Model::kSemiSync;
+  s.meta["c1"] = 1;
+  s.meta["c2"] = 3;
+  s.inputs = {5, 6, 7};
+  s.crash_times = {std::nullopt, 17, std::nullopt};
+  s.spacings = {{0, 1}, {1, 3}, {0, 2}};
+  s.delays = {1, 4, 2, 1};
+  EXPECT_EQ(deserialize_schedule(serialize_schedule(s)), s);
+}
+
+TEST(Schedule, AsyncSerializationRoundTrip) {
+  Schedule s;
+  s.model = Model::kAsync;
+  s.meta["n"] = 3;
+  s.inputs = {2, 2, 2};
+  sim::AsyncRoundPlan plan;
+  plan.heard[0] = {0, 1};
+  plan.heard[1] = {0, 1, 2};
+  plan.heard[2] = {1, 2};
+  s.async_rounds.push_back(plan);
+  EXPECT_EQ(deserialize_schedule(serialize_schedule(s)), s);
+}
+
+TEST(Schedule, CorruptEnvelopeThrows) {
+  std::vector<std::uint8_t> bytes = serialize_schedule(sample_schedule());
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_THROW(deserialize_schedule(bytes), store::SerializationError);
+}
+
+TEST(Schedule, TruncatedEnvelopeThrows) {
+  std::vector<std::uint8_t> bytes = serialize_schedule(sample_schedule());
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(deserialize_schedule(bytes), store::SerializationError);
+}
+
+TEST(Schedule, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psph_sched_test.psph")
+          .string();
+  const Schedule original = sample_schedule();
+  save_schedule(path, original);
+  EXPECT_EQ(load_schedule(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(Schedule, LoadMissingFileThrows) {
+  EXPECT_THROW(load_schedule("/nonexistent/psph/schedule.psph"),
+               std::runtime_error);
+}
+
+TEST(Schedule, ChoiceCountSync) {
+  // Round 1: 1 crash + (3 survivors - 2 delivered) withheld = 2.
+  EXPECT_EQ(sample_schedule().choice_count(), 2u);
+}
+
+// --------------------------------------------- bit-identical replay -------
+
+void expect_identical_traces(const RunOutcome& a, const RunOutcome& b) {
+  ASSERT_NE(a.trace, nullptr);
+  ASSERT_NE(b.trace, nullptr);
+  // Fresh registries intern views in the same deterministic order, so even
+  // the raw StateIds must agree.
+  EXPECT_EQ(a.trace->states, b.trace->states);
+  EXPECT_EQ(a.trace->crashed_in, b.trace->crashed_in);
+  ASSERT_EQ(a.record.decisions.size(), b.record.decisions.size());
+  for (std::size_t i = 0; i < a.record.decisions.size(); ++i) {
+    EXPECT_EQ(a.record.decisions[i].pid, b.record.decisions[i].pid);
+    EXPECT_EQ(a.record.decisions[i].value, b.record.decisions[i].value);
+    EXPECT_EQ(a.record.decisions[i].round, b.record.decisions[i].round);
+  }
+}
+
+TEST(Replay, SyncBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunSpec spec;
+    spec.protocol = ProtocolKind::kFloodSet;
+    spec.n = 5;
+    spec.f = 2;
+    spec.k = 2;
+    spec.seed = seed;
+    const RunOutcome recorded = run_recorded(spec);
+    const RunOutcome replayed = replay_schedule(recorded.schedule);
+    expect_identical_traces(recorded, replayed);
+    EXPECT_EQ(recorded.schedule, replayed.schedule);
+    EXPECT_TRUE(recorded.ok());
+    EXPECT_TRUE(replayed.ok());
+  }
+}
+
+TEST(Replay, EarlyStoppingBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunSpec spec;
+    spec.protocol = ProtocolKind::kEarlyStopping;
+    spec.n = 5;
+    spec.f = 2;
+    spec.seed = seed;
+    const RunOutcome recorded = run_recorded(spec);
+    const RunOutcome replayed = replay_schedule(recorded.schedule);
+    expect_identical_traces(recorded, replayed);
+    EXPECT_TRUE(recorded.ok());
+    EXPECT_TRUE(replayed.ok());
+  }
+}
+
+TEST(Replay, AsyncBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunSpec spec;
+    spec.protocol = ProtocolKind::kAsyncKSet;
+    spec.n = 4;
+    spec.f = 2;
+    spec.seed = seed;
+    const RunOutcome recorded = run_recorded(spec);
+    const RunOutcome replayed = replay_schedule(recorded.schedule);
+    expect_identical_traces(recorded, replayed);
+    EXPECT_TRUE(recorded.ok());
+    EXPECT_TRUE(replayed.ok());
+  }
+}
+
+TEST(Replay, SemiSyncBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RunSpec spec;
+    spec.protocol = ProtocolKind::kSemiSyncKSet;
+    spec.n = 4;
+    spec.f = 2;
+    spec.k = 1;
+    spec.c1 = 1;
+    spec.c2 = 2;
+    spec.d = 5;
+    spec.seed = seed;
+    const RunOutcome recorded = run_recorded(spec);
+    const RunOutcome replayed = replay_schedule(recorded.schedule);
+    ASSERT_NE(recorded.semisync, nullptr);
+    ASSERT_NE(replayed.semisync, nullptr);
+    const sim::SemiSyncResult& a = *recorded.semisync;
+    const sim::SemiSyncResult& b = *replayed.semisync;
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.finished_at, b.finished_at);
+    EXPECT_EQ(a.all_alive_decided, b.all_alive_decided);
+    EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+    EXPECT_EQ(a.steps_taken, b.steps_taken);
+    ASSERT_EQ(a.decisions.size(), b.decisions.size());
+    for (const auto& [pid, event] : a.decisions) {
+      const auto it = b.decisions.find(pid);
+      ASSERT_NE(it, b.decisions.end());
+      EXPECT_EQ(event.value, it->second.value);
+      EXPECT_EQ(event.time, it->second.time);
+    }
+    EXPECT_TRUE(recorded.ok());
+    EXPECT_TRUE(replayed.ok());
+  }
+}
+
+TEST(Replay, SurvivesSerializationRoundTrip) {
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kFloodSet;
+  spec.n = 4;
+  spec.f = 2;
+  spec.seed = 7;
+  const RunOutcome recorded = run_recorded(spec);
+  const Schedule decoded =
+      deserialize_schedule(serialize_schedule(recorded.schedule));
+  const RunOutcome replayed = replay_schedule(decoded);
+  expect_identical_traces(recorded, replayed);
+}
+
+TEST(Replay, TruncatedSemiSyncStreamsStayTotal) {
+  // A shrunk/edited schedule may exhaust its recorded streams mid-run;
+  // replay must pad with least-adversarial answers, not crash.
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kSemiSyncKSet;
+  spec.n = 3;
+  spec.f = 1;
+  spec.seed = 5;
+  Schedule schedule = run_recorded(spec).schedule;
+  schedule.delays.resize(schedule.delays.size() / 2);
+  schedule.spacings.resize(schedule.spacings.size() / 2);
+  RunOutcome outcome;
+  ASSERT_NO_THROW(outcome = replay_schedule(schedule));
+  EXPECT_TRUE(outcome.ok());
+}
+
+// -------------------------------------------------------- monitors --------
+
+RunRecord basic_record() {
+  RunRecord record;
+  record.model = Model::kSync;
+  record.n = 3;
+  record.f = 1;
+  record.k = 1;
+  record.inputs = {0, 1, 2};
+  sim::DecisionEvent d;
+  d.pid = 0;
+  d.value = 0;
+  d.round = 2;
+  record.decisions.push_back(d);
+  return record;
+}
+
+TEST(Monitors, CleanRecordPasses) {
+  const RunRecord record = basic_record();
+  EXPECT_TRUE(check_all(standard_monitors(record.model), record).empty());
+}
+
+TEST(Monitors, AgreementFiresOnTooManyValues) {
+  RunRecord record = basic_record();
+  sim::DecisionEvent d;
+  d.pid = 1;
+  d.value = 1;
+  d.round = 2;
+  record.decisions.push_back(d);
+  const AgreementMonitor monitor;
+  EXPECT_TRUE(monitor.check(record).has_value());
+}
+
+TEST(Monitors, ValidityFiresOnForeignValue) {
+  RunRecord record = basic_record();
+  record.decisions[0].value = 42;  // nobody's input
+  const ValidityMonitor monitor;
+  EXPECT_TRUE(monitor.check(record).has_value());
+  const AgreementMonitor agreement;
+  EXPECT_FALSE(agreement.check(record).has_value());
+}
+
+TEST(Monitors, DecisionBoundFiresOnLateRound) {
+  RunRecord record = basic_record();
+  record.round_bound = 2;
+  const DecisionBoundMonitor monitor;
+  EXPECT_FALSE(monitor.check(record).has_value());
+  record.decisions[0].round = 3;
+  EXPECT_TRUE(monitor.check(record).has_value());
+}
+
+TEST(Monitors, DecisionBoundFiresOnLateTime) {
+  RunRecord record = basic_record();
+  record.decisions[0].round = 0;
+  record.decisions[0].time = 500;
+  record.time_bound = 400;
+  const DecisionBoundMonitor monitor;
+  EXPECT_TRUE(monitor.check(record).has_value());
+}
+
+TEST(Monitors, DecisionBoundFiresOnUndecidedSurvivor) {
+  RunRecord record = basic_record();
+  record.require_all_alive_decided = true;
+  record.all_alive_decided = false;
+  const DecisionBoundMonitor monitor;
+  EXPECT_TRUE(monitor.check(record).has_value());
+}
+
+TEST(Monitors, NoZombieSendPassesOnRealRuns) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunSpec spec;
+    spec.protocol = ProtocolKind::kFloodSet;
+    spec.n = 5;
+    spec.f = 3;
+    spec.k = 2;
+    spec.seed = seed;
+    const RunOutcome outcome = run_recorded(spec);
+    const NoZombieSendMonitor monitor;
+    EXPECT_FALSE(monitor.check(outcome.record).has_value());
+  }
+}
+
+TEST(Monitors, RequireOkThrowsWithSchedule) {
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kFloodSet;
+  spec.n = 4;
+  spec.f = 1;
+  spec.k = 1;
+  spec.monitor_k = 0;  // impossible to satisfy: any decision violates
+  spec.seed = 3;
+  const RunOutcome outcome = run_recorded(spec);
+  ASSERT_FALSE(outcome.ok());
+  try {
+    require_ok(outcome);
+    FAIL() << "require_ok did not throw";
+  } catch (const InvariantViolation& violation) {
+    EXPECT_EQ(violation.violation().monitor, "agreement");
+    // The exception carries a complete repro: replaying it fails again.
+    EXPECT_FALSE(replay_schedule(violation.schedule()).ok());
+  }
+}
+
+// -------------------------------------------------------- shrinking -------
+
+/// A hand-planted agreement violation with deliberate slack. FloodSet at
+/// n=5, protocol k=2 (so 2 rounds), monitored at k=1. A crash chain
+/// P0 -> P1 smuggles input 0 to P2 only, so P2 decides 0 while P3 decides
+/// 1. The round-1 crash of P4 (delivering nothing) is pure noise — the
+/// shrinker must strip it (and P4's withheld deliveries) while keeping the
+/// violation alive.
+Schedule planted_violation() {
+  Schedule s;
+  s.model = Model::kSync;
+  s.meta["protocol"] = static_cast<std::int64_t>(ProtocolKind::kFloodSet);
+  s.meta["n"] = 5;
+  s.meta["f"] = 2;
+  s.meta["k"] = 2;
+  s.meta["monitor_k"] = 1;
+  s.meta["seed"] = 0;
+  s.inputs = {0, 1, 2, 3, 4};
+  sim::SyncRoundPlan round1;
+  round1.crash = {0, 4};
+  round1.delivered_to[0] = {1};
+  round1.delivered_to[4] = {};
+  sim::SyncRoundPlan round2;
+  round2.crash = {1};
+  round2.delivered_to[1] = {2};
+  s.sync_rounds.push_back(round1);
+  s.sync_rounds.push_back(round2);
+  return s;
+}
+
+TEST(Shrink, PlantedViolationReplaysAsFailure) {
+  const RunOutcome outcome = replay_schedule(planted_violation());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.violations.front().monitor, "agreement");
+}
+
+TEST(Shrink, ReducesPlantedViolationToFewerChoices) {
+  const Schedule planted = planted_violation();
+  const ShrinkOracle oracle = [](const Schedule& candidate) {
+    return !replay_schedule(candidate).ok();
+  };
+  const ShrinkResult result = shrink(planted, oracle);
+  EXPECT_GE(result.accepted, 1u);
+  EXPECT_LT(result.schedule.choice_count(), planted.choice_count());
+  // The minimized schedule is still a genuine counterexample.
+  EXPECT_FALSE(replay_schedule(result.schedule).ok());
+  // The noise crash of P4 is gone.
+  for (const auto& plan : result.schedule.sync_rounds) {
+    for (const sim::ProcessId pid : plan.crash) EXPECT_NE(pid, 4);
+  }
+}
+
+TEST(Shrink, CandidatesStrictlyReduceOrAreFiltered) {
+  const Schedule planted = planted_violation();
+  const std::size_t count = planted.choice_count();
+  // The shrinker only ever accepts candidates below the current count; the
+  // generator itself may propose non-reducing edits, which must be filtered.
+  std::size_t reducing = 0;
+  for (const Schedule& candidate : shrink_candidates(planted)) {
+    if (candidate.choice_count() < count) ++reducing;
+  }
+  EXPECT_GE(reducing, 1u);
+}
+
+TEST(Shrink, MinimalScheduleIsFixedPoint) {
+  // A failure-free schedule has nothing to shrink.
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kFloodSet;
+  spec.n = 3;
+  spec.f = 1;
+  spec.seed = 2;
+  Schedule schedule = run_recorded(spec).schedule;
+  schedule.sync_rounds.clear();  // zero adversary choices
+  const ShrinkResult result =
+      shrink(schedule, [](const Schedule&) { return true; });
+  EXPECT_EQ(result.accepted, 0u);
+  EXPECT_EQ(result.schedule, schedule);
+}
+
+TEST(Shrink, SemiSyncCandidatesRelaxTiming) {
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kSemiSyncKSet;
+  spec.n = 3;
+  spec.f = 1;
+  spec.c1 = 1;
+  spec.c2 = 3;
+  spec.d = 5;
+  spec.seed = 11;
+  const Schedule schedule = run_recorded(spec).schedule;
+  const std::size_t count = schedule.choice_count();
+  for (const Schedule& candidate : shrink_candidates(schedule)) {
+    EXPECT_LT(candidate.choice_count(), count);
+    // Every semi-sync candidate must still replay (totality).
+    EXPECT_NO_THROW(replay_schedule(candidate));
+  }
+}
+
+// ------------------------------------------------------------ soak --------
+
+TEST(Soak, AllProtocolsCleanOnSmallBudget) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kFloodSet, ProtocolKind::kEarlyStopping,
+        ProtocolKind::kAsyncKSet, ProtocolKind::kSemiSyncKSet}) {
+    RunSpec spec;
+    spec.protocol = kind;
+    spec.n = 4;
+    spec.f = 2;
+    spec.k = 1;
+    spec.seed = 1000;
+    const SoakReport report = soak(spec, 50);
+    EXPECT_TRUE(report.ok()) << protocol_name(kind);
+    EXPECT_EQ(report.runs, 50u);
+  }
+}
+
+TEST(Soak, ReportsFirstViolationWithSchedule) {
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kFloodSet;
+  spec.n = 4;
+  spec.f = 2;
+  spec.monitor_k = 0;  // every run violates
+  spec.seed = 5;
+  const SoakReport report = soak(spec, 10);
+  EXPECT_EQ(report.violations, 1u);
+  EXPECT_EQ(report.runs, 1u);  // stops at the first failure
+  EXPECT_FALSE(replay_schedule(report.first_schedule).ok());
+}
+
+}  // namespace
+}  // namespace psph::check

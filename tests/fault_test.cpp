@@ -1,0 +1,257 @@
+// Fault-injection tests: storage failures against the real ResultStore and
+// sweep-engine logic. The property throughout: a fault during save degrades
+// to a recompute on the next run, a fault during load degrades to a miss —
+// the store never surfaces plausible-but-wrong bytes, and a faulted sweep
+// still returns every result.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/fault_fs.h"
+#include "store/serialize.h"
+#include "store/store.h"
+#include "sweep/sweep.h"
+
+namespace psph {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path_ = fs::temp_directory_path() /
+            ("psph_fault_test." + std::to_string(::getpid()) + "." +
+             std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+store::CacheKeyBuilder test_key(std::int64_t tag) {
+  store::CacheKeyBuilder key("fault_test/entry");
+  key.param(tag);
+  return key;
+}
+
+std::vector<std::uint8_t> test_bytes(std::int64_t tag) {
+  store::ByteWriter out;
+  out.i64(tag * 1000 + 7);
+  return store::seal(store::PayloadKind::kRawBytes, out.bytes());
+}
+
+// ------------------------------------------------- faults during save -----
+
+TEST(StoreFaults, FailedWriteThrowsAndLeavesNoEntry) {
+  TempDir dir;
+  auto faulty =
+      std::make_shared<check::FaultyFsOps>(check::FaultPlan{.fail_writes = {0}});
+  store::ResultStore store(dir.str(), faulty);
+  EXPECT_THROW(store.save(test_key(1), test_bytes(1)), std::runtime_error);
+  EXPECT_EQ(faulty->faults_injected(), 1u);
+  EXPECT_FALSE(store.load(test_key(1)).has_value());
+  EXPECT_FALSE(fs::exists(store.entry_path(test_key(1).key())));
+}
+
+TEST(StoreFaults, FailedRenameThrowsAndLeavesNoEntry) {
+  TempDir dir;
+  auto faulty = std::make_shared<check::FaultyFsOps>(
+      check::FaultPlan{.fail_renames = {0}});
+  store::ResultStore store(dir.str(), faulty);
+  EXPECT_THROW(store.save(test_key(2), test_bytes(2)), std::runtime_error);
+  // The temp file was written but never published.
+  EXPECT_FALSE(fs::exists(store.entry_path(test_key(2).key())));
+  EXPECT_FALSE(store.load(test_key(2)).has_value());
+  // A later save of the same key succeeds and round-trips.
+  store.save(test_key(2), test_bytes(2));
+  EXPECT_EQ(store.load(test_key(2)), test_bytes(2));
+}
+
+TEST(StoreFaults, FailedDirSyncThrowsButNeverCorrupts) {
+  TempDir dir;
+  auto faulty = std::make_shared<check::FaultyFsOps>(
+      check::FaultPlan{.fail_dir_syncs = {0}});
+  store::ResultStore store(dir.str(), faulty);
+  // The entry was renamed into place before the durability barrier failed,
+  // so the save reports failure while a *valid* entry may exist — the one
+  // acceptable outcome. Wrong bytes are not.
+  EXPECT_THROW(store.save(test_key(3), test_bytes(3)), std::runtime_error);
+  const auto loaded = store.load(test_key(3));
+  if (loaded.has_value()) EXPECT_EQ(*loaded, test_bytes(3));
+}
+
+TEST(StoreFaults, ShortWriteDegradesToMissNotWrongBytes) {
+  TempDir dir;
+  auto faulty = std::make_shared<check::FaultyFsOps>(
+      check::FaultPlan{.short_writes = {0}});
+  store::ResultStore store(dir.str(), faulty);
+  // The torn write reports success, so the save "succeeds" and publishes a
+  // truncated entry — the worst honest-but-failing disk behavior.
+  store.save(test_key(4), test_bytes(4));
+  EXPECT_TRUE(fs::exists(store.entry_path(test_key(4).key())));
+  EXPECT_FALSE(store.load(test_key(4)).has_value());
+  EXPECT_EQ(store.stats().corrupt_entries, 1u);
+  // A fresh store on the real filesystem sees the same torn file: miss.
+  store::ResultStore clean(dir.str());
+  EXPECT_FALSE(clean.load(test_key(4)).has_value());
+  // Re-saving heals the entry.
+  clean.save(test_key(4), test_bytes(4));
+  EXPECT_EQ(clean.load(test_key(4)), test_bytes(4));
+}
+
+// ------------------------------------------------- faults during load -----
+
+TEST(StoreFaults, BitRotReadDegradesToMiss) {
+  TempDir dir;
+  {
+    store::ResultStore writer(dir.str());
+    writer.save(test_key(5), test_bytes(5));
+  }
+  auto faulty = std::make_shared<check::FaultyFsOps>(
+      check::FaultPlan{.corrupt_reads = {0}});
+  store::ResultStore store(dir.str(), faulty);
+  EXPECT_FALSE(store.load(test_key(5)).has_value());
+  EXPECT_EQ(store.stats().corrupt_entries, 1u);
+  // The rot was transient (in the read path, not on disk): the next read is
+  // clean and returns the original bytes.
+  EXPECT_EQ(store.load(test_key(5)), test_bytes(5));
+}
+
+TEST(StoreFaults, TruncatedReadDegradesToMiss) {
+  TempDir dir;
+  {
+    store::ResultStore writer(dir.str());
+    writer.save(test_key(6), test_bytes(6));
+  }
+  auto faulty = std::make_shared<check::FaultyFsOps>(
+      check::FaultPlan{.truncate_reads = {0}});
+  store::ResultStore store(dir.str(), faulty);
+  EXPECT_FALSE(store.load(test_key(6)).has_value());
+  EXPECT_EQ(store.load(test_key(6)), test_bytes(6));
+}
+
+TEST(StoreFaults, EveryReadFaultYieldsMissOrExactBytes) {
+  TempDir dir;
+  {
+    store::ResultStore writer(dir.str());
+    writer.save(test_key(7), test_bytes(7));
+  }
+  // Whatever single read fault fires, a load returns nullopt or the exact
+  // saved bytes — never a third possibility.
+  for (int mode = 0; mode < 2; ++mode) {
+    check::FaultPlan plan;
+    if (mode == 0) {
+      plan.corrupt_reads = {0, 1, 2};
+    } else {
+      plan.truncate_reads = {0, 1, 2};
+    }
+    store::ResultStore store(dir.str(),
+                             std::make_shared<check::FaultyFsOps>(plan));
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const auto loaded = store.load(test_key(7));
+      if (loaded.has_value()) EXPECT_EQ(*loaded, test_bytes(7));
+    }
+  }
+}
+
+// ------------------------------------------------- faults during sweeps ---
+
+std::vector<sweep::JobSpec> grid_jobs(int count) {
+  std::vector<sweep::JobSpec> jobs;
+  for (int i = 0; i < count; ++i) {
+    jobs.push_back({"fault_test/square", {i}, {}});
+  }
+  return jobs;
+}
+
+std::vector<std::uint8_t> square_job(const sweep::JobSpec& spec,
+                                     std::size_t /*index*/) {
+  store::ByteWriter out;
+  out.i64(spec.params[0] * spec.params[0]);
+  return store::seal(store::PayloadKind::kRawBytes, out.bytes());
+}
+
+std::int64_t unseal_i64(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> payload =
+      store::unseal(bytes, store::PayloadKind::kRawBytes);
+  store::ByteReader in(payload);
+  const std::int64_t value = in.i64();
+  in.expect_done("fault_test payload");
+  return value;
+}
+
+TEST(SweepFaults, FailedSavesAreCountedAndResultsStillReturned) {
+  TempDir dir;
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(5);
+
+  // Each save performs exactly one rename; failing renames 0 and 1 loses
+  // exactly two entries, whichever jobs they belong to.
+  sweep::SweepOptions options;
+  options.cache_dir = dir.str();
+  options.fs = std::make_shared<check::FaultyFsOps>(
+      check::FaultPlan{.fail_renames = {0, 1}});
+  sweep::SweepEngine faulted(options);
+  const auto results = faulted.run(jobs, square_job);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(unseal_i64(results[i]),
+              static_cast<std::int64_t>(i) * static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(faulted.stats().computed, 5u);
+  EXPECT_EQ(faulted.stats().cache_hits, 0u);
+  EXPECT_EQ(faulted.stats().save_failures, 2u);
+
+  // A clean re-run recomputes only the two lost jobs and returns
+  // byte-identical results.
+  sweep::SweepEngine resumed({.cache_dir = dir.str()});
+  const auto again = resumed.run(jobs, square_job);
+  EXPECT_EQ(again, results);
+  EXPECT_EQ(resumed.stats().cache_hits, 3u);
+  EXPECT_EQ(resumed.stats().computed, 2u);
+  EXPECT_EQ(resumed.stats().save_failures, 0u);
+}
+
+TEST(SweepFaults, TornEntriesRecomputeInsteadOfPoisoningResults) {
+  TempDir dir;
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(4);
+
+  sweep::SweepOptions options;
+  options.cache_dir = dir.str();
+  options.fs = std::make_shared<check::FaultyFsOps>(
+      check::FaultPlan{.short_writes = {0}});
+  sweep::SweepEngine torn(options);
+  const auto results = torn.run(jobs, square_job);
+  // The torn save *looked* successful, so the engine counts no failure —
+  // the defense is on the load side.
+  EXPECT_EQ(torn.stats().computed, 4u);
+
+  std::atomic<int> recomputed{0};
+  sweep::SweepEngine rerun({.cache_dir = dir.str()});
+  const auto again =
+      rerun.run(jobs, [&recomputed](const sweep::JobSpec& spec, std::size_t i) {
+        ++recomputed;
+        return square_job(spec, i);
+      });
+  EXPECT_EQ(again, results);
+  // Exactly the torn entry misses (degraded, not served wrong) and is
+  // recomputed; the other three hit.
+  EXPECT_EQ(recomputed.load(), 1);
+  EXPECT_EQ(rerun.stats().cache_hits, 3u);
+  EXPECT_EQ(rerun.stats().computed, 1u);
+}
+
+}  // namespace
+}  // namespace psph

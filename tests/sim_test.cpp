@@ -105,6 +105,77 @@ TEST(SyncExecutor, RandomAdversaryRespectsBudget) {
   }
 }
 
+// -------------------------------------------- plan validation: sync -------
+
+// Emits a scripted plan in round 1, then runs failure-free.
+class ScriptedPlanSyncAdversary : public SyncAdversary {
+ public:
+  explicit ScriptedPlanSyncAdversary(SyncRoundPlan first) : first_(first) {}
+  SyncRoundPlan plan_round(int round,
+                           const std::vector<ProcessId>&) override {
+    return round == 1 ? first_ : SyncRoundPlan{};
+  }
+
+ private:
+  SyncRoundPlan first_;
+};
+
+TEST(SyncExecutor, RejectsCrashOfDeadProcess) {
+  // P0 crashes in round 1; a second crash of P0 in round 2 names a dead pid.
+  class CrashTwice : public SyncAdversary {
+   public:
+    SyncRoundPlan plan_round(int round,
+                             const std::vector<ProcessId>&) override {
+      SyncRoundPlan plan;
+      if (round <= 2) plan.crash = {0};
+      return plan;
+    }
+  } adversary;
+  ViewRegistry views;
+  EXPECT_THROW(run_sync({0, 1, 2}, {3, 2}, adversary, views),
+               std::logic_error);
+}
+
+TEST(SyncExecutor, RejectsDuplicateCrashInOnePlan) {
+  SyncRoundPlan plan;
+  plan.crash = {1, 1};
+  ScriptedPlanSyncAdversary adversary(plan);
+  ViewRegistry views;
+  EXPECT_THROW(run_sync({0, 1, 2}, {3, 1}, adversary, views),
+               std::logic_error);
+}
+
+TEST(SyncExecutor, RejectsDeliveryPlanForNonCrasher) {
+  SyncRoundPlan plan;
+  plan.crash = {0};
+  plan.delivered_to[1] = {2};  // P1 is not crashing this round
+  ScriptedPlanSyncAdversary adversary(plan);
+  ViewRegistry views;
+  EXPECT_THROW(run_sync({0, 1, 2}, {3, 1}, adversary, views),
+               std::logic_error);
+}
+
+TEST(SyncExecutor, RejectsDeliveryToNonSurvivor) {
+  // A crasher's message delivered to a process crashing the same round.
+  SyncRoundPlan plan;
+  plan.crash = {0, 1};
+  plan.delivered_to[0] = {1};
+  ScriptedPlanSyncAdversary adversary(plan);
+  ViewRegistry views;
+  EXPECT_THROW(run_sync({0, 1, 2, 3}, {4, 1}, adversary, views),
+               std::logic_error);
+}
+
+TEST(SyncExecutor, AcceptsLegalCrashPlan) {
+  SyncRoundPlan plan;
+  plan.crash = {0};
+  plan.delivered_to[0] = {1};
+  ScriptedPlanSyncAdversary adversary(plan);
+  ViewRegistry views;
+  const Trace trace = run_sync({0, 1, 2}, {3, 2}, adversary, views);
+  EXPECT_EQ(trace.states.back().size(), 2u);
+}
+
 // ------------------------------------------------------ bridge: sync ------
 
 TEST(Bridge, SyncOneRoundMatchesTheory) {
@@ -221,6 +292,61 @@ TEST(AsyncExecutor, RandomRunsSatisfyHeardBounds) {
       EXPECT_TRUE(senders.count(pid) != 0);
     }
   }
+}
+
+// ------------------------------------------- plan validation: async -------
+
+// Starts from a legal everyone-hears-everyone plan, then applies a
+// test-supplied mutation before handing it to the executor.
+class MutatedAsyncAdversary : public AsyncAdversary {
+ public:
+  using Mutate = std::function<void(AsyncRoundPlan&)>;
+  explicit MutatedAsyncAdversary(Mutate mutate) : mutate_(std::move(mutate)) {}
+
+  AsyncRoundPlan plan_round(int, const std::vector<ProcessId>& participants,
+                            int) override {
+    AsyncRoundPlan plan;
+    const std::set<ProcessId> all(participants.begin(), participants.end());
+    for (ProcessId p : participants) plan.heard[p] = all;
+    mutate_(plan);
+    return plan;
+  }
+
+ private:
+  Mutate mutate_;
+};
+
+TEST(AsyncExecutor, RejectsMissingParticipantEntry) {
+  MutatedAsyncAdversary adversary(
+      [](AsyncRoundPlan& plan) { plan.heard.erase(1); });
+  ViewRegistry views;
+  EXPECT_THROW(run_async({0, 1, 2}, {3, 1, 1, {}}, adversary, views),
+               std::logic_error);
+}
+
+TEST(AsyncExecutor, RejectsUndersizedHeardSet) {
+  MutatedAsyncAdversary adversary(
+      [](AsyncRoundPlan& plan) { plan.heard[1] = {1}; });  // |heard| < n+1-f
+  ViewRegistry views;
+  EXPECT_THROW(run_async({0, 1, 2}, {3, 1, 1, {}}, adversary, views),
+               std::logic_error);
+}
+
+TEST(AsyncExecutor, RejectsMissingSelfDelivery) {
+  MutatedAsyncAdversary adversary(
+      [](AsyncRoundPlan& plan) { plan.heard[1] = {0, 2}; });
+  ViewRegistry views;
+  EXPECT_THROW(run_async({0, 1, 2}, {3, 1, 1, {}}, adversary, views),
+               std::logic_error);
+}
+
+TEST(AsyncExecutor, RejectsNonParticipantSender) {
+  MutatedAsyncAdversary adversary(
+      [](AsyncRoundPlan& plan) { plan.heard[0].insert(2); });
+  ViewRegistry views;
+  // Only {0, 1} participate; hearing from P2 is hearing from a ghost.
+  EXPECT_THROW(run_async({0, 1, 2}, {3, 1, 1, {0, 1}}, adversary, views),
+               std::logic_error);
 }
 
 // -------------------------------------------------- bridge: semi-sync -----

@@ -128,6 +128,49 @@ TEST(Rng, SplitStreamsAreIndependent) {
   EXPECT_LT(same, 2);
 }
 
+// Golden values pin the exact xoshiro256++/splitmix64 streams. Recorded
+// adversary schedules are only portable repros if these never drift — a
+// standard-library change or a "harmless" Rng refactor must fail here,
+// not silently invalidate every saved schedule's seed metadata.
+
+TEST(Rng, GoldenNextStream) {
+  Rng rng(12345);
+  EXPECT_EQ(rng.next(), 10201931350592234856ull);
+  EXPECT_EQ(rng.next(), 3780764549115216544ull);
+  EXPECT_EQ(rng.next(), 1570246627180645737ull);
+  EXPECT_EQ(rng.next(), 3237956550421933520ull);
+}
+
+TEST(Rng, GoldenNextBelow) {
+  Rng rng(999);
+  const std::vector<std::uint64_t> expected{343, 720, 603, 532, 340, 50};
+  for (const std::uint64_t value : expected) {
+    EXPECT_EQ(rng.next_below(1000), value);
+  }
+}
+
+TEST(Rng, GoldenNextIn) {
+  Rng rng(3);
+  const std::vector<std::int64_t> expected{-1, 3, -5, 0, 4, 1};
+  for (const std::int64_t value : expected) {
+    EXPECT_EQ(rng.next_in(-5, 5), value);
+  }
+}
+
+TEST(Rng, GoldenShuffle) {
+  Rng rng(7);
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(items);
+  EXPECT_EQ(items, (std::vector<int>{7, 9, 3, 6, 0, 4, 5, 2, 8, 1}));
+}
+
+TEST(Rng, GoldenSplit) {
+  Rng parent(42);
+  Rng child = parent.split();
+  EXPECT_EQ(parent.next(), 5881210131331364753ull);
+  EXPECT_EQ(child.next(), 5745406364259058299ull);
+}
+
 TEST(Hash, CombineOrderSensitive) {
   const std::size_t a = hash_combine(hash_combine(0, 1), 2);
   const std::size_t b = hash_combine(hash_combine(0, 2), 1);
