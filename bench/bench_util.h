@@ -17,6 +17,36 @@
 
 namespace psph::bench {
 
+/// CMake build type this binary was compiled under ("Release",
+/// "RelWithDebInfo", "Debug", ...), for stamping measured output.
+inline const char* build_type() {
+#ifdef PSPH_BUILD_TYPE
+  return PSPH_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Prints an unmissable warning when timing numbers are about to come out
+/// of an unoptimized binary. Release and RelWithDebInfo both compile with
+/// -O2 -DNDEBUG and are fine; anything else (notably Debug, -O0) produces
+/// numbers that must not be recorded as baselines. Returns true if the
+/// build is optimized.
+inline bool warn_if_unoptimized_build() {
+  const std::string type = build_type();
+  if (type == "Release" || type == "RelWithDebInfo") return true;
+  std::fprintf(stderr,
+               "********************************************************\n"
+               "* WARNING: this benchmark binary was built as '%s'.\n"
+               "* Timings from unoptimized builds are meaningless; do\n"
+               "* NOT record them as baselines. Rebuild with\n"
+               "*   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release\n"
+               "* (the bench_json target does this automatically).\n"
+               "********************************************************\n",
+               type.c_str());
+  return false;
+}
+
 /// Consumes a leading-anywhere `--threads=N` / `--threads N` flag, applying
 /// it via util::set_thread_count, and compacts argv. Returns the new argc.
 /// The perf binaries call this before benchmark::Initialize so the flag

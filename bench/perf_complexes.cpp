@@ -7,6 +7,7 @@
 #include "bench_util.h"
 
 #include "core/async_complex.h"
+#include "core/construction.h"
 #include "core/decision_search.h"
 #include "core/pseudosphere.h"
 #include "core/semisync_complex.h"
@@ -69,6 +70,181 @@ void BM_SemiSyncRoundComplex(benchmark::State& state) {
 }
 BENCHMARK(BM_SemiSyncRoundComplex)->DenseRange(3, 5);
 
+// ---- Multi-round construction: pipeline vs sequential reference ----
+//
+// Three variants per model, all over Args({n, rounds}):
+//   *ProtocolComplex      — level-synchronous pipeline, cold memo cache per
+//                           iteration (the default path users hit).
+//   *ProtocolComplexSeq   — the `_seq` depth-first reference construction,
+//                           single-threaded and unmemoized; the baseline the
+//                           pipeline speedup is measured against.
+//   *ProtocolComplexCached — pipeline with registries and memo cache kept
+//                           warm across iterations: the rebuild-after-the-
+//                           first cost, i.e. the memoization win for sweeps
+//                           that reconstruct the same complexes repeatedly.
+//
+// Run with --threads=N to size the pool; thread scaling needs a multi-core
+// host (results are bit-identical at every thread count either way).
+
+void BM_AsyncProtocolComplex(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(
+        core::async_protocol_complex(input, {n1, 1, rounds}, views, arena));
+  }
+}
+BENCHMARK(BM_AsyncProtocolComplex)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 2});
+
+void BM_AsyncProtocolComplexSeq(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::async_protocol_complex_seq(
+        input, {n1, 1, rounds}, views, arena));
+  }
+}
+BENCHMARK(BM_AsyncProtocolComplexSeq)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 2});
+
+void BM_AsyncProtocolComplexCached(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  core::ConstructionCache cache;
+  const topology::Simplex input = core::rainbow_input(n1, views, arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::async_protocol_complex(
+        input, {n1, 1, rounds}, views, arena, cache));
+  }
+}
+BENCHMARK(BM_AsyncProtocolComplexCached)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 2});
+
+void BM_SyncProtocolComplex(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::sync_protocol_complex(
+        input, {n1, 2, 1, rounds}, views, arena));
+  }
+}
+BENCHMARK(BM_SyncProtocolComplex)
+    ->ArgNames({"n", "r"})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Args({5, 2})
+    ->Args({5, 3});
+
+void BM_SyncProtocolComplexSeq(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::sync_protocol_complex_seq(
+        input, {n1, 2, 1, rounds}, views, arena));
+  }
+}
+BENCHMARK(BM_SyncProtocolComplexSeq)
+    ->ArgNames({"n", "r"})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Args({5, 2})
+    ->Args({5, 3});
+
+void BM_SyncProtocolComplexCached(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  core::ConstructionCache cache;
+  const topology::Simplex input = core::rainbow_input(n1, views, arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sync_protocol_complex(
+        input, {n1, 2, 1, rounds}, views, arena, cache));
+  }
+}
+BENCHMARK(BM_SyncProtocolComplexCached)
+    ->ArgNames({"n", "r"})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Args({5, 2})
+    ->Args({5, 3});
+
+void BM_SemisyncProtocolComplex(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::semisync_protocol_complex(
+        input, {n1, 1, 1, 2, rounds}, views, arena));
+  }
+}
+BENCHMARK(BM_SemisyncProtocolComplex)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({5, 2});
+
+void BM_SemisyncProtocolComplexSeq(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::semisync_protocol_complex_seq(
+        input, {n1, 1, 1, 2, rounds}, views, arena));
+  }
+}
+BENCHMARK(BM_SemisyncProtocolComplexSeq)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({5, 2});
+
+void BM_SemisyncProtocolComplexCached(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  core::ConstructionCache cache;
+  const topology::Simplex input = core::rainbow_input(n1, views, arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::semisync_protocol_complex(
+        input, {n1, 1, 1, 2, rounds}, views, arena, cache));
+  }
+}
+BENCHMARK(BM_SemisyncProtocolComplexCached)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({5, 2});
+
 void BM_DecisionSearchSolvable(benchmark::State& state) {
   // k = f + 1: a witness exists; measures time-to-first-witness.
   for (auto _ : state) {
@@ -126,8 +302,10 @@ BENCHMARK(BM_SemiSyncExecution)->DenseRange(3, 8);
 // before google-benchmark sees (and would reject) the flag.
 int main(int argc, char** argv) {
   argc = psph::bench::apply_threads_flag(argc, argv);
+  psph::bench::warn_if_unoptimized_build();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("build_type", psph::bench::build_type());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

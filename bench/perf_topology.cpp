@@ -141,8 +141,10 @@ BENCHMARK(BM_IntersectionOfPseudospheres)->DenseRange(2, 4);
 // before google-benchmark sees (and would reject) the flag.
 int main(int argc, char** argv) {
   argc = psph::bench::apply_threads_flag(argc, argv);
+  psph::bench::warn_if_unoptimized_build();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("build_type", psph::bench::build_type());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

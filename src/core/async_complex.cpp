@@ -2,24 +2,11 @@
 
 #include <stdexcept>
 
-#include "core/pseudosphere.h"
+#include "core/construction.h"
+#include "core/round_ops.h"
 #include "math/combinatorics.h"
 
 namespace psph::core {
-
-namespace {
-
-// Decodes an input facet into aligned (pid, state) vectors via the arena.
-void decode_input(const topology::Simplex& input,
-                  const topology::VertexArena& arena,
-                  std::vector<ProcessId>* pids, std::vector<StateId>* states) {
-  for (topology::VertexId v : input.vertices()) {
-    pids->push_back(arena.pid(v));
-    states->push_back(arena.state(v));
-  }
-}
-
-}  // namespace
 
 std::uint64_t async_round_facet_count(int participants, int num_processes,
                                       int max_failures) {
@@ -38,50 +25,23 @@ std::uint64_t async_round_facet_count(int participants, int num_processes,
 topology::SimplicialComplex async_round_complex(
     const topology::Simplex& input, const AsyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
+  std::vector<detail::RoundGroup> groups;
+  detail::expand_async_round(input, params, views, arena, &groups);
   topology::SimplicialComplex result;
-  std::vector<ProcessId> pids;
-  std::vector<StateId> states;
-  decode_input(input, arena, &pids, &states);
-  const int participants = static_cast<int>(pids.size());
-  // Each process must hear from at least n + 1 - f processes (including
-  // itself); with fewer participants there is no such execution and the
-  // subcomplex is empty (Section 4: P(S^m) is empty for m < n - f).
-  if (participants < params.num_processes - params.max_failures) {
-    return result;
+  for (detail::RoundGroup& group : groups) {
+    result.add_facets(std::move(group.facets));
   }
-  if (participants == 0) return result;
-
-  const int round = views.round(states[0]) + 1;
-  const int min_others = params.num_processes - 1 - params.max_failures;
-
-  // Per-process choice lists: the new interned views, one per admissible
-  // heard-set. The pseudosphere structure of Lemma 11 is exactly this
-  // independent product.
-  std::vector<std::vector<StateId>> choices(
-      static_cast<std::size_t>(participants));
-  for (int i = 0; i < participants; ++i) {
-    std::vector<int> others;
-    for (int j = 0; j < participants; ++j) {
-      if (j != i) others.push_back(j);
-    }
-    for (const std::vector<int>& subset : math::subsets_with_size_between(
-             others, min_others, participants - 1)) {
-      std::vector<HeardEntry> heard;
-      heard.reserve(subset.size() + 1);
-      heard.push_back({pids[static_cast<std::size_t>(i)],
-                       states[static_cast<std::size_t>(i)], kNoMicro});
-      for (int j : subset) {
-        heard.push_back({pids[static_cast<std::size_t>(j)],
-                         states[static_cast<std::size_t>(j)], kNoMicro});
-      }
-      choices[static_cast<std::size_t>(i)].push_back(views.intern_round(
-          pids[static_cast<std::size_t>(i)], round, std::move(heard)));
-    }
-  }
-  return pseudosphere(pids, choices, arena);
+  return result;
 }
 
 topology::SimplicialComplex async_protocol_complex(
+    const topology::Simplex& input, const AsyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena) {
+  ConstructionCache cache;
+  return async_protocol_complex(input, params, views, arena, cache);
+}
+
+topology::SimplicialComplex async_protocol_complex_seq(
     const topology::Simplex& input, const AsyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
   if (params.rounds < 1) {
@@ -95,7 +55,7 @@ topology::SimplicialComplex async_protocol_complex(
   next.rounds = params.rounds - 1;
   topology::SimplicialComplex result;
   for (const topology::Simplex& facet : one_round.facets()) {
-    result.merge(async_protocol_complex(facet, next, views, arena));
+    result.merge(async_protocol_complex_seq(facet, next, views, arena));
   }
   return result;
 }
@@ -103,11 +63,8 @@ topology::SimplicialComplex async_protocol_complex(
 topology::SimplicialComplex async_protocol_complex_over(
     const topology::SimplicialComplex& inputs, const AsyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
-  topology::SimplicialComplex result;
-  for (const topology::Simplex& facet : inputs.facets()) {
-    result.merge(async_protocol_complex(facet, params, views, arena));
-  }
-  return result;
+  ConstructionCache cache;
+  return async_protocol_complex_over(inputs, params, views, arena, cache);
 }
 
 }  // namespace psph::core

@@ -37,8 +37,17 @@ topology::SimplicialComplex async_round_complex(const topology::Simplex& input,
                                                 ViewRegistry& views,
                                                 topology::VertexArena& arena);
 
-/// A^r(S): the r-round complex by the inductive construction.
+/// A^r(S): the r-round complex by the inductive construction. Runs the
+/// parallel, memoized pipeline of construction.h (with a private cache);
+/// output is bit-identical to the sequential reference at any thread count.
 topology::SimplicialComplex async_protocol_complex(
+    const topology::Simplex& input, const AsyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena);
+
+/// Sequential depth-first reference construction of A^r(S). Kept as the
+/// correctness oracle for the pipeline (tests) and as the benchmark
+/// baseline; always single-threaded, never memoized.
+topology::SimplicialComplex async_protocol_complex_seq(
     const topology::Simplex& input, const AsyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena);
 

@@ -1,0 +1,348 @@
+#include "core/construction.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace psph::core {
+
+namespace {
+
+// Packs up to four small model parameters into one cache-key word. All the
+// packed quantities (process counts, failure budgets, microrounds) are tiny
+// non-negative ints, so 16 bits each is ample.
+std::uint64_t pack16(int a, int b, int c, int d) {
+  const auto u = [](int x) {
+    return static_cast<std::uint64_t>(static_cast<std::uint16_t>(x));
+  };
+  return u(a) | (u(b) << 16) | (u(c) << 32) | (u(d) << 48);
+}
+
+// Model adapters: everything the generic driver needs to know about one
+// model. params_key must cover every parameter the one-round expansion
+// depends on *except* the remaining round count (entries are one-round
+// expansions, reusable at any depth); child() advances the params across
+// one round given the failures the adversary group consumed.
+
+struct AsyncModel {
+  using Params = AsyncParams;
+  static constexpr std::uint8_t kTag = 1;
+  static std::uint64_t params_key(const Params& p) {
+    return pack16(p.num_processes, p.max_failures, 0, 0);
+  }
+  static int rounds(const Params& p) { return p.rounds; }
+  static Params child(Params p, int /*failures_used*/) {
+    --p.rounds;
+    return p;
+  }
+  template <typename Views, typename Arena>
+  static void expand(const topology::Simplex& facet, const Params& p,
+                     Views& views, Arena& arena,
+                     std::vector<detail::RoundGroup>* out) {
+    detail::expand_async_round(facet, p, views, arena, out);
+  }
+};
+
+struct SyncModel {
+  using Params = SyncParams;
+  static constexpr std::uint8_t kTag = 2;
+  static std::uint64_t params_key(const Params& p) {
+    return pack16(p.num_processes, p.total_failures, p.failures_per_round, 0);
+  }
+  static int rounds(const Params& p) { return p.rounds; }
+  static Params child(Params p, int failures_used) {
+    --p.rounds;
+    p.total_failures -= failures_used;
+    return p;
+  }
+  template <typename Views, typename Arena>
+  static void expand(const topology::Simplex& facet, const Params& p,
+                     Views& views, Arena& arena,
+                     std::vector<detail::RoundGroup>* out) {
+    detail::expand_sync_round(facet, p, views, arena, out);
+  }
+};
+
+struct SemiSyncModel {
+  using Params = SemiSyncParams;
+  static constexpr std::uint8_t kTag = 3;
+  static std::uint64_t params_key(const Params& p) {
+    return pack16(p.num_processes, p.total_failures, p.failures_per_round,
+                  p.micro_rounds);
+  }
+  static int rounds(const Params& p) { return p.rounds; }
+  static Params child(Params p, int failures_used) {
+    --p.rounds;
+    p.total_failures -= failures_used;
+    return p;
+  }
+  template <typename Views, typename Arena>
+  static void expand(const topology::Simplex& facet, const Params& p,
+                     Views& views, Arena& arena,
+                     std::vector<detail::RoundGroup>* out) {
+    detail::expand_semisync_round(facet, p, views, arena, out);
+  }
+};
+
+struct IisParams {
+  int rounds = 1;
+};
+
+struct IisModel {
+  using Params = IisParams;
+  static constexpr std::uint8_t kTag = 4;
+  static std::uint64_t params_key(const Params&) { return 0; }
+  static int rounds(const Params& p) { return p.rounds; }
+  static Params child(Params p, int /*failures_used*/) {
+    --p.rounds;
+    return p;
+  }
+  template <typename Views, typename Arena>
+  static void expand(const topology::Simplex& facet, const Params&,
+                     Views& views, Arena& arena,
+                     std::vector<detail::RoundGroup>* out) {
+    detail::expand_iis_round(facet, views, arena, out);
+  }
+};
+
+// One scratch expansion's output, produced on a worker thread and consumed
+// by the serial remap pass.
+struct ScratchOut {
+  std::vector<View> new_views;
+  std::vector<topology::VertexLabel> new_vertices;
+  std::vector<detail::RoundGroup> groups;
+};
+
+template <typename Model>
+ConstructionCache::Key make_key(const topology::Simplex& facet,
+                                const typename Model::Params& params) {
+  return ConstructionCache::Key{Model::kTag, Model::params_key(params),
+                                facet.vertices()};
+}
+
+// The level-synchronous driver (see construction.h for the phase diagram).
+template <typename Model>
+topology::SimplicialComplex run_pipeline(
+    std::vector<std::pair<topology::Simplex, typename Model::Params>> frontier,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache) {
+  using Params = typename Model::Params;
+  cache.bind(views, arena);
+
+  struct Item {
+    topology::Simplex facet;
+    Params params;
+    ConstructionCache::Key key;
+  };
+
+  topology::SimplicialComplex result;
+  while (!frontier.empty()) {
+    // DEDUPE. Identical (facet, params) items expand identically and facet
+    // unions are idempotent, so one representative suffices. Within one
+    // level every item has the same remaining round count, so keys (which
+    // omit rounds) cannot conflate items that should stay distinct.
+    std::vector<Item> items;
+    items.reserve(frontier.size());
+    std::unordered_set<ConstructionCache::Key, ConstructionCache::KeyHash>
+        seen;
+    seen.reserve(frontier.size());
+    for (auto& [facet, params] : frontier) {
+      ConstructionCache::Key key = make_key<Model>(facet, params);
+      if (!seen.insert(key).second) {
+        cache.note_dedup();
+        continue;
+      }
+      items.push_back(Item{std::move(facet), params, std::move(key)});
+    }
+
+    // LOOKUP.
+    std::vector<std::size_t> miss;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (cache.lookup(items[i].key) == nullptr) miss.push_back(i);
+    }
+
+    // EXPAND. The canonical registries are frozen for the duration; scratch
+    // overlays only read them through the const-thread-safe find()/view()
+    // path. Each worker writes its own ScratchOut slot.
+    const std::size_t views_base = views.size();
+    const std::size_t arena_base = arena.size();
+    std::vector<ScratchOut> scratch(miss.size());
+    util::parallel_for(miss.size(), [&](std::size_t j) {
+      const Item& item = items[miss[j]];
+      ScratchViews scratch_views(views);
+      ScratchArena scratch_arena(arena);
+      Model::expand(item.facet, item.params, scratch_views, scratch_arena,
+                    &scratch[j].groups);
+      scratch[j].new_views = scratch_views.take_local();
+      scratch[j].new_vertices = scratch_arena.take_local();
+    });
+
+    // REMAP, serially in frontier order. Overlay ids partition at the
+    // *pre-expansion* base sizes, which every overlay saw identically.
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      ScratchOut& out = scratch[j];
+
+      // New views reference only canonical parent states (a round's views
+      // never hear each other), so interning them in creation order needs
+      // no rewriting; hash-consing dedupes overlap with earlier items.
+      std::vector<StateId> state_map(out.new_views.size());
+      for (std::size_t i = 0; i < out.new_views.size(); ++i) {
+        View& v = out.new_views[i];
+        state_map[i] = views.intern_round(v.pid, v.round, std::move(v.heard));
+      }
+
+      std::vector<topology::VertexId> vertex_map(out.new_vertices.size());
+      for (std::size_t i = 0; i < out.new_vertices.size(); ++i) {
+        const topology::VertexLabel& label = out.new_vertices[i];
+        const StateId state =
+            label.state < views_base
+                ? label.state
+                : state_map[static_cast<std::size_t>(label.state -
+                                                     views_base)];
+        vertex_map[i] = arena.intern(label.pid, state);
+      }
+
+      for (detail::RoundGroup& group : out.groups) {
+        for (topology::Simplex& facet : group.facets) {
+          std::vector<topology::VertexId> mapped;
+          mapped.reserve(facet.vertices().size());
+          for (const topology::VertexId v : facet.vertices()) {
+            mapped.push_back(
+                v < arena_base
+                    ? v
+                    : vertex_map[static_cast<std::size_t>(v) - arena_base]);
+          }
+          facet = topology::Simplex(std::move(mapped));
+        }
+      }
+
+      cache.store(items[miss[j]].key,
+                  ConstructionCache::Entry{std::move(out.groups)});
+    }
+
+    // CONSUME.
+    std::vector<std::pair<topology::Simplex, Params>> next;
+    for (const Item& item : items) {
+      const ConstructionCache::Entry* entry = cache.peek(item.key);
+      if (Model::rounds(item.params) == 1) {
+        for (const detail::RoundGroup& group : entry->groups) {
+          result.add_facets(group.facets);
+        }
+      } else {
+        for (const detail::RoundGroup& group : entry->groups) {
+          const Params child = Model::child(item.params, group.failures_used);
+          for (const topology::Simplex& facet : group.facets) {
+            next.emplace_back(facet, child);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+template <typename Model>
+std::vector<std::pair<topology::Simplex, typename Model::Params>> seed_all(
+    const topology::SimplicialComplex& inputs,
+    const typename Model::Params& params) {
+  std::vector<std::pair<topology::Simplex, typename Model::Params>> frontier;
+  for (const topology::Simplex& facet : inputs.facets()) {
+    frontier.emplace_back(facet, params);
+  }
+  return frontier;
+}
+
+}  // namespace
+
+topology::SimplicialComplex async_protocol_complex(
+    const topology::Simplex& input, const AsyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache) {
+  if (params.rounds < 1) {
+    throw std::invalid_argument("async_protocol_complex: rounds < 1");
+  }
+  return run_pipeline<AsyncModel>({{input, params}}, views, arena, cache);
+}
+
+topology::SimplicialComplex async_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, const AsyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache) {
+  if (params.rounds < 1) {
+    throw std::invalid_argument("async_protocol_complex: rounds < 1");
+  }
+  return run_pipeline<AsyncModel>(seed_all<AsyncModel>(inputs, params), views,
+                                  arena, cache);
+}
+
+topology::SimplicialComplex sync_protocol_complex(
+    const topology::Simplex& input, const SyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache) {
+  if (params.rounds < 1) {
+    throw std::invalid_argument("sync_protocol_complex: rounds < 1");
+  }
+  return run_pipeline<SyncModel>({{input, params}}, views, arena, cache);
+}
+
+topology::SimplicialComplex sync_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, const SyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache) {
+  if (params.rounds < 1) {
+    throw std::invalid_argument("sync_protocol_complex: rounds < 1");
+  }
+  return run_pipeline<SyncModel>(seed_all<SyncModel>(inputs, params), views,
+                                 arena, cache);
+}
+
+topology::SimplicialComplex semisync_protocol_complex(
+    const topology::Simplex& input, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache) {
+  if (params.rounds < 1) {
+    throw std::invalid_argument("semisync_protocol_complex: rounds < 1");
+  }
+  return run_pipeline<SemiSyncModel>({{input, params}}, views, arena, cache);
+}
+
+topology::SimplicialComplex semisync_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache) {
+  if (params.rounds < 1) {
+    throw std::invalid_argument("semisync_protocol_complex: rounds < 1");
+  }
+  return run_pipeline<SemiSyncModel>(seed_all<SemiSyncModel>(inputs, params),
+                                     views, arena, cache);
+}
+
+topology::SimplicialComplex iis_protocol_complex(
+    const topology::Simplex& input, int rounds, ViewRegistry& views,
+    topology::VertexArena& arena, ConstructionCache& cache) {
+  if (rounds < 1) {
+    throw std::invalid_argument("iis_protocol_complex: rounds < 1");
+  }
+  return run_pipeline<IisModel>({{input, IisParams{rounds}}}, views, arena,
+                                cache);
+}
+
+topology::SimplicialComplex iis_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, int rounds, ViewRegistry& views,
+    topology::VertexArena& arena, ConstructionCache& cache) {
+  if (rounds < 1) {
+    throw std::invalid_argument("iis_protocol_complex: rounds < 1");
+  }
+  std::vector<std::pair<topology::Simplex, IisParams>> frontier;
+  for (const topology::Simplex& facet : inputs.facets()) {
+    frontier.emplace_back(facet, IisParams{rounds});
+  }
+  return run_pipeline<IisModel>(std::move(frontier), views, arena, cache);
+}
+
+}  // namespace psph::core

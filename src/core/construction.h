@@ -1,0 +1,287 @@
+#pragma once
+
+// Parallel, memoized multi-round protocol-complex construction.
+//
+// The r-round complexes of every model are inductive unions: expand each
+// facet of the one-round complex by another round, recursively. The naive
+// recursion (kept as the *_protocol_complex_seq reference functions) is
+// depth-first and serial. This module replaces it with a level-synchronous
+// pipeline that is parallel across facets and memoized across repeated
+// facets, while producing *bit-identical* registries, arenas, and complexes
+// at any thread count:
+//
+//   1. DEDUPE   — the frontier (all facets awaiting one round of expansion)
+//                 is deduplicated by (facet, model params). Hash-consing
+//                 makes repeated facets common from round 2 on.
+//   2. LOOKUP   — each unique item is looked up in the ConstructionCache;
+//                 hits skip expansion entirely.
+//   3. EXPAND   — cache misses are expanded concurrently via
+//                 util::parallel_for. Each worker runs the shared one-round
+//                 expander (round_ops.h) against a ScratchViews /
+//                 ScratchArena overlay: reads resolve against the frozen
+//                 canonical registries (const-thread-safe find()); newly
+//                 created views and vertices intern into thread-local
+//                 overlay storage with ids offset past the canonical sizes.
+//   4. REMAP    — a serial pass walks the missed items in frontier order
+//                 and interns each overlay's views and vertices into the
+//                 canonical registries in creation order, then rewrites the
+//                 produced facets through the resulting id maps. Because
+//                 both the frontier order and each overlay's creation order
+//                 are fixed by the model's enumeration order, canonical ids
+//                 never depend on thread scheduling. (A new round's views
+//                 only ever reference canonical parent states, never each
+//                 other, so no heard-list rewriting is required.)
+//   5. CONSUME  — final-round items merge their facets into the result via
+//                 SimplicialComplex::add_facets (bulk fast lane); earlier
+//                 rounds enqueue children with the failure budget reduced
+//                 per adversary group.
+//
+// The cache entry for (facet, params-minus-rounds) is the canonical
+// one-round expansion, valid for the lifetime of the bound registry/arena
+// pair — re-expansion is idempotent under hash-consing, which is what makes
+// memoization sound. Shared across calls, the cache also accelerates
+// sweeps that revisit the same parameter region.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/round_ops.h"
+#include "core/view.h"
+#include "topology/arena.h"
+#include "topology/complex.h"
+#include "topology/simplex.h"
+#include "util/hash.h"
+
+namespace psph::core {
+
+/// Thread-local view overlay for the scratch-expansion phase. Lookups fall
+/// through to the frozen canonical registry (find(), const-thread-safe);
+/// new views get local ids starting at the canonical size, in creation
+/// order. The overlay never copies the base, so construction is O(1).
+class ScratchViews {
+ public:
+  explicit ScratchViews(const ViewRegistry& base)
+      : base_(base), base_size_(base.size()) {}
+
+  int round(StateId id) const {
+    return id < base_size_
+               ? base_.round(id)
+               : local_[static_cast<std::size_t>(id - base_size_)].round;
+  }
+
+  StateId intern_round(ProcessId pid, int round,
+                       std::vector<HeardEntry> heard) {
+    View v = make_round_view(pid, round, std::move(heard));
+    if (const std::optional<StateId> hit = base_.find(v)) return *hit;
+    const auto it = index_.find(v);
+    if (it != index_.end()) return it->second;
+    const StateId id = static_cast<StateId>(base_size_ + local_.size());
+    index_.emplace(v, id);
+    local_.push_back(std::move(v));
+    return id;
+  }
+
+  std::size_t base_size() const { return base_size_; }
+
+  /// Local views in creation order (ids base_size(), base_size()+1, ...).
+  /// Leaves the overlay empty.
+  std::vector<View> take_local() {
+    index_.clear();
+    return std::move(local_);
+  }
+
+ private:
+  const ViewRegistry& base_;
+  const std::size_t base_size_;
+  std::vector<View> local_;
+  std::unordered_map<View, StateId, ViewHash> index_;
+};
+
+/// Thread-local vertex overlay, same scheme as ScratchViews. Sound because
+/// every label in the base arena references a canonical state (id below the
+/// view base size), while labels minted during scratch expansion that
+/// reference *local* states carry ids at or past it — the two can never
+/// collide in the base index.
+class ScratchArena {
+ public:
+  explicit ScratchArena(const topology::VertexArena& base)
+      : base_(base), base_size_(base.size()) {}
+
+  topology::ProcessId pid(topology::VertexId id) const {
+    return label_of(id).pid;
+  }
+  StateId state(topology::VertexId id) const { return label_of(id).state; }
+
+  topology::VertexId intern(topology::ProcessId pid, StateId state) {
+    if (const std::optional<topology::VertexId> hit = base_.find(pid, state)) {
+      return *hit;
+    }
+    const topology::VertexLabel label{pid, state};
+    const auto it = index_.find(label);
+    if (it != index_.end()) return it->second;
+    const topology::VertexId id =
+        static_cast<topology::VertexId>(base_size_ + local_.size());
+    index_.emplace(label, id);
+    local_.push_back(label);
+    return id;
+  }
+
+  std::size_t base_size() const { return base_size_; }
+
+  /// Local labels in creation order. Leaves the overlay empty.
+  std::vector<topology::VertexLabel> take_local() {
+    index_.clear();
+    return std::move(local_);
+  }
+
+ private:
+  const topology::VertexLabel& label_of(topology::VertexId id) const {
+    return id < base_size_
+               ? base_.label(id)
+               : local_[static_cast<std::size_t>(id) - base_size_];
+  }
+
+  const topology::VertexArena& base_;
+  const std::size_t base_size_;
+  std::vector<topology::VertexLabel> local_;
+  std::unordered_map<topology::VertexLabel, topology::VertexId,
+                     topology::VertexLabelHash>
+      index_;
+};
+
+struct ConstructionStats {
+  std::uint64_t lookups = 0;  // cache probes, one per unique frontier item
+  std::uint64_t hits = 0;     // probes answered from the cache
+  std::uint64_t misses = 0;   // probes that required a scratch expansion
+  std::uint64_t deduped = 0;  // frontier duplicates dropped before probing
+};
+
+/// Memo cache for canonical one-round expansions, keyed by
+/// (model, params-minus-rounds, facet vertex ids). Entries hold canonical
+/// StateId / VertexId references, so a cache is bound to the first
+/// (ViewRegistry, VertexArena) pair it is used with and rejects any other.
+class ConstructionCache {
+ public:
+  /// Key and Entry are an implementation detail of the pipeline; they are
+  /// public only so construction.cpp can drive the cache.
+  struct Key {
+    std::uint8_t model = 0;
+    std::uint64_t params = 0;  // packed model params, excluding rounds
+    std::vector<topology::VertexId> facet;
+
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::size_t h =
+          util::hash_combine(std::hash<std::uint8_t>{}(key.model),
+                             std::hash<std::uint64_t>{}(key.params));
+      for (const topology::VertexId v : key.facet) {
+        h = util::hash_combine(h, std::hash<topology::VertexId>{}(v));
+      }
+      return h;
+    }
+  };
+  struct Entry {
+    std::vector<detail::RoundGroup> groups;
+  };
+
+  ConstructionCache() = default;
+
+  const ConstructionStats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Binds the cache to a registry/arena pair on first use; throws
+  /// std::logic_error if later used with a different pair (the cached ids
+  /// would be meaningless there).
+  void bind(const ViewRegistry& views, const topology::VertexArena& arena) {
+    if (views_ == nullptr) {
+      views_ = &views;
+      arena_ = &arena;
+      return;
+    }
+    if (views_ != &views || arena_ != &arena) {
+      throw std::logic_error(
+          "ConstructionCache: already bound to a different registry/arena");
+    }
+  }
+
+  /// Counted probe: records a lookup plus a hit or miss.
+  const Entry* lookup(const Key& key) {
+    ++stats_.lookups;
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &it->second;
+  }
+
+  /// Uncounted probe (pipeline-internal re-reads).
+  const Entry* peek(const Key& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  void store(Key key, Entry entry) {
+    entries_.emplace(std::move(key), std::move(entry));
+  }
+
+  void note_dedup() { ++stats_.deduped; }
+
+ private:
+  const ViewRegistry* views_ = nullptr;
+  const topology::VertexArena* arena_ = nullptr;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  ConstructionStats stats_;
+};
+
+// Cache-sharing entry points. The plain *_protocol_complex functions in the
+// model headers are thin wrappers that run these with a throwaway cache;
+// pass your own cache to amortize expansions across calls (sweeps, theorem
+// batteries, repeated rounds over one input complex).
+
+topology::SimplicialComplex async_protocol_complex(
+    const topology::Simplex& input, const AsyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache);
+
+topology::SimplicialComplex async_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, const AsyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache);
+
+topology::SimplicialComplex sync_protocol_complex(
+    const topology::Simplex& input, const SyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache);
+
+topology::SimplicialComplex sync_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, const SyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache);
+
+topology::SimplicialComplex semisync_protocol_complex(
+    const topology::Simplex& input, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache);
+
+topology::SimplicialComplex semisync_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena,
+    ConstructionCache& cache);
+
+topology::SimplicialComplex iis_protocol_complex(
+    const topology::Simplex& input, int rounds, ViewRegistry& views,
+    topology::VertexArena& arena, ConstructionCache& cache);
+
+topology::SimplicialComplex iis_protocol_complex_over(
+    const topology::SimplicialComplex& inputs, int rounds, ViewRegistry& views,
+    topology::VertexArena& arena, ConstructionCache& cache);
+
+}  // namespace psph::core

@@ -1,17 +1,18 @@
 #include "core/iis_complex.h"
 
 #include <functional>
+#include <limits>
 #include <stdexcept>
 
+#include "core/construction.h"
+#include "core/round_ops.h"
 #include "math/combinatorics.h"
 #include "topology/simplex.h"
 
 namespace psph::core {
 
-namespace {
+namespace detail {
 
-// Enumerates all ordered partitions of `items` (each block nonempty),
-// calling `visit` with the block list.
 void for_each_ordered_partition(
     const std::vector<int>& items,
     const std::function<void(const std::vector<std::vector<int>>&)>& visit) {
@@ -22,11 +23,10 @@ void for_each_ordered_partition(
       visit(blocks);
       return;
     }
-    // Choose the next block: any nonempty subset of `remaining` that
-    // contains remaining[0]? No — blocks are unordered sets but their
-    // *sequence* matters, and every nonempty subset may come first. To
-    // avoid double counting we enumerate all nonempty subsets of
-    // `remaining` as the next block.
+    // Choose the next block: blocks are unordered sets but their *sequence*
+    // matters, and every nonempty subset may come first. Enumerating all
+    // nonempty subsets of `remaining` as the next block never double
+    // counts.
     const std::vector<std::vector<int>> subsets =
         math::subsets_with_size_between(remaining, 1,
                                         static_cast<int>(remaining.size()));
@@ -50,7 +50,7 @@ void for_each_ordered_partition(
   recurse();
 }
 
-}  // namespace
+}  // namespace detail
 
 std::uint64_t ordered_bell(int m) {
   if (m < 0) throw std::invalid_argument("ordered_bell: m < 0");
@@ -75,44 +75,23 @@ std::uint64_t ordered_bell(int m) {
 topology::SimplicialComplex iis_round_complex(const topology::Simplex& input,
                                               ViewRegistry& views,
                                               topology::VertexArena& arena) {
+  std::vector<detail::RoundGroup> groups;
+  detail::expand_iis_round(input, views, arena, &groups);
   topology::SimplicialComplex result;
-  std::vector<ProcessId> pids;
-  std::vector<StateId> states;
-  for (topology::VertexId v : input.vertices()) {
-    pids.push_back(arena.pid(v));
-    states.push_back(arena.state(v));
+  for (detail::RoundGroup& group : groups) {
+    result.add_facets(std::move(group.facets));
   }
-  if (pids.empty()) return result;
-  const int round = views.round(states[0]) + 1;
-
-  std::vector<int> indices;
-  for (std::size_t i = 0; i < pids.size(); ++i) {
-    indices.push_back(static_cast<int>(i));
-  }
-  for_each_ordered_partition(
-      indices, [&](const std::vector<std::vector<int>>& blocks) {
-        // Process p in block B_j snapshots blocks B_1..B_j.
-        std::vector<topology::VertexId> facet;
-        std::vector<HeardEntry> seen_so_far;
-        for (const std::vector<int>& block : blocks) {
-          for (int i : block) {
-            seen_so_far.push_back({pids[static_cast<std::size_t>(i)],
-                                   states[static_cast<std::size_t>(i)],
-                                   kNoMicro});
-          }
-          for (int i : block) {
-            const StateId state = views.intern_round(
-                pids[static_cast<std::size_t>(i)], round, seen_so_far);
-            facet.push_back(
-                arena.intern(pids[static_cast<std::size_t>(i)], state));
-          }
-        }
-        result.add_facet(topology::Simplex(std::move(facet)));
-      });
   return result;
 }
 
 topology::SimplicialComplex iis_protocol_complex(
+    const topology::Simplex& input, int rounds, ViewRegistry& views,
+    topology::VertexArena& arena) {
+  ConstructionCache cache;
+  return iis_protocol_complex(input, rounds, views, arena, cache);
+}
+
+topology::SimplicialComplex iis_protocol_complex_seq(
     const topology::Simplex& input, int rounds, ViewRegistry& views,
     topology::VertexArena& arena) {
   if (rounds < 1) {
@@ -123,7 +102,7 @@ topology::SimplicialComplex iis_protocol_complex(
   if (rounds == 1) return one_round;
   topology::SimplicialComplex result;
   for (const topology::Simplex& facet : one_round.facets()) {
-    result.merge(iis_protocol_complex(facet, rounds - 1, views, arena));
+    result.merge(iis_protocol_complex_seq(facet, rounds - 1, views, arena));
   }
   return result;
 }
@@ -131,11 +110,8 @@ topology::SimplicialComplex iis_protocol_complex(
 topology::SimplicialComplex iis_protocol_complex_over(
     const topology::SimplicialComplex& inputs, int rounds,
     ViewRegistry& views, topology::VertexArena& arena) {
-  topology::SimplicialComplex result;
-  for (const topology::Simplex& facet : inputs.facets()) {
-    result.merge(iis_protocol_complex(facet, rounds, views, arena));
-  }
-  return result;
+  ConstructionCache cache;
+  return iis_protocol_complex_over(inputs, rounds, views, arena, cache);
 }
 
 }  // namespace psph::core

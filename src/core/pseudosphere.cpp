@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/round_ops.h"
 #include "math/combinatorics.h"
 #include "topology/simplex.h"
 
@@ -32,18 +33,11 @@ SimplicialComplex pseudosphere(
   SimplicialComplex result;
   if (live_pids.empty()) return result;
 
-  std::vector<std::size_t> sizes;
-  sizes.reserve(live_sets.size());
-  for (const auto& set : live_sets) sizes.push_back(set.size());
-
-  math::for_each_product(sizes, [&](const std::vector<std::size_t>& choice) {
-    std::vector<topology::VertexId> vertices;
-    vertices.reserve(live_pids.size());
-    for (std::size_t i = 0; i < live_pids.size(); ++i) {
-      vertices.push_back(arena.intern(live_pids[i], live_sets[i][choice[i]]));
-    }
-    result.add_facet(topology::Simplex(std::move(vertices)));
-  });
+  // All facets of one pseudosphere are distinct and share one dimension, so
+  // the bulk insert takes SimplicialComplex::add_facets's pure fast lane.
+  std::vector<topology::Simplex> facets;
+  detail::product_facets(live_pids, live_sets, arena, &facets);
+  result.add_facets(std::move(facets));
   return result;
 }
 

@@ -2,114 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "core/pseudosphere.h"
+#include "core/construction.h"
+#include "core/round_ops.h"
 #include "math/combinatorics.h"
 
 namespace psph::core {
-
-namespace {
-
-struct DecodedInput {
-  std::vector<ProcessId> pids;
-  std::unordered_map<ProcessId, StateId> state_of;
-};
-
-DecodedInput decode(const topology::Simplex& input,
-                    const topology::VertexArena& arena) {
-  DecodedInput decoded;
-  for (topology::VertexId v : input.vertices()) {
-    decoded.pids.push_back(arena.pid(v));
-    decoded.state_of[arena.pid(v)] = arena.state(v);
-  }
-  std::sort(decoded.pids.begin(), decoded.pids.end());
-  return decoded;
-}
-
-// One view from [F]: `delivered_last[i]` says whether the choice for the
-// i-th failing process is μ_j = F(P_j) (true) or F(P_j) - 1 (false).
-// `forced` optionally pins one failing process's choice to delivered
-// (Lemma 20's [F ↑ j]).
-StateId make_view(const DecodedInput& input, const FailurePattern& pattern,
-                  int mu, ProcessId receiver,
-                  const std::vector<bool>& delivered_last, int round,
-                  ViewRegistry& views) {
-  std::vector<HeardEntry> heard;
-  // Survivors: last message in microround μ.
-  for (ProcessId sender : input.pids) {
-    if (std::binary_search(pattern.fail_set.begin(), pattern.fail_set.end(),
-                           sender)) {
-      continue;
-    }
-    heard.push_back({sender, input.state_of.at(sender), mu});
-  }
-  // Failing processes: μ_j ∈ {F(P_j)-1, F(P_j)}; μ_j == 0 means nothing was
-  // received, so no entry.
-  for (std::size_t i = 0; i < pattern.fail_set.size(); ++i) {
-    const int micro =
-        delivered_last[i] ? pattern.fail_micro[i] : pattern.fail_micro[i] - 1;
-    if (micro >= 1) {
-      heard.push_back(
-          {pattern.fail_set[i], input.state_of.at(pattern.fail_set[i]), micro});
-    }
-  }
-  return views.intern_round(receiver, round, std::move(heard));
-}
-
-topology::SimplicialComplex pattern_pseudosphere(
-    const DecodedInput& input, const FailurePattern& pattern, int mu,
-    int force_delivered_index,  // -1 for none; else index into fail_set
-    ViewRegistry& views, topology::VertexArena& arena) {
-  std::vector<ProcessId> survivors;
-  for (ProcessId p : input.pids) {
-    if (!std::binary_search(pattern.fail_set.begin(), pattern.fail_set.end(),
-                            p)) {
-      survivors.push_back(p);
-    }
-  }
-  if (survivors.empty()) return topology::SimplicialComplex();
-
-  const int round = views.round(input.state_of.at(survivors[0])) + 1;
-
-  // Enumerate [F] (optionally with one coordinate pinned): all 0/1 choices
-  // per failing process.
-  const std::size_t k = pattern.fail_set.size();
-  std::vector<std::vector<bool>> all_choices;
-  std::vector<std::size_t> sizes;
-  for (std::size_t i = 0; i < k; ++i) {
-    sizes.push_back(static_cast<std::size_t>(i) ==
-                            static_cast<std::size_t>(force_delivered_index)
-                        ? 1u
-                        : 2u);
-  }
-  math::for_each_product(sizes, [&](const std::vector<std::size_t>& odo) {
-    std::vector<bool> choice(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      if (static_cast<int>(i) == force_delivered_index) {
-        choice[i] = true;  // pinned: the last message was delivered
-      } else {
-        choice[i] = odo[i] == 1;
-      }
-    }
-    all_choices.push_back(std::move(choice));
-  });
-
-  std::vector<std::vector<StateId>> per_survivor;
-  per_survivor.reserve(survivors.size());
-  for (ProcessId receiver : survivors) {
-    std::vector<StateId> options;
-    options.reserve(all_choices.size());
-    for (const std::vector<bool>& choice : all_choices) {
-      options.push_back(
-          make_view(input, pattern, mu, receiver, choice, round, views));
-    }
-    per_survivor.push_back(std::move(options));
-  }
-  return pseudosphere(survivors, per_survivor, arena);
-}
-
-}  // namespace
 
 std::uint64_t view_count(const FailurePattern& pattern) {
   return 1ULL << pattern.fail_set.size();
@@ -162,18 +60,25 @@ topology::SimplicialComplex semisync_round_complex_for_pattern(
       throw std::invalid_argument("failure pattern: microround out of range");
     }
   }
-  const DecodedInput decoded = decode(input, arena);
-  return pattern_pseudosphere(decoded, sorted, mu, -1, views, arena);
+  const detail::SortedFacet decoded = detail::decode_sorted(input, arena);
+  std::vector<topology::Simplex> facets;
+  detail::semisync_pattern_facets(decoded, sorted, mu, -1, views, arena,
+                                  &facets);
+  topology::SimplicialComplex result;
+  result.add_facets(std::move(facets));
+  return result;
 }
 
 topology::SimplicialComplex semisync_lemma20_rhs(
     const topology::Simplex& input, const FailurePattern& pattern, int mu,
     ViewRegistry& views, topology::VertexArena& arena) {
-  const DecodedInput decoded = decode(input, arena);
+  const detail::SortedFacet decoded = detail::decode_sorted(input, arena);
   topology::SimplicialComplex result;
   for (std::size_t j = 0; j < pattern.fail_set.size(); ++j) {
-    result.merge(pattern_pseudosphere(decoded, pattern, mu,
-                                      static_cast<int>(j), views, arena));
+    std::vector<topology::Simplex> facets;
+    detail::semisync_pattern_facets(decoded, pattern, mu, static_cast<int>(j),
+                                    views, arena, &facets);
+    result.add_facets(std::move(facets));
   }
   return result;
 }
@@ -181,13 +86,11 @@ topology::SimplicialComplex semisync_lemma20_rhs(
 topology::SimplicialComplex semisync_round_complex(
     const topology::Simplex& input, const SemiSyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
-  const DecodedInput decoded = decode(input, arena);
-  const int cap = std::min(params.failures_per_round, params.total_failures);
+  std::vector<detail::RoundGroup> groups;
+  detail::expand_semisync_round(input, params, views, arena, &groups);
   topology::SimplicialComplex result;
-  for (const FailurePattern& pattern : enumerate_failure_patterns(
-           decoded.pids, cap, params.micro_rounds)) {
-    result.merge(pattern_pseudosphere(decoded, pattern, params.micro_rounds,
-                                      -1, views, arena));
+  for (detail::RoundGroup& group : groups) {
+    result.add_facets(std::move(group.facets));
   }
   return result;
 }
@@ -195,16 +98,26 @@ topology::SimplicialComplex semisync_round_complex(
 topology::SimplicialComplex semisync_protocol_complex(
     const topology::Simplex& input, const SemiSyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
+  ConstructionCache cache;
+  return semisync_protocol_complex(input, params, views, arena, cache);
+}
+
+topology::SimplicialComplex semisync_protocol_complex_seq(
+    const topology::Simplex& input, const SemiSyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena) {
   if (params.rounds < 1) {
     throw std::invalid_argument("semisync_protocol_complex: rounds < 1");
   }
-  const DecodedInput decoded = decode(input, arena);
+  const detail::SortedFacet decoded = detail::decode_sorted(input, arena);
   const int cap = std::min(params.failures_per_round, params.total_failures);
   topology::SimplicialComplex result;
   for (const FailurePattern& pattern : enumerate_failure_patterns(
            decoded.pids, cap, params.micro_rounds)) {
-    const topology::SimplicialComplex round_complex = pattern_pseudosphere(
-        decoded, pattern, params.micro_rounds, -1, views, arena);
+    std::vector<topology::Simplex> facets;
+    detail::semisync_pattern_facets(decoded, pattern, params.micro_rounds, -1,
+                                    views, arena, &facets);
+    topology::SimplicialComplex round_complex;
+    round_complex.add_facets(std::move(facets));
     if (params.rounds == 1) {
       result.merge(round_complex);
       continue;
@@ -214,7 +127,7 @@ topology::SimplicialComplex semisync_protocol_complex(
     next.total_failures =
         params.total_failures - static_cast<int>(pattern.fail_set.size());
     for (const topology::Simplex& facet : round_complex.facets()) {
-      result.merge(semisync_protocol_complex(facet, next, views, arena));
+      result.merge(semisync_protocol_complex_seq(facet, next, views, arena));
     }
   }
   return result;
@@ -223,11 +136,8 @@ topology::SimplicialComplex semisync_protocol_complex(
 topology::SimplicialComplex semisync_protocol_complex_over(
     const topology::SimplicialComplex& inputs, const SemiSyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
-  topology::SimplicialComplex result;
-  for (const topology::Simplex& facet : inputs.facets()) {
-    result.merge(semisync_protocol_complex(facet, params, views, arena));
-  }
-  return result;
+  ConstructionCache cache;
+  return semisync_protocol_complex_over(inputs, params, views, arena, cache);
 }
 
 }  // namespace psph::core

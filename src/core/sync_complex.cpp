@@ -2,86 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "core/pseudosphere.h"
+#include "core/construction.h"
+#include "core/round_ops.h"
 #include "math/combinatorics.h"
-#include "topology/operations.h"
 
 namespace psph::core {
-
-namespace {
-
-struct DecodedInput {
-  std::vector<ProcessId> pids;
-  std::unordered_map<ProcessId, StateId> state_of;
-};
-
-DecodedInput decode(const topology::Simplex& input,
-                    const topology::VertexArena& arena) {
-  DecodedInput decoded;
-  for (topology::VertexId v : input.vertices()) {
-    decoded.pids.push_back(arena.pid(v));
-    decoded.state_of[arena.pid(v)] = arena.state(v);
-  }
-  std::sort(decoded.pids.begin(), decoded.pids.end());
-  return decoded;
-}
-
-// Builds ψ(S\K; ...) where each survivor independently hears all survivors
-// plus a subset J ⊆ K of the failing processes, with `required` ⊆ J forced.
-// Lemma 14 uses required = ∅ (the value sets are all of 2^K, read as the
-// set K - J of *missed* senders); Lemma 15's right-hand side pins one
-// failing process j as heard, i.e. the missed set ranges over 2^{K - {j}}.
-topology::SimplicialComplex failset_pseudosphere(
-    const DecodedInput& input, const std::vector<ProcessId>& fail_set,
-    const std::vector<ProcessId>& required, ViewRegistry& views,
-    topology::VertexArena& arena) {
-  topology::SimplicialComplex empty;
-  std::vector<ProcessId> survivors;
-  for (ProcessId p : input.pids) {
-    if (!std::binary_search(fail_set.begin(), fail_set.end(), p)) {
-      survivors.push_back(p);
-    }
-  }
-  if (survivors.empty()) return empty;
-
-  const int round = views.round(input.state_of.at(survivors[0])) + 1;
-
-  // The optional part of each delivered set J: failing processes that are
-  // neither forbidden nor forced.
-  std::vector<ProcessId> optional;
-  for (ProcessId p : fail_set) {
-    if (!std::binary_search(required.begin(), required.end(), p)) {
-      optional.push_back(p);
-    }
-  }
-
-  std::vector<std::vector<StateId>> choices;
-  choices.reserve(survivors.size());
-  for (ProcessId receiver : survivors) {
-    std::vector<StateId> receiver_choices;
-    for (const std::vector<ProcessId>& extra : math::all_subsets(optional)) {
-      std::vector<HeardEntry> heard;
-      heard.reserve(survivors.size() + required.size() + extra.size());
-      for (ProcessId sender : survivors) {
-        heard.push_back({sender, input.state_of.at(sender), kNoMicro});
-      }
-      for (ProcessId sender : required) {
-        heard.push_back({sender, input.state_of.at(sender), kNoMicro});
-      }
-      for (ProcessId sender : extra) {
-        heard.push_back({sender, input.state_of.at(sender), kNoMicro});
-      }
-      receiver_choices.push_back(
-          views.intern_round(receiver, round, std::move(heard)));
-    }
-    choices.push_back(std::move(receiver_choices));
-  }
-  return pseudosphere(survivors, choices, arena);
-}
-
-}  // namespace
 
 std::vector<std::vector<ProcessId>> lexicographic_fail_sets(
     const std::vector<ProcessId>& participants, int max_size) {
@@ -93,8 +19,12 @@ topology::SimplicialComplex sync_round_complex_for_failset(
     ViewRegistry& views, topology::VertexArena& arena) {
   std::vector<ProcessId> sorted_k = fail_set;
   std::sort(sorted_k.begin(), sorted_k.end());
-  const DecodedInput decoded = decode(input, arena);
-  return failset_pseudosphere(decoded, sorted_k, {}, views, arena);
+  const detail::SortedFacet decoded = detail::decode_sorted(input, arena);
+  std::vector<topology::Simplex> facets;
+  detail::sync_failset_facets(decoded, sorted_k, {}, views, arena, &facets);
+  topology::SimplicialComplex result;
+  result.add_facets(std::move(facets));
+  return result;
 }
 
 topology::SimplicialComplex sync_lemma15_rhs(
@@ -102,13 +32,15 @@ topology::SimplicialComplex sync_lemma15_rhs(
     ViewRegistry& views, topology::VertexArena& arena) {
   std::vector<ProcessId> sorted_k = fail_set;
   std::sort(sorted_k.begin(), sorted_k.end());
-  const DecodedInput decoded = decode(input, arena);
+  const detail::SortedFacet decoded = detail::decode_sorted(input, arena);
   topology::SimplicialComplex result;
   for (ProcessId heard_for_sure : sorted_k) {
     // ψ(S\K; 2^{K - {j}}): the views in which j's round message *was*
     // delivered, i.e. the missed set avoids j.
-    result.merge(failset_pseudosphere(decoded, sorted_k, {heard_for_sure},
-                                      views, arena));
+    std::vector<topology::Simplex> facets;
+    detail::sync_failset_facets(decoded, sorted_k, {heard_for_sure}, views,
+                                arena, &facets);
+    result.add_facets(std::move(facets));
   }
   return result;
 }
@@ -116,12 +48,11 @@ topology::SimplicialComplex sync_lemma15_rhs(
 topology::SimplicialComplex sync_round_complex(
     const topology::Simplex& input, const SyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
-  const DecodedInput decoded = decode(input, arena);
-  const int cap = std::min(params.failures_per_round, params.total_failures);
+  std::vector<detail::RoundGroup> groups;
+  detail::expand_sync_round(input, params, views, arena, &groups);
   topology::SimplicialComplex result;
-  for (const std::vector<ProcessId>& fail_set :
-       lexicographic_fail_sets(decoded.pids, cap)) {
-    result.merge(failset_pseudosphere(decoded, fail_set, {}, views, arena));
+  for (detail::RoundGroup& group : groups) {
+    result.add_facets(std::move(group.facets));
   }
   return result;
 }
@@ -129,16 +60,25 @@ topology::SimplicialComplex sync_round_complex(
 topology::SimplicialComplex sync_protocol_complex(
     const topology::Simplex& input, const SyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
+  ConstructionCache cache;
+  return sync_protocol_complex(input, params, views, arena, cache);
+}
+
+topology::SimplicialComplex sync_protocol_complex_seq(
+    const topology::Simplex& input, const SyncParams& params,
+    ViewRegistry& views, topology::VertexArena& arena) {
   if (params.rounds < 1) {
     throw std::invalid_argument("sync_protocol_complex: rounds < 1");
   }
-  const DecodedInput decoded = decode(input, arena);
+  const detail::SortedFacet decoded = detail::decode_sorted(input, arena);
   const int cap = std::min(params.failures_per_round, params.total_failures);
   topology::SimplicialComplex result;
   for (const std::vector<ProcessId>& fail_set :
        lexicographic_fail_sets(decoded.pids, cap)) {
-    const topology::SimplicialComplex round_complex =
-        failset_pseudosphere(decoded, fail_set, {}, views, arena);
+    std::vector<topology::Simplex> facets;
+    detail::sync_failset_facets(decoded, fail_set, {}, views, arena, &facets);
+    topology::SimplicialComplex round_complex;
+    round_complex.add_facets(std::move(facets));
     if (params.rounds == 1) {
       result.merge(round_complex);
       continue;
@@ -148,7 +88,7 @@ topology::SimplicialComplex sync_protocol_complex(
     next.total_failures =
         params.total_failures - static_cast<int>(fail_set.size());
     for (const topology::Simplex& facet : round_complex.facets()) {
-      result.merge(sync_protocol_complex(facet, next, views, arena));
+      result.merge(sync_protocol_complex_seq(facet, next, views, arena));
     }
   }
   return result;
@@ -157,11 +97,8 @@ topology::SimplicialComplex sync_protocol_complex(
 topology::SimplicialComplex sync_protocol_complex_over(
     const topology::SimplicialComplex& inputs, const SyncParams& params,
     ViewRegistry& views, topology::VertexArena& arena) {
-  topology::SimplicialComplex result;
-  for (const topology::Simplex& facet : inputs.facets()) {
-    result.merge(sync_protocol_complex(facet, params, views, arena));
-  }
-  return result;
+  ConstructionCache cache;
+  return sync_protocol_complex_over(inputs, params, views, arena, cache);
 }
 
 }  // namespace psph::core

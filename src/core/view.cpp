@@ -6,6 +6,22 @@
 
 namespace psph::core {
 
+View make_round_view(ProcessId pid, int round, std::vector<HeardEntry> heard) {
+  if (round < 1) throw std::invalid_argument("intern_round: round < 1");
+  std::sort(heard.begin(), heard.end());
+  for (std::size_t i = 1; i < heard.size(); ++i) {
+    if (heard[i].from == heard[i - 1].from) {
+      throw std::invalid_argument("intern_round: duplicate sender");
+    }
+  }
+  View v;
+  v.pid = pid;
+  v.round = round;
+  v.input = 0;
+  v.heard = std::move(heard);
+  return v;
+}
+
 StateId ViewRegistry::intern(View v) {
   const auto it = index_.find(v);
   if (it != index_.end()) return it->second;
@@ -25,24 +41,18 @@ StateId ViewRegistry::intern_input(ProcessId pid, std::int64_t input) {
 
 StateId ViewRegistry::intern_round(ProcessId pid, int round,
                                    std::vector<HeardEntry> heard) {
-  if (round < 1) throw std::invalid_argument("intern_round: round < 1");
-  std::sort(heard.begin(), heard.end());
-  for (std::size_t i = 1; i < heard.size(); ++i) {
-    if (heard[i].from == heard[i - 1].from) {
-      throw std::invalid_argument("intern_round: duplicate sender");
-    }
-  }
-  View v;
-  v.pid = pid;
-  v.round = round;
-  v.input = 0;
-  v.heard = std::move(heard);
-  return intern(std::move(v));
+  return intern(make_round_view(pid, round, std::move(heard)));
 }
 
 const View& ViewRegistry::view(StateId id) const {
   if (id >= views_.size()) throw std::out_of_range("ViewRegistry::view");
   return views_[static_cast<std::size_t>(id)];
+}
+
+std::optional<StateId> ViewRegistry::find(const View& v) const {
+  const auto it = index_.find(v);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 const std::set<std::int64_t>& ViewRegistry::inputs_seen(StateId id) const {
@@ -80,13 +90,15 @@ std::set<ProcessId> ViewRegistry::direct_senders(StateId id) const {
   return result;
 }
 
-std::string ViewRegistry::to_string(StateId id) const {
+const std::string& ViewRegistry::to_string(StateId id) const {
+  const auto cached = string_cache_.find(id);
+  if (cached != string_cache_.end()) return cached->second;
   const View& v = view(id);
   std::ostringstream out;
   out << "P" << v.pid << "@r" << v.round;
   if (v.round == 0) {
     out << "=" << v.input;
-    return out.str();
+    return string_cache_.emplace(id, out.str()).first->second;
   }
   out << "<";
   for (std::size_t i = 0; i < v.heard.size(); ++i) {
@@ -95,10 +107,12 @@ std::string ViewRegistry::to_string(StateId id) const {
     if (v.heard[i].last_micro != kNoMicro) {
       out << "u" << v.heard[i].last_micro;
     }
+    // Sub-views are strictly earlier rounds, so the recursion terminates;
+    // each renders once and is thereafter a cache hit.
     out << ":" << to_string(v.heard[i].state);
   }
   out << ">";
-  return out.str();
+  return string_cache_.emplace(id, out.str()).first->second;
 }
 
 }  // namespace psph::core

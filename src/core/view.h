@@ -17,6 +17,7 @@
 // to the process — the similarity structure the paper's proofs live on.
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -56,6 +57,27 @@ struct View {
   bool operator==(const View& other) const = default;
 };
 
+struct ViewHash {
+  std::size_t operator()(const View& v) const {
+    std::size_t h = util::hash_combine(std::hash<ProcessId>{}(v.pid),
+                                       std::hash<int>{}(v.round));
+    h = util::hash_combine(h, std::hash<std::int64_t>{}(v.input));
+    for (const HeardEntry& e : v.heard) {
+      h = util::hash_combine(h, std::hash<ProcessId>{}(e.from));
+      h = util::hash_combine(h, std::hash<StateId>{}(e.state));
+      h = util::hash_combine(h, std::hash<int>{}(e.last_micro));
+    }
+    return h;
+  }
+};
+
+/// Normalizes a round-r view (r >= 1): sorts `heard` by sender and rejects
+/// duplicate senders or round < 1. Both ViewRegistry::intern_round and the
+/// scratch registries of the parallel construction pipeline build their
+/// candidate views through this single function, so the two paths can never
+/// disagree on the interned representation.
+View make_round_view(ProcessId pid, int round, std::vector<HeardEntry> heard);
+
 class ViewRegistry {
  public:
   /// Interns the round-0 view (pid starts with `input`).
@@ -70,6 +92,13 @@ class ViewRegistry {
   int round(StateId id) const { return view(id).round; }
   ProcessId pid(StateId id) const { return view(id).pid; }
 
+  /// Read-only lookup: the id of this exact (normalized) view, or nullopt
+  /// if it has never been interned. Unlike the intern_* methods this never
+  /// mutates the registry, so it is safe to call concurrently with view()/
+  /// round()/find() from many threads — the parallel construction pipeline
+  /// relies on this during its scratch-expansion phase (two-phase intern).
+  std::optional<StateId> find(const View& v) const;
+
   /// All input values visible in this view, i.e. inputs of processes the
   /// owner has (transitively) heard from. Full information means these are
   /// exactly the values the owner may validly decide.
@@ -81,31 +110,24 @@ class ViewRegistry {
   /// Process ids heard from directly in the final round (including self).
   std::set<ProcessId> direct_senders(StateId id) const;
 
-  /// Human-readable rendering, e.g. "P2@r1<P0:0,P2:1>".
-  std::string to_string(StateId id) const;
+  /// Human-readable rendering, e.g. "P2@r1<P0:0,P2:1>". Memoized per id:
+  /// a view's rendering embeds the renderings of every heard sub-view, so
+  /// the naive recursion re-renders shared sub-views exponentially often in
+  /// deep rounds; the cache makes each view render exactly once. Like
+  /// inputs_seen, this populates a mutable cache and therefore is NOT safe
+  /// to call concurrently (view/round/find are the const-thread-safe
+  /// subset).
+  const std::string& to_string(StateId id) const;
 
   std::size_t size() const { return views_.size(); }
 
  private:
-  struct ViewHash {
-    std::size_t operator()(const View& v) const {
-      std::size_t h = util::hash_combine(std::hash<ProcessId>{}(v.pid),
-                                         std::hash<int>{}(v.round));
-      h = util::hash_combine(h, std::hash<std::int64_t>{}(v.input));
-      for (const HeardEntry& e : v.heard) {
-        h = util::hash_combine(h, std::hash<ProcessId>{}(e.from));
-        h = util::hash_combine(h, std::hash<StateId>{}(e.state));
-        h = util::hash_combine(h, std::hash<int>{}(e.last_micro));
-      }
-      return h;
-    }
-  };
-
   StateId intern(View v);
 
   std::vector<View> views_;
   std::unordered_map<View, StateId, ViewHash> index_;
   mutable std::unordered_map<StateId, std::set<std::int64_t>> inputs_cache_;
+  mutable std::unordered_map<StateId, std::string> string_cache_;
 };
 
 }  // namespace psph::core

@@ -9,6 +9,7 @@
 // together along shared faces.
 
 #include <cstddef>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,16 @@ class VertexArena {
     labels_.push_back(label);
     index_.emplace(label, id);
     return id;
+  }
+
+  /// Read-only lookup: the id for this label, or nullopt if it was never
+  /// interned. Never mutates, so it is safe to call concurrently with other
+  /// const access — the parallel construction pipeline's scratch arenas
+  /// resolve against the shared arena this way during fan-out.
+  std::optional<VertexId> find(ProcessId pid, StateId state) const {
+    const auto it = index_.find(VertexLabel{pid, state});
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
   }
 
   const VertexLabel& label(VertexId id) const {

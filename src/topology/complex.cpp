@@ -115,8 +115,53 @@ bool SimplicialComplex::dominated(const Simplex& s) const {
   return false;
 }
 
+void SimplicialComplex::reserve(std::size_t additional) {
+  slots_.reserve(slots_.size() + additional);
+  facet_set_.reserve(facet_set_.size() + additional);
+}
+
+void SimplicialComplex::add_facets(std::vector<Simplex> facets) {
+  if (facets.empty()) return;
+  int batch_dim = facets[0].dimension();
+  for (const Simplex& s : facets) {
+    if (s.empty()) throw std::invalid_argument("add_facet: empty simplex");
+    if (s.dimension() != batch_dim) batch_dim = -2;  // mixed batch
+  }
+  const bool complex_compatible =
+      live_count_ == 0 ||
+      (min_facet_dim_ == batch_dim && max_facet_dim_ == batch_dim);
+  if (batch_dim < 0 || !complex_compatible) {
+    // Mixed dimensions somewhere: domination is possible, take the scanning
+    // path facet by facet.
+    reserve(facets.size());
+    for (Simplex& s : facets) add_facet(std::move(s));
+    return;
+  }
+  // Pure fast lane: every live facet and every incoming facet has dimension
+  // batch_dim, so no facet can strictly contain another — domination scans
+  // are provably no-ops and only exact-duplicate detection remains.
+  invalidate_face_cache();
+  reserve(facets.size());
+  for (Simplex& s : facets) {
+    if (!facet_set_.insert(s).second) continue;  // exact duplicate
+    const std::size_t slot = slots_.size();
+    for (VertexId v : s.vertices()) by_vertex_[v].push_back(slot);
+    slots_.push_back(std::move(s));
+    ++live_count_;
+  }
+  min_facet_dim_ = batch_dim;
+  max_facet_dim_ = batch_dim;
+}
+
 void SimplicialComplex::merge(const SimplicialComplex& other) {
-  other.for_each_facet([this](const Simplex& s) { add_facet(s); });
+  // Batch through add_facets so pure-into-pure merges (unions of equal-rank
+  // pseudospheres) take the fast lane.
+  std::vector<Simplex> batch;
+  batch.reserve(other.live_count_);
+  for (const Simplex& facet : other.slots_) {
+    if (!facet.empty()) batch.push_back(facet);
+  }
+  add_facets(std::move(batch));
 }
 
 std::vector<Simplex> SimplicialComplex::facets() const {

@@ -45,6 +45,17 @@ class SimplicialComplex {
   /// Inserting the empty simplex is rejected.
   void add_facet(Simplex s);
 
+  /// Inserts a batch of candidate facets, equivalent to add_facet in a
+  /// loop. When every incoming facet has one dimension d and the complex is
+  /// empty or pure of the same dimension (the common case when unioning
+  /// pseudospheres), insertion takes a fast lane that skips the per-facet
+  /// domination scans entirely — only the exact-duplicate hash check
+  /// remains. Mixed-dimension batches fall back to add_facet per facet.
+  void add_facets(std::vector<Simplex> facets);
+
+  /// Pre-sizes the facet tables for `additional` more facets.
+  void reserve(std::size_t additional);
+
   /// Inserts every facet of `other`.
   void merge(const SimplicialComplex& other);
 

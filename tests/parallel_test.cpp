@@ -7,13 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/async_complex.h"
+#include "core/construction.h"
+#include "core/iis_complex.h"
 #include "core/pseudosphere.h"
+#include "core/semisync_complex.h"
 #include "core/sync_complex.h"
 #include "core/theorems.h"
 #include "topology/homology.h"
@@ -156,6 +161,200 @@ TEST_F(ParallelTest, ConnectivityIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial, parallel);
   // ψ(S^3; {0,1}) is the 3-sphere: 2-connected with H̃_3 ≠ 0.
   EXPECT_EQ(serial, 2);
+}
+
+// ------------------------------------- construction thread parity --------
+
+// Everything the bit-identity guarantee covers: the complex's facet list as
+// raw vertex ids, the full registry and arena contents in id order, and the
+// homology computed from the complex. Two Snapshots compare equal only if
+// the runs were indistinguishable down to numeric id assignment.
+struct ConstructionSnapshot {
+  std::vector<topology::Simplex> facets;
+  std::vector<std::string> views_in_id_order;
+  std::vector<std::pair<core::ProcessId, topology::StateId>>
+      vertex_labels_in_id_order;
+  std::string homology;
+
+  bool operator==(const ConstructionSnapshot& other) const = default;
+};
+
+template <typename BuildFn>
+ConstructionSnapshot snapshot_at_threads(int threads, int participants,
+                                         const BuildFn& build) {
+  util::set_thread_count(threads);
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input =
+      core::rainbow_input(participants, views, arena);
+  const topology::SimplicialComplex k = build(input, views, arena);
+  ConstructionSnapshot snapshot;
+  snapshot.facets = k.facets();
+  for (topology::StateId id = 0; id < views.size(); ++id) {
+    snapshot.views_in_id_order.push_back(views.to_string(id));
+  }
+  for (topology::VertexId id = 0; id < arena.size(); ++id) {
+    snapshot.vertex_labels_in_id_order.emplace_back(arena.pid(id),
+                                                    arena.state(id));
+  }
+  // Mod-p Betti numbers (the fast path) keep this cheap; the id-order
+  // comparisons above already pin the complex bit-for-bit, and the fast
+  // path additionally exercises the parallel rank engine being compared.
+  snapshot.homology =
+      topology::reduced_homology(k, {.max_dim = k.dimension()}).to_string();
+  return snapshot;
+}
+
+template <typename BuildFn>
+void expect_bit_identical_construction(int participants, const BuildFn& build,
+                                       const char* label) {
+  const ConstructionSnapshot at1 = snapshot_at_threads(1, participants, build);
+  for (const int threads : {2, 8}) {
+    const ConstructionSnapshot at_n =
+        snapshot_at_threads(threads, participants, build);
+    EXPECT_EQ(at1.facets, at_n.facets) << label << " threads=" << threads;
+    EXPECT_EQ(at1.views_in_id_order, at_n.views_in_id_order)
+        << label << " threads=" << threads;
+    EXPECT_EQ(at1.vertex_labels_in_id_order, at_n.vertex_labels_in_id_order)
+        << label << " threads=" << threads;
+    EXPECT_EQ(at1.homology, at_n.homology) << label << " threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, AsyncConstructionBitIdenticalAcrossThreadCounts) {
+  expect_bit_identical_construction(
+      3,
+      [](const topology::Simplex& input, core::ViewRegistry& views,
+         topology::VertexArena& arena) {
+        return core::async_protocol_complex(input, {3, 1, 2}, views, arena);
+      },
+      "async n=3 f=1 r=2");
+}
+
+TEST_F(ParallelTest, SyncConstructionBitIdenticalAcrossThreadCounts) {
+  expect_bit_identical_construction(
+      3,
+      [](const topology::Simplex& input, core::ViewRegistry& views,
+         topology::VertexArena& arena) {
+        return core::sync_protocol_complex(input, {3, 2, 1, 2}, views, arena);
+      },
+      "sync n=3 f=2 k=1 r=2");
+}
+
+TEST_F(ParallelTest, SemisyncConstructionBitIdenticalAcrossThreadCounts) {
+  expect_bit_identical_construction(
+      3,
+      [](const topology::Simplex& input, core::ViewRegistry& views,
+         topology::VertexArena& arena) {
+        return core::semisync_protocol_complex(input, {3, 1, 1, 2, 2}, views,
+                                               arena);
+      },
+      "semisync n=3 f=1 k=1 mu=2 r=2");
+}
+
+TEST_F(ParallelTest, IisConstructionBitIdenticalAcrossThreadCounts) {
+  expect_bit_identical_construction(
+      3,
+      [](const topology::Simplex& input, core::ViewRegistry& views,
+         topology::VertexArena& arena) {
+        return core::iis_protocol_complex(input, 2, views, arena);
+      },
+      "iis n=3 r=2");
+}
+
+// The pipeline and the sequential reference recursion, run against the SAME
+// registry/arena, must produce the same complex (hash-consing makes the
+// comparison exact regardless of id assignment order).
+TEST_F(ParallelTest, PipelineMatchesSequentialReference) {
+  util::set_thread_count(8);
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+
+  EXPECT_EQ(core::async_protocol_complex(input, {3, 1, 2}, views, arena),
+            core::async_protocol_complex_seq(input, {3, 1, 2}, views, arena));
+  EXPECT_EQ(core::sync_protocol_complex(input, {3, 2, 1, 2}, views, arena),
+            core::sync_protocol_complex_seq(input, {3, 2, 1, 2}, views,
+                                            arena));
+  EXPECT_EQ(
+      core::semisync_protocol_complex(input, {3, 1, 1, 2, 2}, views, arena),
+      core::semisync_protocol_complex_seq(input, {3, 1, 1, 2, 2}, views,
+                                          arena));
+  EXPECT_EQ(core::iis_protocol_complex(input, 2, views, arena),
+            core::iis_protocol_complex_seq(input, 2, views, arena));
+}
+
+// ------------------------------------------- memo-cache accounting -------
+
+TEST_F(ParallelTest, ConstructionCacheHitAndMissAccounting) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  const core::AsyncParams params{3, 1, 2};
+
+  core::ConstructionCache cache;
+  const topology::SimplicialComplex first =
+      core::async_protocol_complex(input, params, views, arena, cache);
+  const core::ConstructionStats after_first = cache.stats();
+  EXPECT_GT(after_first.lookups, 0u);
+  EXPECT_EQ(after_first.hits + after_first.misses, after_first.lookups);
+  EXPECT_EQ(after_first.misses, cache.size());  // every miss stored an entry
+
+  // An identical second run is answered entirely from the cache.
+  const topology::SimplicialComplex second =
+      core::async_protocol_complex(input, params, views, arena, cache);
+  EXPECT_EQ(first, second);
+  const core::ConstructionStats after_second = cache.stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_EQ(after_second.hits - after_first.hits,
+            after_second.lookups - after_first.lookups);
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST_F(ParallelTest, ConstructionDedupeCollapsesSharedFrontierItems) {
+  // Two input facets of ψ(3; {0,1}) that differ only in one process's input
+  // produce a common child once that process fails unheard, so the round-2
+  // frontier contains duplicates the dedupe phase must collapse.
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::SimplicialComplex inputs =
+      core::input_complex(3, {0, 1}, views, arena);
+  core::ConstructionCache cache;
+  core::sync_protocol_complex_over(inputs, {3, 1, 1, 2}, views, arena, cache);
+  const core::ConstructionStats stats = cache.stats();
+  EXPECT_GT(stats.deduped, 0u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+TEST_F(ParallelTest, ConstructionCacheReusedAcrossRoundDepths) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+
+  core::ConstructionCache cache;
+  core::sync_protocol_complex(input, {3, 1, 1, 1}, views, arena, cache);
+  const core::ConstructionStats after_r1 = cache.stats();
+  // Entries are keyed without the round count, so the r=2 run's first level
+  // is a pure cache hit.
+  core::sync_protocol_complex(input, {3, 1, 1, 2}, views, arena, cache);
+  const core::ConstructionStats after_r2 = cache.stats();
+  EXPECT_GT(after_r2.hits, after_r1.hits);
+}
+
+TEST_F(ParallelTest, ConstructionCacheRejectsForeignRegistry) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  core::ConstructionCache cache;
+  core::async_protocol_complex(input, {3, 1, 1}, views, arena, cache);
+
+  core::ViewRegistry other_views;
+  topology::VertexArena other_arena;
+  const topology::Simplex other_input =
+      core::rainbow_input(3, other_views, other_arena);
+  EXPECT_THROW(core::async_protocol_complex(other_input, {3, 1, 1},
+                                            other_views, other_arena, cache),
+               std::logic_error);
 }
 
 }  // namespace

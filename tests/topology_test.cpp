@@ -93,6 +93,67 @@ TEST(Complex, AddEmptyFacetThrows) {
   EXPECT_THROW(k.add_facet(Simplex()), std::invalid_argument);
 }
 
+TEST(Complex, AddFacetsMatchesAddFacetLoop) {
+  // The bulk path and the per-facet path must build identical complexes,
+  // whichever lane the bulk path takes.
+  const std::vector<std::vector<Simplex>> batches = {
+      // Pure batch into an empty complex (fast lane).
+      {Simplex{1, 2, 3}, Simplex{2, 3, 4}, Simplex{1, 2, 3}},
+      // Pure batch of matching dimension into a pure complex (fast lane).
+      {Simplex{3, 4, 5}, Simplex{4, 5, 6}},
+      // Mixed-dimension batch (fallback), with domination both ways.
+      {Simplex{7, 8}, Simplex{6, 7, 8, 9}, Simplex{1, 2}},
+  };
+  SimplicialComplex bulk;
+  SimplicialComplex loop;
+  for (const std::vector<Simplex>& batch : batches) {
+    bulk.add_facets(batch);
+    for (const Simplex& s : batch) loop.add_facet(s);
+    EXPECT_EQ(bulk, loop);
+  }
+  EXPECT_EQ(bulk.facets(), loop.facets());
+  EXPECT_EQ(bulk.f_vector(), loop.f_vector());
+}
+
+TEST(Complex, AddFacetsPureLaneDeduplicates) {
+  SimplicialComplex k;
+  k.add_facets({Simplex{1, 2}, Simplex{2, 3}, Simplex{1, 2}, Simplex{2, 3}});
+  EXPECT_EQ(k.facet_count(), 2u);
+  EXPECT_TRUE(k.is_pure());
+  // A second pure batch of the same dimension also takes the fast lane and
+  // must still drop exact duplicates of facets already present.
+  k.add_facets({Simplex{2, 3}, Simplex{3, 4}});
+  EXPECT_EQ(k.facet_count(), 3u);
+}
+
+TEST(Complex, AddFacetsMixedBatchKeepsMaximality) {
+  SimplicialComplex k;
+  k.add_facets({Simplex{1, 2, 3}, Simplex{1, 2}, Simplex{4}});
+  EXPECT_EQ(k.facet_count(), 2u);  // {1,2} is dominated
+  k.add_facets({Simplex{1, 2, 3, 4, 5}});
+  EXPECT_EQ(k.facet_count(), 1u);  // dominates everything so far
+  EXPECT_THROW(k.add_facets({Simplex{6}, Simplex()}), std::invalid_argument);
+}
+
+TEST(Complex, AddFacetsEmptyBatchAndReserve) {
+  SimplicialComplex k;
+  k.add_facets({});
+  EXPECT_TRUE(k.empty());
+  k.reserve(64);
+  EXPECT_TRUE(k.empty());
+  k.add_facet(Simplex{1, 2});
+  EXPECT_EQ(k.facet_count(), 1u);
+}
+
+TEST(Complex, AddFacetsInvalidatesFaceCache) {
+  SimplicialComplex k;
+  k.add_facets({Simplex{1, 2, 3}});
+  EXPECT_EQ(k.count_of_dim(1), 3u);  // primes the face cache
+  k.add_facets({Simplex{2, 3, 4}});  // fast lane must still invalidate
+  EXPECT_EQ(k.count_of_dim(1), 5u);
+  EXPECT_EQ(k.count_of_dim(2), 2u);
+}
+
 TEST(Complex, ContainsFaces) {
   SimplicialComplex k;
   k.add_facet(Simplex{1, 2, 3});
