@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
+#include "util/cli.h"
 #include "util/parallel.h"
 
 namespace psph::bench {
@@ -85,6 +87,73 @@ inline int apply_threads_flag(int argc, char** argv) {
   }
   for (int i = out; i < argc; ++i) argv[i] = nullptr;
   return out;
+}
+
+/// Observability output requested on the command line. Every bench binary
+/// accepts the same two flags: --stats prints the aggregated span/counter
+/// table after the run, --trace-out=<file> writes a Chrome trace_event JSON
+/// loadable in chrome://tracing or https://ui.perfetto.dev. Recording is
+/// additionally gated by PSPH_OBS (PSPH_OBS=0 disables it entirely).
+struct ObsOptions {
+  std::string trace_out;
+  bool stats = false;
+};
+
+/// Registers --trace-out / --stats on a util::Cli (the sweep binaries).
+inline void add_obs_flags(util::Cli& cli, ObsOptions* options) {
+  cli.flag("trace-out", &options->trace_out,
+           "write Chrome trace_event JSON here (chrome://tracing)");
+  cli.flag("stats", &options->stats,
+           "print the observability stats table after the run");
+}
+
+/// Consumes --trace-out=<file> / --trace-out <file> / --stats from argv and
+/// compacts it, same contract as apply_threads_flag. For the
+/// google-benchmark binaries, whose argv must be filtered before
+/// benchmark::Initialize rejects unknown flags.
+inline int apply_obs_flags(int argc, char** argv, ObsOptions* options) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      options->trace_out = argv[i] + 12;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "flag --trace-out needs a value but is last on the "
+                     "command line\n");
+        std::exit(2);
+      }
+      options->trace_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      options->stats = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  return out;
+}
+
+/// Emits the requested observability output at the end of a run. Returns 0,
+/// or 1 when a requested trace file could not be written (so callers can
+/// fold it into the exit code).
+inline int finish_obs(const ObsOptions& options) {
+  if (options.stats) {
+    std::fputs(obs::stats_table().c_str(), stdout);
+  }
+  if (options.trace_out.empty()) return 0;
+  if (!obs::write_trace(options.trace_out)) {
+    std::fprintf(stderr, "failed to write trace to %s\n",
+                 options.trace_out.c_str());
+    return 1;
+  }
+  std::printf("trace -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
+              options.trace_out.c_str());
+  return 0;
 }
 
 class Report {

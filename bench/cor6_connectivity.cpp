@@ -94,6 +94,8 @@ int main(int argc, char** argv) {
            "result-store root; empty disables caching");
   cli.flag("threads", &threads,
            "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
+  bench::ObsOptions obs_options;
+  bench::add_obs_flags(cli, &obs_options);
   cli.parse(argc, argv);
   if (threads > 0) util::set_thread_count(threads);
 
@@ -261,5 +263,7 @@ int main(int argc, char** argv) {
     }
     std::printf("sweep: %s\n", engine.stats().to_string().c_str());
   }
-  return report.finish();
+  const int obs_exit = bench::finish_obs(obs_options);
+  const int exit_code = report.finish();
+  return exit_code != 0 ? exit_code : obs_exit;
 }

@@ -22,12 +22,14 @@ int main(int argc, char** argv) {
   using namespace psph;
   std::string cache_dir;
   int threads = 0;
+  bench::ObsOptions obs_options;
   util::Cli cli("lemma12_async_connectivity",
                 "Lemma 12: A^r(S^m) connectivity sweep");
   cli.flag("cache-dir", &cache_dir,
            "result-store root; empty disables caching");
   cli.flag("threads", &threads,
            "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
+  bench::add_obs_flags(cli, &obs_options);
   cli.parse(argc, argv);
   if (threads > 0) util::set_thread_count(threads);
 
@@ -68,7 +70,9 @@ int main(int argc, char** argv) {
                  check.measured, timer.pretty().c_str());
       check_row({n1, m1, f, r}, check);
     }
-    return report.finish();
+    const int obs_exit = bench::finish_obs(obs_options);
+    const int exit_code = report.finish();
+    return exit_code != 0 ? exit_code : obs_exit;
   }
 
   std::vector<sweep::JobSpec> jobs;
@@ -96,5 +100,7 @@ int main(int argc, char** argv) {
     check_row(grid[i], checks[i]);
   }
   std::printf("sweep: %s\n", engine.stats().to_string().c_str());
-  return report.finish();
+  const int obs_exit = bench::finish_obs(obs_options);
+  const int exit_code = report.finish();
+  return exit_code != 0 ? exit_code : obs_exit;
 }

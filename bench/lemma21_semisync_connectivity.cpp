@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
            "result-store root; empty disables caching");
   cli.flag("threads", &threads,
            "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
+  bench::ObsOptions obs_options;
+  bench::add_obs_flags(cli, &obs_options);
   cli.parse(argc, argv);
   if (threads > 0) util::set_thread_count(threads);
 
@@ -69,7 +71,9 @@ int main(int argc, char** argv) {
           core::check_semisync_connectivity(n1, m1, k, mu, r);
       emit(point, check, timer.pretty().c_str());
     }
-    return report.finish();
+    const int obs_exit = bench::finish_obs(obs_options);
+    const int exit_code = report.finish();
+    return exit_code != 0 ? exit_code : obs_exit;
   }
 
   std::vector<sweep::JobSpec> jobs;
@@ -92,5 +96,7 @@ int main(int argc, char** argv) {
           store::deserialize_connectivity_check);
   for (std::size_t i = 0; i < grid.size(); ++i) emit(grid[i], checks[i], "-");
   std::printf("sweep: %s\n", engine.stats().to_string().c_str());
-  return report.finish();
+  const int obs_exit = bench::finish_obs(obs_options);
+  const int exit_code = report.finish();
+  return exit_code != 0 ? exit_code : obs_exit;
 }

@@ -13,9 +13,11 @@
 #include "core/semisync_complex.h"
 #include "core/sync_complex.h"
 #include "core/theorems.h"
+#include "obs/obs.h"
 #include "protocols/floodset.h"
 #include "protocols/semisync_kset.h"
 #include "sim/semisync_executor.h"
+#include "topology/homology.h"
 #include "util/random.h"
 
 namespace {
@@ -245,6 +247,68 @@ BENCHMARK(BM_SemisyncProtocolComplexCached)
     ->Args({4, 2})
     ->Args({5, 2});
 
+// ---- End-to-end: construction + homology in one measured unit ----
+//
+// The span coverage of a full connectivity query: construction.* spans from
+// the pipeline, homology.*/smith.* spans from the engine, pool.* spans from
+// the fan-outs. This is the benchmark to run with --trace-out to see the
+// whole system on one timeline.
+
+void BM_EndToEndConnectivity(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    const topology::SimplicialComplex k =
+        core::async_protocol_complex(input, {n1, 1, rounds}, views, arena);
+    topology::HomologyOptions options;
+    options.max_dim = n1 - 1;
+    benchmark::DoNotOptimize(topology::reduced_homology(k, options));
+  }
+}
+BENCHMARK(BM_EndToEndConnectivity)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({4, 1});
+
+// ---- Observability overhead ----
+//
+// The cost of one instrumentation point in both gate states. The disabled
+// number is the per-probe price every instrumented hot path pays under
+// PSPH_OBS=0 — it must stay at a branch-and-return (sub-nanosecond) for
+// the "within 2% of uninstrumented" budget to hold at our span density.
+// Each benchmark restores the prior gate state so ordering cannot leak
+// into other benchmarks.
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::SpanTimer span("bench.obs_probe");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  // Shrink the per-thread event cap so millions of probe iterations cannot
+  // flood a --trace-out of the same run; aggregates are unaffected.
+  obs::set_event_capacity(1024);
+  for (auto _ : state) {
+    obs::SpanTimer span("bench.obs_probe");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_event_capacity(std::size_t{1} << 20);
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
 void BM_DecisionSearchSolvable(benchmark::State& state) {
   // k = f + 1: a witness exists; measures time-to-first-witness.
   for (auto _ : state) {
@@ -298,15 +362,18 @@ BENCHMARK(BM_SemiSyncExecution)->DenseRange(3, 8);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN so --threads reaches the pool
-// before google-benchmark sees (and would reject) the flag.
+// Custom main instead of BENCHMARK_MAIN so --threads / --trace-out /
+// --stats reach us before google-benchmark sees (and would reject) them.
 int main(int argc, char** argv) {
+  psph::bench::ObsOptions obs_options;
   argc = psph::bench::apply_threads_flag(argc, argv);
+  argc = psph::bench::apply_obs_flags(argc, argv, &obs_options);
   psph::bench::warn_if_unoptimized_build();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::AddCustomContext("build_type", psph::bench::build_type());
   benchmark::RunSpecifiedBenchmarks();
+  const int obs_exit = psph::bench::finish_obs(obs_options);
   benchmark::Shutdown();
-  return 0;
+  return obs_exit;
 }

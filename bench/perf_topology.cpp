@@ -140,12 +140,15 @@ BENCHMARK(BM_IntersectionOfPseudospheres)->DenseRange(2, 4);
 // Custom main instead of BENCHMARK_MAIN so --threads reaches the pool
 // before google-benchmark sees (and would reject) the flag.
 int main(int argc, char** argv) {
+  psph::bench::ObsOptions obs_options;
   argc = psph::bench::apply_threads_flag(argc, argv);
+  argc = psph::bench::apply_obs_flags(argc, argv, &obs_options);
   psph::bench::warn_if_unoptimized_build();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::AddCustomContext("build_type", psph::bench::build_type());
   benchmark::RunSpecifiedBenchmarks();
+  const int obs_exit = psph::bench::finish_obs(obs_options);
   benchmark::Shutdown();
-  return 0;
+  return obs_exit;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "check/shrink.h"
 #include "check/soak.h"
 #include "util/cli.h"
@@ -89,10 +90,14 @@ int main(int argc, char** argv) {
   cli.flag("schedule-in", &schedule_in,
            "replay a saved schedule instead of soaking");
   cli.flag("shrink", &do_shrink, "delta-debug failures to a minimal repro");
+  bench::ObsOptions obs_options;
+  bench::add_obs_flags(cli, &obs_options);
   cli.parse(argc, argv);
 
   if (!schedule_in.empty()) {
-    return replay_main(schedule_in, schedule_out, do_shrink);
+    const int replay_exit = replay_main(schedule_in, schedule_out, do_shrink);
+    const int obs_exit = bench::finish_obs(obs_options);
+    return replay_exit != 0 ? replay_exit : obs_exit;
   }
 
   std::vector<check::ProtocolKind> protocols;
@@ -161,5 +166,6 @@ int main(int argc, char** argv) {
       std::printf("  schedule -> %s\n", schedule_out.c_str());
     }
   }
-  return failed ? 1 : 0;
+  const int obs_exit = bench::finish_obs(obs_options);
+  return failed ? 1 : obs_exit;
 }

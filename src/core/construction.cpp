@@ -6,11 +6,22 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/parallel.h"
 
 namespace psph::core {
 
 namespace {
+
+// Pipeline observability (obs.h): one span per level phase, counters
+// mirroring the ConstructionStats the memo cache keeps per-instance, so a
+// --stats/--trace-out run shows cache behaviour aggregated across every
+// cache the process touched.
+obs::Counter g_obs_frontier("construction.frontier_items");
+obs::Counter g_obs_hits("construction.cache_hits");
+obs::Counter g_obs_misses("construction.cache_misses");
+obs::Counter g_obs_deduped("construction.deduped");
+obs::Gauge g_obs_level_width("construction.level_width");
 
 // Packs up to four small model parameters into one cache-key word. All the
 // packed quantities (process counts, failure budgets, microrounds) are tiny
@@ -141,28 +152,45 @@ topology::SimplicialComplex run_pipeline(
 
   topology::SimplicialComplex result;
   while (!frontier.empty()) {
+    obs::SpanTimer level_span("construction.level",
+                              static_cast<std::int64_t>(frontier.size()));
+    g_obs_frontier.add(frontier.size());
+    g_obs_level_width.set(static_cast<double>(frontier.size()));
+
     // DEDUPE. Identical (facet, params) items expand identically and facet
     // unions are idempotent, so one representative suffices. Within one
     // level every item has the same remaining round count, so keys (which
     // omit rounds) cannot conflate items that should stay distinct.
     std::vector<Item> items;
     items.reserve(frontier.size());
-    std::unordered_set<ConstructionCache::Key, ConstructionCache::KeyHash>
-        seen;
-    seen.reserve(frontier.size());
-    for (auto& [facet, params] : frontier) {
-      ConstructionCache::Key key = make_key<Model>(facet, params);
-      if (!seen.insert(key).second) {
-        cache.note_dedup();
-        continue;
+    {
+      obs::SpanTimer span("construction.dedupe");
+      std::unordered_set<ConstructionCache::Key, ConstructionCache::KeyHash>
+          seen;
+      seen.reserve(frontier.size());
+      for (auto& [facet, params] : frontier) {
+        ConstructionCache::Key key = make_key<Model>(facet, params);
+        if (!seen.insert(key).second) {
+          cache.note_dedup();
+          g_obs_deduped.add(1);
+          continue;
+        }
+        items.push_back(Item{std::move(facet), params, std::move(key)});
       }
-      items.push_back(Item{std::move(facet), params, std::move(key)});
     }
 
     // LOOKUP.
     std::vector<std::size_t> miss;
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      if (cache.lookup(items[i].key) == nullptr) miss.push_back(i);
+    {
+      obs::SpanTimer span("construction.lookup");
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (cache.lookup(items[i].key) == nullptr) {
+          miss.push_back(i);
+          g_obs_misses.add(1);
+        } else {
+          g_obs_hits.add(1);
+        }
+      }
     }
 
     // EXPAND. The canonical registries are frozen for the duration; scratch
@@ -171,60 +199,68 @@ topology::SimplicialComplex run_pipeline(
     const std::size_t views_base = views.size();
     const std::size_t arena_base = arena.size();
     std::vector<ScratchOut> scratch(miss.size());
-    util::parallel_for(miss.size(), [&](std::size_t j) {
-      const Item& item = items[miss[j]];
-      ScratchViews scratch_views(views);
-      ScratchArena scratch_arena(arena);
-      Model::expand(item.facet, item.params, scratch_views, scratch_arena,
-                    &scratch[j].groups);
-      scratch[j].new_views = scratch_views.take_local();
-      scratch[j].new_vertices = scratch_arena.take_local();
-    });
+    {
+      obs::SpanTimer span("construction.expand",
+                          static_cast<std::int64_t>(miss.size()));
+      util::parallel_for(miss.size(), [&](std::size_t j) {
+        const Item& item = items[miss[j]];
+        ScratchViews scratch_views(views);
+        ScratchArena scratch_arena(arena);
+        Model::expand(item.facet, item.params, scratch_views, scratch_arena,
+                      &scratch[j].groups);
+        scratch[j].new_views = scratch_views.take_local();
+        scratch[j].new_vertices = scratch_arena.take_local();
+      });
+    }
 
     // REMAP, serially in frontier order. Overlay ids partition at the
     // *pre-expansion* base sizes, which every overlay saw identically.
-    for (std::size_t j = 0; j < miss.size(); ++j) {
-      ScratchOut& out = scratch[j];
+    {
+      obs::SpanTimer remap_span("construction.remap");
+      for (std::size_t j = 0; j < miss.size(); ++j) {
+        ScratchOut& out = scratch[j];
 
-      // New views reference only canonical parent states (a round's views
-      // never hear each other), so interning them in creation order needs
-      // no rewriting; hash-consing dedupes overlap with earlier items.
-      std::vector<StateId> state_map(out.new_views.size());
-      for (std::size_t i = 0; i < out.new_views.size(); ++i) {
-        View& v = out.new_views[i];
-        state_map[i] = views.intern_round(v.pid, v.round, std::move(v.heard));
-      }
-
-      std::vector<topology::VertexId> vertex_map(out.new_vertices.size());
-      for (std::size_t i = 0; i < out.new_vertices.size(); ++i) {
-        const topology::VertexLabel& label = out.new_vertices[i];
-        const StateId state =
-            label.state < views_base
-                ? label.state
-                : state_map[static_cast<std::size_t>(label.state -
-                                                     views_base)];
-        vertex_map[i] = arena.intern(label.pid, state);
-      }
-
-      for (detail::RoundGroup& group : out.groups) {
-        for (topology::Simplex& facet : group.facets) {
-          std::vector<topology::VertexId> mapped;
-          mapped.reserve(facet.vertices().size());
-          for (const topology::VertexId v : facet.vertices()) {
-            mapped.push_back(
-                v < arena_base
-                    ? v
-                    : vertex_map[static_cast<std::size_t>(v) - arena_base]);
-          }
-          facet = topology::Simplex(std::move(mapped));
+        // New views reference only canonical parent states (a round's views
+        // never hear each other), so interning them in creation order needs
+        // no rewriting; hash-consing dedupes overlap with earlier items.
+        std::vector<StateId> state_map(out.new_views.size());
+        for (std::size_t i = 0; i < out.new_views.size(); ++i) {
+          View& v = out.new_views[i];
+          state_map[i] = views.intern_round(v.pid, v.round, std::move(v.heard));
         }
-      }
 
-      cache.store(items[miss[j]].key,
-                  ConstructionCache::Entry{std::move(out.groups)});
+        std::vector<topology::VertexId> vertex_map(out.new_vertices.size());
+        for (std::size_t i = 0; i < out.new_vertices.size(); ++i) {
+          const topology::VertexLabel& label = out.new_vertices[i];
+          const StateId state =
+              label.state < views_base
+                  ? label.state
+                  : state_map[static_cast<std::size_t>(label.state -
+                                                       views_base)];
+          vertex_map[i] = arena.intern(label.pid, state);
+        }
+
+        for (detail::RoundGroup& group : out.groups) {
+          for (topology::Simplex& facet : group.facets) {
+            std::vector<topology::VertexId> mapped;
+            mapped.reserve(facet.vertices().size());
+            for (const topology::VertexId v : facet.vertices()) {
+              mapped.push_back(
+                  v < arena_base
+                      ? v
+                      : vertex_map[static_cast<std::size_t>(v) - arena_base]);
+            }
+            facet = topology::Simplex(std::move(mapped));
+          }
+        }
+
+        cache.store(items[miss[j]].key,
+                    ConstructionCache::Entry{std::move(out.groups)});
+      }
     }
 
     // CONSUME.
+    obs::SpanTimer consume_span("construction.consume");
     std::vector<std::pair<topology::Simplex, Params>> next;
     for (const Item& item : items) {
       const ConstructionCache::Entry* entry = cache.peek(item.key);

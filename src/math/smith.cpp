@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace psph::math {
 
 std::vector<BigInt> SmithResult::torsion() const {
@@ -76,6 +78,10 @@ SmithResult smith_normal_form_dense(std::vector<std::vector<BigInt>> a) {
   if (a.empty() || a[0].empty()) return result;
   const std::size_t rows = a.size();
   const std::size_t cols = a[0].size();
+  // The trace arg carries the reduced matrix's larger side; per-dimension
+  // attribution comes from the enclosing homology.snf span.
+  obs::SpanTimer span("smith.snf",
+                      static_cast<std::int64_t>(std::max(rows, cols)));
   const std::size_t limit = std::min(rows, cols);
 
   for (std::size_t t = 0; t < limit; ++t) {

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/hash.h"
 
 namespace psph::store {
@@ -11,6 +12,15 @@ namespace psph::store {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Store observability: load/save latency spans (arg = payload bytes) plus
+// counters mirroring StoreStats so the trace is self-contained even when
+// the caller never prints stats(). hit_rate is cumulative over the process.
+obs::Counter g_obs_hits("store.hits");
+obs::Counter g_obs_misses("store.misses");
+obs::Counter g_obs_writes("store.writes");
+obs::Counter g_obs_corrupt("store.corrupt");
+obs::Gauge g_obs_hit_rate("store.hit_rate");
 
 // Independent seeds give two 64-bit digests over the same blob; together
 // they address 2^128 states, making accidental collisions negligible (and
@@ -87,12 +97,30 @@ fs::path ResultStore::entry_path(const CacheKey& key) const {
          (hex + ".psph");
 }
 
+void ResultStore::note_outcome(bool hit) {
+  if (!obs::enabled()) return;
+  if (hit) {
+    g_obs_hits.add(1);
+  } else {
+    g_obs_misses.add(1);
+  }
+  const std::uint64_t hits = hits_.load(std::memory_order_relaxed);
+  const std::uint64_t misses = misses_.load(std::memory_order_relaxed);
+  const std::uint64_t lookups = hits + misses;
+  if (lookups != 0) {
+    g_obs_hit_rate.set(static_cast<double>(hits) /
+                       static_cast<double>(lookups));
+  }
+}
+
 std::optional<std::vector<std::uint8_t>> ResultStore::load(
     const CacheKeyBuilder& key) {
+  obs::SpanTimer span("store.load");
   const fs::path path = entry_path(key.key());
   std::optional<std::vector<std::uint8_t>> file = fs_->read_file(path);
   if (!file.has_value()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    note_outcome(false);
     return std::nullopt;
   }
   bytes_read_.fetch_add(file->size(), std::memory_order_relaxed);
@@ -107,13 +135,18 @@ std::optional<std::vector<std::uint8_t>> ResultStore::load(
       // Hash collision or foreign entry: treat as a miss, never as truth.
       corrupt_.fetch_add(1, std::memory_order_relaxed);
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) g_obs_corrupt.add(1);
+      note_outcome(false);
       return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    note_outcome(true);
     return result;
   } catch (const SerializationError&) {
     corrupt_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) g_obs_corrupt.add(1);
+    note_outcome(false);
     return std::nullopt;
   }
 }
@@ -124,6 +157,8 @@ bool ResultStore::contains(const CacheKeyBuilder& key) {
 
 void ResultStore::save(const CacheKeyBuilder& key,
                        const std::vector<std::uint8_t>& result_bytes) {
+  obs::SpanTimer span("store.save",
+                      static_cast<std::int64_t>(result_bytes.size()));
   ByteWriter payload;
   payload.blob(key.blob().data(), key.blob().size());
   payload.blob(result_bytes.data(), result_bytes.size());
@@ -153,6 +188,7 @@ void ResultStore::save(const CacheKeyBuilder& key,
   fs_->fsync_dir(final_path.parent_path());
   writes_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(sealed.size(), std::memory_order_relaxed);
+  if (obs::enabled()) g_obs_writes.add(1);
 }
 
 StoreStats ResultStore::stats() const {

@@ -118,6 +118,9 @@ class ResultStore {
   StoreStats stats() const;
 
  private:
+  /// Feeds the observability counters/gauge after each lookup resolves.
+  void note_outcome(bool hit);
+
   std::filesystem::path root_;
   std::shared_ptr<FsOps> fs_;
   std::atomic<std::uint64_t> hits_{0};

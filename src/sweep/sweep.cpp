@@ -5,12 +5,19 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 namespace psph::sweep {
 
 namespace {
+
+// Sweep observability: phase spans (lookup sweep-side, compute fan-out) and
+// a cumulative hit-rate gauge across every run() on this engine's process.
+obs::Counter g_obs_jobs("sweep.jobs");
+obs::Counter g_obs_manifest_rejected("sweep.manifest_rejected");
+obs::Gauge g_obs_hit_rate("sweep.hit_rate");
 
 /// Minimal JSON string escaping (kinds are identifiers, but stay correct).
 std::string json_escape(const std::string& text) {
@@ -68,6 +75,10 @@ std::string SweepStats::to_string() const {
   if (save_failures != 0) {
     out += "; " + std::to_string(save_failures) + " save failures";
   }
+  if (manifest_rejected != 0) {
+    out += "; " + std::to_string(manifest_rejected) +
+           " manifest lines rejected";
+  }
   return out;
 }
 
@@ -92,15 +103,29 @@ void SweepEngine::load_manifest() {
   if (!in) return;  // first run: no manifest yet
   std::string line;
   while (std::getline(in, line)) {
-    // Each well-formed line starts {"key":"<32 hex>",...}. A torn final
-    // line (crash mid-append) simply fails the shape test and is ignored;
-    // the job it described re-runs, which is the safe direction.
-    const std::string prefix = "{\"key\":\"";
-    if (line.rfind(prefix, 0) != 0 || line.size() < prefix.size() + 32) {
+    // Each well-formed line starts {"v":1,"key":"<32 hex>",...} (schema
+    // version 1) or the pre-versioning {"key":"<32 hex>",...}. A torn
+    // final line (crash mid-append) or foreign garbage fails the shape
+    // test and is skipped but counted; the job it described re-runs,
+    // which is the safe direction.
+    if (line.empty()) continue;
+    const std::string v1_prefix = "{\"v\":1,\"key\":\"";
+    const std::string legacy_prefix = "{\"key\":\"";
+    std::size_t hex_at = std::string::npos;
+    if (line.rfind(v1_prefix, 0) == 0) {
+      hex_at = v1_prefix.size();
+    } else if (line.rfind(legacy_prefix, 0) == 0) {
+      hex_at = legacy_prefix.size();
+    }
+    if (hex_at == std::string::npos || line.size() < hex_at + 32) {
+      ++stats_.manifest_rejected;
+      if (obs::enabled()) g_obs_manifest_rejected.add(1);
       continue;
     }
-    const std::string hex = line.substr(prefix.size(), 32);
+    const std::string hex = line.substr(hex_at, 32);
     if (hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      ++stats_.manifest_rejected;
+      if (obs::enabled()) g_obs_manifest_rejected.add(1);
       continue;
     }
     logged_.insert(hex);
@@ -117,7 +142,7 @@ void SweepEngine::append_manifest(const JobSpec& spec,
   if (!logged_.insert(key_hex).second) return;  // already logged
   char line[512];
   std::snprintf(line, sizeof(line),
-                "{\"key\":\"%s\",\"kind\":\"%s\",\"params\":%s,"
+                "{\"v\":1,\"key\":\"%s\",\"kind\":\"%s\",\"params\":%s,"
                 "\"bytes\":%zu,\"millis\":%.3f,\"cached\":%s}\n",
                 key_hex.c_str(), json_escape(spec.kind).c_str(),
                 spec.params_json().c_str(), bytes, millis,
@@ -128,6 +153,9 @@ void SweepEngine::append_manifest(const JobSpec& spec,
 
 std::vector<std::vector<std::uint8_t>> SweepEngine::run(
     const std::vector<JobSpec>& jobs, const Compute& compute) {
+  obs::SpanTimer run_span("sweep.run",
+                          static_cast<std::int64_t>(jobs.size()));
+  if (obs::enabled()) g_obs_jobs.add(jobs.size());
   util::Timer wall;
   const store::StoreStats before =
       store_ ? store_->stats() : store::StoreStats{};
@@ -136,22 +164,30 @@ std::vector<std::vector<std::uint8_t>> SweepEngine::run(
   std::vector<std::size_t> uncached;
   stats_.jobs += jobs.size();
 
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (store_ == nullptr) {
-      uncached.push_back(i);
-      continue;
+  {
+    obs::SpanTimer lookup_span("sweep.lookup",
+                               static_cast<std::int64_t>(jobs.size()));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (store_ == nullptr) {
+        uncached.push_back(i);
+        continue;
+      }
+      const store::CacheKeyBuilder builder = jobs[i].key_builder();
+      std::optional<std::vector<std::uint8_t>> hit = store_->load(builder);
+      if (!hit.has_value()) {
+        uncached.push_back(i);
+        continue;
+      }
+      const std::string hex = builder.key().hex();
+      ++stats_.cache_hits;
+      if (logged_before_run_.count(hex) != 0) ++stats_.resumed;
+      append_manifest(jobs[i], hex, hit->size(), 0.0, true);
+      results[i] = std::move(*hit);
     }
-    const store::CacheKeyBuilder builder = jobs[i].key_builder();
-    std::optional<std::vector<std::uint8_t>> hit = store_->load(builder);
-    if (!hit.has_value()) {
-      uncached.push_back(i);
-      continue;
-    }
-    const std::string hex = builder.key().hex();
-    ++stats_.cache_hits;
-    if (logged_before_run_.count(hex) != 0) ++stats_.resumed;
-    append_manifest(jobs[i], hex, hit->size(), 0.0, true);
-    results[i] = std::move(*hit);
+  }
+  if (obs::enabled() && stats_.jobs != 0) {
+    g_obs_hit_rate.set(static_cast<double>(stats_.cache_hits) /
+                       static_cast<double>(stats_.jobs));
   }
 
   // Per-slot outputs keep the fan-out deterministic; the counters below
@@ -162,6 +198,7 @@ std::vector<std::vector<std::uint8_t>> SweepEngine::run(
   try {
     util::parallel_for(uncached.size(), [&](std::size_t u) {
       const std::size_t i = uncached[u];
+      obs::SpanTimer span("sweep.compute", static_cast<std::int64_t>(i));
       util::Timer timer;
       std::vector<std::uint8_t> bytes = compute(jobs[i], i);
       const double millis = timer.millis();

@@ -73,6 +73,10 @@ struct SweepStats {
   /// rename, ...). The results are still returned and the sweep continues;
   /// the affected jobs simply recompute on the next run.
   std::size_t save_failures = 0;
+  /// Manifest lines that failed the shape test on load (torn final line
+  /// from a killed run, editor damage, foreign garbage). Each is skipped —
+  /// the job it described simply recomputes — never fatal.
+  std::size_t manifest_rejected = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   /// Summed compute time of the jobs this run actually executed.

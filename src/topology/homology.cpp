@@ -4,10 +4,21 @@
 #include <sstream>
 
 #include "math/smith.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace psph::topology {
+
+namespace {
+
+// Homology observability: per-dimension rank and SNF spans (the trace arg
+// is the boundary dimension), plus engine-level counters.
+obs::Counter g_obs_reports("homology.reports");
+obs::Counter g_obs_rank_dims("homology.rank_dims");
+obs::Counter g_obs_snf_dims("homology.snf_dims");
+
+}  // namespace
 
 math::SparseMatrix boundary_matrix(const SimplicialComplex& k, int d) {
   if (d < 0) throw std::invalid_argument("boundary_matrix: d < 0");
@@ -39,6 +50,9 @@ math::SparseMatrix boundary_matrix(const SimplicialComplex& k, int d) {
 
 HomologyReport reduced_homology(const SimplicialComplex& k,
                                 const HomologyOptions& options) {
+  obs::SpanTimer whole_span("homology.reduced",
+                            static_cast<std::int64_t>(options.max_dim));
+  g_obs_reports.add(1);
   HomologyReport report;
   report.nonempty = !k.empty();
   report.exact = options.exact;
@@ -60,7 +74,10 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
   // computations below read the tables concurrently. Each dimension is
   // independent and writes only its own slots, so the results are
   // bit-identical at every thread count.
-  k.warm_face_cache();
+  {
+    obs::SpanTimer span("homology.warm_face_cache");
+    k.warm_face_cache();
+  }
   for (int d = 0; d <= options.max_dim + 1; ++d) {
     counts[static_cast<std::size_t>(d)] = k.count_of_dim(d);
   }
@@ -71,6 +88,8 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
       ranks[slot] = 0;
       return;
     }
+    obs::SpanTimer span("homology.rank", static_cast<std::int64_t>(slot));
+    g_obs_rank_dims.add(1);
     boundaries[slot] = boundary_matrix(k, static_cast<int>(slot));
     ranks[slot] = boundaries[slot].rank_mod_p(options.prime);
   });
@@ -91,6 +110,9 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
         static_cast<std::size_t>(options.max_dim) + 1);
     util::parallel_for(snfs.size(), [&](std::size_t slot) {
       if (counts[slot + 1] == 0) return;
+      obs::SpanTimer span("homology.snf",
+                          static_cast<std::int64_t>(slot + 1));
+      g_obs_snf_dims.add(1);
       snfs[slot] = math::smith_normal_form(boundaries[slot + 1]);
     });
     for (int d = 0; d <= options.max_dim; ++d) {

@@ -3,9 +3,21 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/obs.h"
+
 namespace psph::util {
 
 namespace {
+
+// Pool observability: per-worker busy time and task throughput feed the
+// stats table; the pool.work spans give one timeline track per worker in
+// the Chrome trace. queue_depth samples how much of a batch was still
+// unclaimed when each participant drained out.
+obs::Counter g_obs_tasks("pool.tasks");
+obs::Counter g_obs_busy_ns("pool.worker_busy_ns");
+obs::Counter g_obs_inline_runs("pool.inline_runs");
+obs::Gauge g_obs_batch("pool.batch_size");
+obs::Gauge g_obs_depth("pool.queue_depth");
 
 // True while the current thread is executing a parallel_for body; nested
 // calls detect it and run inline instead of re-entering the shared pool.
@@ -72,15 +84,27 @@ void ThreadPool::work_off(const std::function<void(std::size_t)>& fn,
                           std::size_t n) {
   const bool was_inside = t_inside_parallel;
   t_inside_parallel = true;
-  for (;;) {
-    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) break;
-    try {
-      fn(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+  const std::uint64_t busy_start =
+      obs::enabled() ? obs::detail::now_ns() : 0;
+  std::uint64_t executed = 0;
+  {
+    obs::SpanTimer span("pool.work");
+    for (;;) {
+      const std::size_t i =
+          next_index_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      ++executed;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
     }
+  }
+  if (obs::enabled()) {
+    g_obs_tasks.add(executed);
+    g_obs_busy_ns.add(obs::detail::now_ns() - busy_start);
   }
   t_inside_parallel = was_inside;
 }
@@ -109,6 +133,8 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run(std::size_t n,
                      const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  obs::SpanTimer span("pool.run", static_cast<std::int64_t>(n));
+  if (obs::enabled()) g_obs_batch.set(static_cast<double>(n));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
@@ -120,6 +146,12 @@ void ThreadPool::run(std::size_t n,
   }
   work_cv_.notify_all();
   work_off(fn, n);
+  if (obs::enabled()) {
+    // Indices still unclaimed when the caller drained out — nonzero means
+    // the workers were saturated past the caller's exit.
+    const std::size_t claimed = next_index_.load(std::memory_order_relaxed);
+    g_obs_depth.set(claimed >= n ? 0.0 : static_cast<double>(n - claimed));
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   // run() returns only after every worker has left this epoch, so the next
   // epoch cannot race with a straggler still reading job_.
@@ -136,9 +168,15 @@ void ThreadPool::run(std::size_t n,
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   const int threads = thread_count();
   if (threads <= 1 || n <= 1 || t_inside_parallel) {
+    obs::SpanTimer span("pool.parallel_for", static_cast<std::int64_t>(n));
+    if (obs::enabled() && !t_inside_parallel) {
+      g_obs_inline_runs.add(1);
+      g_obs_tasks.add(n);
+    }
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  obs::SpanTimer span("pool.parallel_for", static_cast<std::int64_t>(n));
   // Holding g_pool_mutex across run() serializes concurrent top-level
   // parallel_for calls on the one shared pool; nested calls took the inline
   // branch above, so no thread waits on itself.

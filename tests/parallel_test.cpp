@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -22,10 +23,22 @@
 #include "core/sync_complex.h"
 #include "core/theorems.h"
 #include "topology/homology.h"
+#include "util/random.h"
 
 namespace {
 
 using namespace psph;
+
+/// Seed for the randomized differential: PSPH_TEST_SEED overrides the
+/// fallback so CI can re-run the draw on a second stream.
+std::uint64_t test_seed(std::uint64_t fallback) {
+  const char* raw = std::getenv("PSPH_TEST_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return parsed;
+}
 
 // Every test restores the global thread count so ordering does not leak
 // configuration between tests.
@@ -282,6 +295,67 @@ TEST_F(ParallelTest, PipelineMatchesSequentialReference) {
                                           arena));
   EXPECT_EQ(core::iis_protocol_complex(input, 2, views, arena),
             core::iis_protocol_complex_seq(input, 2, views, arena));
+}
+
+// Randomized extension of the same differential: the model, process count,
+// failure budget, and round count are seeded random draws rather than the
+// four fixed points above, and every drawn configuration is checked at both
+// 1 and 8 threads. Each (pipeline, reference) pair shares one registry and
+// arena, so hash-consing makes equality exact. Override the stream with
+// PSPH_TEST_SEED.
+TEST_F(ParallelTest, RandomizedPipelineMatchesSequentialReference) {
+  const std::uint64_t seed = test_seed(20260806);
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int model = static_cast<int>(rng.next_below(3));
+    const int n1 = 3 + static_cast<int>(rng.next_below(2));
+    // n+1 = 4 grows fast; cap its depth so the sweep stays in test budget.
+    const int rounds =
+        n1 >= 4 ? 1 : 1 + static_cast<int>(rng.next_below(2));
+    const int failures =
+        1 + static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(std::max(n1 - 2, 1))));
+    const int micro_rounds = 2 + static_cast<int>(rng.next_below(2));
+    const std::string label = "seed=" + std::to_string(seed) + " trial=" +
+                              std::to_string(trial) + " model=" +
+                              std::to_string(model) + " n+1=" +
+                              std::to_string(n1) + " f=" +
+                              std::to_string(failures) + " r=" +
+                              std::to_string(rounds) + " mu=" +
+                              std::to_string(micro_rounds);
+
+    for (const int threads : {1, 8}) {
+      util::set_thread_count(threads);
+      core::ViewRegistry views;
+      topology::VertexArena arena;
+      const topology::Simplex input = core::rainbow_input(n1, views, arena);
+      switch (model) {
+        case 0:
+          EXPECT_EQ(core::async_protocol_complex(input, {n1, failures, rounds},
+                                                 views, arena),
+                    core::async_protocol_complex_seq(
+                        input, {n1, failures, rounds}, views, arena))
+              << label << " threads=" << threads;
+          break;
+        case 1:
+          EXPECT_EQ(core::sync_protocol_complex(input, {n1, failures, 1, rounds},
+                                                views, arena),
+                    core::sync_protocol_complex_seq(
+                        input, {n1, failures, 1, rounds}, views, arena))
+              << label << " threads=" << threads;
+          break;
+        default:
+          EXPECT_EQ(core::semisync_protocol_complex(
+                        input, {n1, failures, 1, micro_rounds, rounds}, views,
+                        arena),
+                    core::semisync_protocol_complex_seq(
+                        input, {n1, failures, 1, micro_rounds, rounds}, views,
+                        arena))
+              << label << " threads=" << threads;
+          break;
+      }
+    }
+  }
 }
 
 // ------------------------------------------- memo-cache accounting -------

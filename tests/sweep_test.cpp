@@ -215,6 +215,80 @@ TEST(Sweep, TornManifestLineIsIgnoredOnResume) {
   EXPECT_EQ(results.size(), 3u);
 }
 
+TEST(Sweep, ManifestLinesCarrySchemaVersion) {
+  TempDir dir;
+  sweep::SweepEngine engine({.cache_dir = dir.str()});
+  engine.run(grid_jobs(3), square_job);
+  std::istringstream stream(slurp(engine.manifest_path()));
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(stream, line)) {
+    ++lines;
+    EXPECT_EQ(line.rfind("{\"v\":1,\"key\":\"", 0), 0u) << line;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(Sweep, CorruptManifestLinesAreSkippedAndCounted) {
+  TempDir dir;
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(3);
+  {
+    sweep::SweepEngine engine({.cache_dir = dir.str()});
+    engine.run(jobs, square_job);
+  }
+  // Damage the manifest: plain garbage, a v1 line with a malformed key, a
+  // torn legacy fragment, and a blank line (blank is tolerated silently).
+  {
+    std::ofstream manifest(dir.path() / "manifest.jsonl",
+                           std::ios::binary | std::ios::app);
+    manifest << "complete nonsense, not even JSON\n";
+    manifest << "{\"v\":1,\"key\":\"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz\","
+                "\"kind\":\"x\"}\n";
+    manifest << "{\"key\":\"0123\n";
+    manifest << "\n";
+  }
+  sweep::SweepEngine engine({.cache_dir = dir.str()});
+  EXPECT_EQ(engine.stats().manifest_rejected, 3u);
+  const auto results = engine.run(jobs, square_job);
+  EXPECT_EQ(results.size(), 3u);
+  EXPECT_EQ(engine.stats().cache_hits, 3u);
+  EXPECT_EQ(engine.stats().resumed, 3u);
+  EXPECT_NE(engine.stats().to_string().find("3 manifest lines rejected"),
+            std::string::npos);
+}
+
+TEST(Sweep, LegacyManifestLinesStillAccepted) {
+  TempDir dir;
+  const std::vector<sweep::JobSpec> jobs = grid_jobs(3);
+  std::string manifest_path;
+  {
+    sweep::SweepEngine engine({.cache_dir = dir.str()});
+    engine.run(jobs, square_job);
+    manifest_path = engine.manifest_path();
+  }
+  // Rewrite the manifest in the pre-versioning format (no "v" field), as a
+  // sweep from an older build would have left it.
+  std::string legacy;
+  {
+    std::istringstream stream(slurp(manifest_path));
+    std::string line;
+    const std::string v1_prefix = "{\"v\":1,";
+    while (std::getline(stream, line)) {
+      ASSERT_EQ(line.rfind(v1_prefix, 0), 0u);
+      legacy += "{" + line.substr(v1_prefix.size()) + "\n";
+    }
+  }
+  {
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out << legacy;
+  }
+  sweep::SweepEngine engine({.cache_dir = dir.str()});
+  EXPECT_EQ(engine.stats().manifest_rejected, 0u);
+  engine.run(jobs, square_job);
+  EXPECT_EQ(engine.stats().cache_hits, 3u);
+  EXPECT_EQ(engine.stats().resumed, 3u);
+}
+
 TEST(Sweep, TypedRunSweepRoundTrips) {
   TempDir dir;
   std::vector<sweep::JobSpec> jobs;
