@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.h"
@@ -47,6 +48,23 @@ inline bool warn_if_unoptimized_build() {
                "********************************************************\n",
                type.c_str());
   return false;
+}
+
+/// Prints a warning when the machine exposes a single hardware thread:
+/// parallel speedups cannot show up, so multi-thread timings recorded here
+/// describe scheduling overhead, not the engine. Returns the detected
+/// count (0 when unknown, per the standard).
+inline unsigned warn_if_single_cpu() {
+  const unsigned cpus = std::thread::hardware_concurrency();
+  if (cpus == 1) {
+    std::fprintf(stderr,
+                 "********************************************************\n"
+                 "* WARNING: only 1 hardware thread is visible. Parallel\n"
+                 "* paths will run inline; do not read thread-scaling\n"
+                 "* conclusions out of timings from this machine.\n"
+                 "********************************************************\n");
+  }
+  return cpus;
 }
 
 /// Consumes a leading-anywhere `--threads=N` / `--threads N` flag, applying

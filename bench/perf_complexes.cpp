@@ -13,6 +13,7 @@
 #include "core/semisync_complex.h"
 #include "core/sync_complex.h"
 #include "core/theorems.h"
+#include "math/simd.h"
 #include "obs/obs.h"
 #include "protocols/floodset.h"
 #include "protocols/semisync_kset.h"
@@ -369,9 +370,15 @@ int main(int argc, char** argv) {
   argc = psph::bench::apply_threads_flag(argc, argv);
   argc = psph::bench::apply_obs_flags(argc, argv, &obs_options);
   psph::bench::warn_if_unoptimized_build();
+  const unsigned cpus = psph::bench::warn_if_single_cpu();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::AddCustomContext("build_type", psph::bench::build_type());
+  benchmark::AddCustomContext("hardware_concurrency", std::to_string(cpus));
+  benchmark::AddCustomContext(
+      "psph_threads", std::to_string(psph::util::thread_count()));
+  benchmark::AddCustomContext(
+      "simd_dispatch", psph::math::simd_level_name(psph::math::simd_level()));
   benchmark::RunSpecifiedBenchmarks();
   const int obs_exit = psph::bench::finish_obs(obs_options);
   benchmark::Shutdown();

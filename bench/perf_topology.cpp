@@ -8,12 +8,14 @@
 
 #include "bench_util.h"
 #include "core/pseudosphere.h"
+#include "math/simd.h"
 #include "math/smith.h"
 #include "topology/collapse.h"
 #include "topology/homology.h"
 #include "topology/operations.h"
 #include "topology/subdivision.h"
 #include "util/parallel.h"
+#include "util/random.h"
 
 namespace {
 
@@ -84,6 +86,68 @@ void BM_HomologyGFp(benchmark::State& state) {
 }
 BENCHMARK(BM_HomologyGFp)->DenseRange(3, 6);
 
+// The raw elimination path (Morse preprocessor disabled) on the same
+// complexes, so the shrink the preprocessor buys stays measured instead of
+// assumed: compare against BM_HomologyGFp.
+void BM_HomologyGFpUnreduced(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const topology::SimplicialComplex& k = binary_pseudosphere(n1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topology::reduced_homology(k, {.max_dim = n1 - 1, .morse = false}));
+  }
+}
+BENCHMARK(BM_HomologyGFpUnreduced)->DenseRange(3, 6);
+
+// The Morse preprocessor alone: cascade + critical-matrix extraction.
+void BM_MorseReduce(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const topology::SimplicialComplex& k = binary_pseudosphere(n1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::morse_reduce(k, n1));
+  }
+}
+BENCHMARK(BM_MorseReduce)->DenseRange(3, 6);
+
+// GF(2) elimination kernel, SIMD dispatch vs forced scalar. The paper's
+// boundary matrices are only a handful of 64-bit words wide, so a fixed
+// seeded random matrix with a few thousand columns is used to expose the
+// XOR kernel itself; arg 0 is the column count in units of 1024. Restores
+// the dispatch level afterwards.
+void BM_RankMod2(benchmark::State& state) {
+  const std::size_t cols = static_cast<std::size_t>(state.range(0)) * 1024;
+  const std::size_t rows = cols / 4;
+  util::Rng rng(0x52414e4bu);
+  math::SparseMatrix matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.next_below(16) == 0) matrix.set(r, c, 1);
+    }
+  }
+  const math::SimdLevel previous = math::simd_level();
+  math::set_simd_level(state.range(1) != 0 ? math::max_supported_simd_level()
+                                           : math::SimdLevel::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix.rank_mod_p(2));
+  }
+  math::set_simd_level(previous);
+}
+BENCHMARK(BM_RankMod2)
+    ->ArgsProduct({{1, 4}, {0, 1}})
+    ->ArgNames({"kcols", "simd"});
+
+// Exact SNF on a raw boundary matrix, bypassing the Morse preprocessor so
+// the dense elimination (and its parallel row phase) is what's timed.
+void BM_SmithNormalForm(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const topology::SimplicialComplex& k = binary_pseudosphere(n1);
+  const math::SparseMatrix boundary = topology::boundary_matrix(k, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::smith_normal_form(boundary));
+  }
+}
+BENCHMARK(BM_SmithNormalForm)->DenseRange(3, 5);
+
 void BM_HomologyExactSNF(benchmark::State& state) {
   const int n1 = static_cast<int>(state.range(0));
   const topology::SimplicialComplex& k = binary_pseudosphere(n1);
@@ -144,9 +208,15 @@ int main(int argc, char** argv) {
   argc = psph::bench::apply_threads_flag(argc, argv);
   argc = psph::bench::apply_obs_flags(argc, argv, &obs_options);
   psph::bench::warn_if_unoptimized_build();
+  const unsigned cpus = psph::bench::warn_if_single_cpu();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::AddCustomContext("build_type", psph::bench::build_type());
+  benchmark::AddCustomContext("hardware_concurrency", std::to_string(cpus));
+  benchmark::AddCustomContext(
+      "psph_threads", std::to_string(psph::util::thread_count()));
+  benchmark::AddCustomContext(
+      "simd_dispatch", psph::math::simd_level_name(psph::math::simd_level()));
   benchmark::RunSpecifiedBenchmarks();
   const int obs_exit = psph::bench::finish_obs(obs_options);
   benchmark::Shutdown();

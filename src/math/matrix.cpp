@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
 #include <stdexcept>
 
 #include "math/modular.h"
+#include "math/simd.h"
 
 namespace psph::math {
 
 namespace {
 
 constexpr std::size_t kNoPivot = static_cast<std::size_t>(-1);
+constexpr std::uint32_t kNoPivot32 = static_cast<std::uint32_t>(-1);
 
 // Iterator to the entry with column c, or end() if absent.
 SparseMatrix::Row::iterator find_col(SparseMatrix::Row& row, std::size_t c) {
@@ -162,46 +168,81 @@ std::size_t SparseMatrix::rank_mod_2() const {
   const std::size_t words = (cols_ + 63) / 64;
   if (words == 0) return 0;
 
-  // Rows as bitsets: over GF(2) elimination is a word-wise XOR.
-  std::vector<std::vector<std::uint64_t>> work;
-  work.reserve(entries_.size());
+  // Rows as bitsets in one contiguous 64-byte-aligned arena: over GF(2)
+  // elimination is a word-wise XOR, which runs through the runtime-
+  // dispatched SIMD kernel (simd.h). The stride is padded to a whole
+  // cache line so every row start is aligned and every XOR span is a
+  // multiple of the kernel's 8-word block.
+  const std::size_t stride = (words + 7) & ~std::size_t{7};
+  std::size_t nonzero_rows = 0;
   for (const Row& row : entries_) {
-    std::vector<std::uint64_t> bits(words, 0);
-    bool nonzero = false;
+    for (const auto& [c, v] : row) {
+      (void)c;
+      if ((v & 1) != 0) {
+        ++nonzero_rows;
+        break;
+      }
+    }
+  }
+  if (nonzero_rows == 0) return 0;
+
+  struct FreeDeleter {
+    void operator()(std::uint64_t* p) const { std::free(p); }
+  };
+  const std::size_t arena_bytes = nonzero_rows * stride * sizeof(std::uint64_t);
+  std::unique_ptr<std::uint64_t[], FreeDeleter> arena(
+      static_cast<std::uint64_t*>(std::aligned_alloc(64, arena_bytes)));
+  if (!arena) throw std::bad_alloc();
+  std::memset(arena.get(), 0, arena_bytes);
+
+  // Fill the arena and record each row's population count; processing rows
+  // sparsest-first keeps the recorded pivots low-weight, which both shrinks
+  // the XOR cascade and mirrors the classical low-fill pivoting heuristic.
+  // The (weight, slot) sort key is total, so the elimination order — and
+  // the intermediate bit patterns — are identical at every dispatch level
+  // and thread count.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;  // weight, slot
+  order.reserve(nonzero_rows);
+  std::size_t slot = 0;
+  for (const Row& row : entries_) {
+    std::uint64_t* bits = arena.get() + slot * stride;
+    std::uint32_t weight = 0;
     for (const auto& [c, v] : row) {
       if ((v & 1) != 0) {
         bits[c >> 6] ^= std::uint64_t{1} << (c & 63);
-        nonzero = true;
+        ++weight;
       }
     }
-    if (nonzero) work.push_back(std::move(bits));
+    if (weight > 0) {
+      order.emplace_back(weight, static_cast<std::uint32_t>(slot));
+      ++slot;
+    }
   }
+  std::sort(order.begin(), order.end());
 
-  std::vector<std::size_t> pivot_of(cols_, kNoPivot);
-  std::vector<std::vector<std::uint64_t>> pivot_rows;
-  pivot_rows.reserve(std::min(rows_, cols_));
+  const SimdLevel level = simd_level();
+  std::vector<std::uint32_t> pivot_of(cols_, kNoPivot32);
 
   std::size_t rank = 0;
-  for (auto& bits : work) {
+  for (const auto& [weight, s] : order) {
+    std::uint64_t* bits = arena.get() + s * stride;
+    std::size_t w = 0;
     for (;;) {
-      std::size_t lead = kNoPivot;
-      for (std::size_t w = 0; w < words; ++w) {
-        if (bits[w] != 0) {
-          lead = (w << 6) +
-                 static_cast<std::size_t>(std::countr_zero(bits[w]));
-          break;
-        }
-      }
-      if (lead == kNoPivot) break;  // row became zero: dependent
-      const std::size_t pivot = pivot_of[lead];
-      if (pivot == kNoPivot) {
-        pivot_of[lead] = pivot_rows.size();
-        pivot_rows.push_back(std::move(bits));
+      while (w < words && bits[w] == 0) ++w;
+      if (w == words) break;  // row became zero: dependent
+      const std::size_t lead =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits[w]));
+      const std::uint32_t pivot = pivot_of[lead];
+      if (pivot == kNoPivot32) {
+        pivot_of[lead] = s;
         ++rank;
         break;
       }
-      const std::vector<std::uint64_t>& pivot_row = pivot_rows[pivot];
-      for (std::size_t w = 0; w < words; ++w) bits[w] ^= pivot_row[w];
+      // XOR from the cache line holding the leading word: everything
+      // before it is already zero in both rows.
+      const std::size_t off = w & ~std::size_t{7};
+      xor_words(bits + off, arena.get() + pivot * stride + off, stride - off,
+                level);
     }
   }
   return rank;

@@ -31,6 +31,10 @@ class SparseMatrix {
   /// column order per row is O(1).
   void set(std::size_t r, std::size_t c, std::int64_t value);
 
+  /// Reserves capacity for `n` entries in row r (builders that know their
+  /// fill pattern, e.g. boundary-matrix assembly, avoid growth churn).
+  void reserve_row(std::size_t r, std::size_t n) { entries_[r].reserve(n); }
+
   /// Adds delta to entry (r, c).
   void add(std::size_t r, std::size_t c, std::int64_t delta);
 

@@ -1,0 +1,139 @@
+#include "math/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define PSPH_X86_64 1
+#endif
+
+namespace psph::math {
+
+namespace {
+
+#if PSPH_X86_64
+
+// Kernels are compiled for their ISA via target attributes so the
+// translation unit itself builds with baseline flags; callers must go
+// through the dispatch below, which only selects what CPUID reports.
+
+__attribute__((target("avx2"))) void xor_words_avx2(std::uint64_t* dst,
+                                                    const std::uint64_t* src,
+                                                    std::size_t n) {
+  for (std::size_t i = 0; i < n; i += 8) {
+    __m256i a0 = _mm256_load_si256(reinterpret_cast<__m256i*>(dst + i));
+    __m256i a1 = _mm256_load_si256(reinterpret_cast<__m256i*>(dst + i + 4));
+    const __m256i b0 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
+                       _mm256_xor_si256(a0, b0));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i + 4),
+                       _mm256_xor_si256(a1, b1));
+  }
+}
+
+__attribute__((target("avx512f"))) void xor_words_avx512(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __m512i a =
+        _mm512_load_si512(reinterpret_cast<const void*>(dst + i));
+    const __m512i b =
+        _mm512_load_si512(reinterpret_cast<const void*>(src + i));
+    _mm512_store_si512(reinterpret_cast<void*>(dst + i),
+                       _mm512_xor_si512(a, b));
+  }
+}
+
+#endif  // PSPH_X86_64
+
+void xor_words_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+SimdLevel clamp_to_supported(SimdLevel level) {
+  const int requested = static_cast<int>(level);
+  const int ceiling = static_cast<int>(max_supported_simd_level());
+  const int clamped = requested < 0 ? 0 : requested;
+  return static_cast<SimdLevel>(clamped > ceiling ? ceiling : clamped);
+}
+
+SimdLevel level_from_env() {
+  const char* env = std::getenv("PSPH_SIMD");
+  if (env == nullptr || *env == '\0') return max_supported_simd_level();
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "scalar") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    return SimdLevel::kScalar;
+  }
+  if (std::strcmp(env, "1") == 0 || std::strcmp(env, "avx2") == 0) {
+    return clamp_to_supported(SimdLevel::kAvx2);
+  }
+  if (std::strcmp(env, "2") == 0 || std::strcmp(env, "avx512") == 0) {
+    return clamp_to_supported(SimdLevel::kAvx512);
+  }
+  return max_supported_simd_level();
+}
+
+// -1 = unresolved; otherwise a SimdLevel value.
+std::atomic<int> g_level{-1};
+
+}  // namespace
+
+SimdLevel max_supported_simd_level() {
+#if PSPH_X86_64
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel simd_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    // Benign race: every thread resolves to the same value.
+    level = static_cast<int>(level_from_env());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+  const SimdLevel installed = clamp_to_supported(level);
+  g_level.store(static_cast<int>(installed), std::memory_order_relaxed);
+  return installed;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+void xor_words(std::uint64_t* dst, const std::uint64_t* src, std::size_t n,
+               SimdLevel level) {
+#if PSPH_X86_64
+  if (level == SimdLevel::kAvx512) {
+    xor_words_avx512(dst, src, n);
+    return;
+  }
+  if (level == SimdLevel::kAvx2) {
+    xor_words_avx2(dst, src, n);
+    return;
+  }
+#else
+  (void)level;
+#endif
+  xor_words_scalar(dst, src, n);
+}
+
+}  // namespace psph::math

@@ -1,0 +1,61 @@
+#pragma once
+
+// Runtime-dispatched SIMD kernels for the GF(2) elimination path.
+//
+// The GF(2) rank computation spends essentially all of its time XORing
+// 64-byte-aligned bitset rows into each other. The kernels here are
+// compiled per ISA with GCC target attributes, so the library builds with
+// the portable baseline flags and still uses AVX2/AVX-512 when the CPU at
+// runtime has them. Dispatch is resolved once from CPUID and the PSPH_SIMD
+// environment variable:
+//
+//   PSPH_SIMD=0 | scalar   force the portable word-at-a-time kernel
+//   PSPH_SIMD=1 | avx2     cap at AVX2
+//   PSPH_SIMD=2 | avx512   cap at AVX-512
+//   (unset)                use the best level the CPU supports
+//
+// Requested levels are clamped to hardware support, so PSPH_SIMD=2 on an
+// AVX2-only machine runs AVX2, and any setting on non-x86 runs scalar.
+// Every level computes bit-identical results — the choice is observable
+// only through timing (tests/parallel_test.cpp holds us to that).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psph::math {
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Best level the running CPU supports (kScalar on non-x86 builds).
+SimdLevel max_supported_simd_level();
+
+/// The active dispatch level: PSPH_SIMD clamped to hardware support,
+/// resolved once on first use.
+SimdLevel simd_level();
+
+/// Overrides the active level (clamped to hardware support). Returns the
+/// level actually installed. Benchmarks and differential tests use this to
+/// pin a kernel; production code should leave the resolved default alone.
+SimdLevel set_simd_level(SimdLevel level);
+
+/// Human-readable name ("scalar", "avx2", "avx512") for logs and bench
+/// context stamps.
+const char* simd_level_name(SimdLevel level);
+
+/// dst[i] ^= src[i] for i in [0, n) using the given kernel. Requires both
+/// pointers 64-byte aligned and n a multiple of 8 words (one cache line) —
+/// the bitset arena in SparseMatrix::rank_mod_2 guarantees both.
+void xor_words(std::uint64_t* dst, const std::uint64_t* src, std::size_t n,
+               SimdLevel level);
+
+/// Convenience overload using the active dispatch level.
+inline void xor_words(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  xor_words(dst, src, n, simd_level());
+}
+
+}  // namespace psph::math

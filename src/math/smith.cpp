@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "util/parallel.h"
 
 namespace psph::math {
 
@@ -90,30 +91,57 @@ SmithResult smith_normal_form_dense(std::vector<std::vector<BigInt>> a) {
     swap_rows(a, t, pr);
     swap_cols(a, t, pc);
 
-    // Clear row t and column t. Each gcd-style reduction strictly shrinks
-    // |a[t][t]| or zeroes an entry, so the loop terminates.
+    // Phase A (sequential): gcd fix-up. Reduce only the entries the pivot
+    // does NOT divide — each such reduction leaves a smaller remainder,
+    // which swaps into the pivot slot, so |a[t][t]| strictly shrinks and
+    // the loop terminates with the pivot dividing all of row t and
+    // column t. This serializes exactly the data-dependent part of the
+    // classical clearing loop.
     for (;;) {
       bool dirty = false;
       for (std::size_t i = t + 1; i < rows; ++i) {
-        if (is_zero(a[i][t])) continue;
+        if (is_zero(a[i][t]) || (a[i][t] % a[t][t]).is_zero()) continue;
         const BigInt q = a[i][t] / a[t][t];
         row_axpy(a, i, t, q);
-        if (!is_zero(a[i][t])) {
-          // Remainder is smaller than the pivot; swap it up and restart.
-          swap_rows(a, t, i);
-          dirty = true;
-        }
+        // Remainder is smaller than the pivot; swap it up and restart.
+        swap_rows(a, t, i);
+        dirty = true;
       }
       for (std::size_t j = t + 1; j < cols; ++j) {
-        if (is_zero(a[t][j])) continue;
+        if (is_zero(a[t][j]) || (a[t][j] % a[t][t]).is_zero()) continue;
         const BigInt q = a[t][j] / a[t][t];
         col_axpy(a, j, t, q);
-        if (!is_zero(a[t][j])) {
-          swap_cols(a, t, j);
-          dirty = true;
-        }
+        swap_cols(a, t, j);
+        dirty = true;
       }
       if (!dirty) break;
+    }
+
+    // Phase B: the pivot now divides everything in its row and column, so
+    // each remaining row update is an exact, independent elimination —
+    // row i changes only itself and reads only row t. That makes the block
+    // safe (and bit-identical) to run on the pool at any thread count; the
+    // size gate keeps small submatrices on the calling thread where the
+    // fork overhead would dominate.
+    {
+      const std::size_t tail_rows = rows - t - 1;
+      const auto clear_row = [&](std::size_t offset) {
+        const std::size_t i = t + 1 + offset;
+        if (is_zero(a[i][t])) return;
+        const BigInt q = a[i][t] / a[t][t];
+        row_axpy(a, i, t, q);
+      };
+      if (tail_rows >= 4 && (rows - t) * (cols - t) >= 2048) {
+        util::parallel_for(tail_rows, clear_row);
+      } else {
+        for (std::size_t offset = 0; offset < tail_rows; ++offset) {
+          clear_row(offset);
+        }
+      }
+      // With column t cleared below the pivot, zeroing row t is a pure
+      // column operation that touches only row t: a[t][j] -= q * pivot
+      // with q exact, i.e. the entries just vanish.
+      for (std::size_t j = t + 1; j < cols; ++j) a[t][j] = BigInt(0);
     }
 
     // Enforce the divisibility chain: if some entry in the remaining

@@ -196,25 +196,130 @@ void SimplicialComplex::invalidate_face_cache() {
 void SimplicialComplex::build_face_cache() const {
   face_cache_.clear();
   if (max_facet_dim_ < 0) return;
-  // One pass over the live facets enumerates every face of every dimension;
-  // the per-dimension hash sets deduplicate faces shared between facets.
-  std::vector<std::unordered_set<Simplex, SimplexHash>> seen(
+  face_cache_.resize(static_cast<std::size_t>(max_facet_dim_) + 1);
+
+  // Top-down level enumeration: the d-simplexes are exactly the facets of
+  // dimension d plus the codim-1 faces of the (d+1)-simplexes, so each face
+  // is generated from the level above instead of re-enumerating the full
+  // 2^k subset lattice of every facet. Each level's dedup map doubles as
+  // its final index, and the codim-1 lookups that dedup level d are
+  // recorded as boundary links for level d+1 — the boundary operator comes
+  // out of the same hashing that builds the cache. Probes go through the
+  // transparent hash with a reused scratch buffer, so only first sightings
+  // of a face allocate.
+  std::vector<std::vector<const Simplex*>> facets_by_dim(
       static_cast<std::size_t>(max_facet_dim_) + 1);
   for (const Simplex& facet : slots_) {
     if (facet.empty()) continue;
-    for (Simplex& face : facet.all_faces()) {
-      seen[static_cast<std::size_t>(face.dimension())].insert(
-          std::move(face));
-    }
+    facets_by_dim[static_cast<std::size_t>(facet.dimension())].push_back(
+        &facet);
   }
-  face_cache_.resize(seen.size());
-  for (std::size_t d = 0; d < seen.size(); ++d) {
-    FaceTable& table = face_cache_[d];
-    table.faces.assign(seen[d].begin(), seen[d].end());
-    std::sort(table.faces.begin(), table.faces.end());
-    table.index.reserve(table.faces.size());
-    for (std::size_t i = 0; i < table.faces.size(); ++i) {
-      table.index.emplace(table.faces[i], i);
+
+  // Per-level dedup runs on a local open-addressing table (stored hash +
+  // pool id, linear probing) instead of the public unordered_map index: no
+  // node allocation and no Simplex copy per unique face, which matters
+  // because this build sits on the homology hot path. The public per-level
+  // index map is materialized lazily in face_index_of_dim, which only
+  // diagnostics and tests call.
+  const SimplexHash hasher;
+  std::vector<std::uint64_t> slot_hash;
+  std::vector<std::uint32_t> slot_id;  // pool id + 1; 0 = empty
+  std::vector<VertexId> scratch;
+  for (int d = max_facet_dim_; d >= 0; --d) {
+    FaceTable& table = face_cache_[static_cast<std::size_t>(d)];
+    std::vector<Simplex> pool;  // insertion order, re-sorted below
+    // Each (d+1)-simplex contributes d+2 codim-1 probes and interior faces
+    // are shared by ≥2 cofaces, so half the probe count (plus this level's
+    // facets) bounds the live entries closely enough in practice.
+    const std::size_t above_count =
+        d < max_facet_dim_
+            ? face_cache_[static_cast<std::size_t>(d) + 1].faces.size()
+            : 0;
+    const std::size_t estimate =
+        facets_by_dim[static_cast<std::size_t>(d)].size() +
+        above_count * (static_cast<std::size_t>(d) + 2) / 2 + 1;
+    pool.reserve(estimate);
+    std::size_t cap = 16;
+    while (cap < estimate * 2) cap <<= 1;
+    slot_hash.assign(cap, 0);
+    slot_id.assign(cap, 0);
+    const auto grow = [&]() {
+      const std::size_t bigger = cap * 2;
+      std::vector<std::uint64_t> old_hash(bigger, 0);
+      std::vector<std::uint32_t> old_id(bigger, 0);
+      old_hash.swap(slot_hash);
+      old_id.swap(slot_id);
+      for (std::size_t s = 0; s < cap; ++s) {
+        if (old_id[s] == 0) continue;
+        std::size_t at = old_hash[s] & (bigger - 1);
+        while (slot_id[at] != 0) at = (at + 1) & (bigger - 1);
+        slot_hash[at] = old_hash[s];
+        slot_id[at] = old_id[s];
+      }
+      cap = bigger;
+    };
+    // Returns the pool id for `key`, appending a new Simplex on first
+    // sighting. `h` is the key's SimplexHash value.
+    const auto intern = [&](const std::vector<VertexId>& key,
+                            std::uint64_t h) {
+      std::size_t at = h & (cap - 1);
+      while (slot_id[at] != 0) {
+        if (slot_hash[at] == h &&
+            pool[slot_id[at] - 1].vertices() == key) {
+          return static_cast<std::size_t>(slot_id[at] - 1);
+        }
+        at = (at + 1) & (cap - 1);
+      }
+      const std::size_t id = pool.size();
+      pool.emplace_back(key);
+      slot_hash[at] = h;
+      slot_id[at] = static_cast<std::uint32_t>(id + 1);
+      if ((pool.size() + 1) * 4 > cap * 3) grow();
+      return id;
+    };
+    // Facets of dimension d first. Maximality makes them distinct from
+    // every face generated from the level above (a facet that appeared
+    // there would be a face of another facet), but they still seed the
+    // table so probes from above dedup against them.
+    for (const Simplex* facet : facets_by_dim[static_cast<std::size_t>(d)]) {
+      intern(facet->vertices(), hasher(facet->vertices()));
+    }
+    FaceTable* above = d < max_facet_dim_
+                           ? &face_cache_[static_cast<std::size_t>(d) + 1]
+                           : nullptr;
+    if (above != nullptr) {
+      above->boundary_links.reserve(above->faces.size() *
+                                    (static_cast<std::size_t>(d) + 2));
+      for (const Simplex& face : above->faces) {
+        const std::vector<VertexId>& vs = face.vertices();
+        for (std::size_t omit = 0; omit < vs.size(); ++omit) {
+          scratch.clear();
+          for (std::size_t i = 0; i < vs.size(); ++i) {
+            if (i != omit) scratch.push_back(vs[i]);
+          }
+          above->boundary_links.push_back(intern(scratch, hasher(scratch)));
+        }
+      }
+    }
+    // Re-rank this level into sorted order; fix the links recorded for the
+    // level above in place.
+    const std::size_t n = pool.size();
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end(),
+              [&pool](std::size_t a, std::size_t b) {
+                return pool[a] < pool[b];
+              });
+    std::vector<std::size_t> sorted_rank(n);
+    for (std::size_t i = 0; i < n; ++i) sorted_rank[perm[i]] = i;
+    table.faces.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      table.faces[i] = std::move(pool[perm[i]]);
+    }
+    if (above != nullptr) {
+      for (std::size_t& link : above->boundary_links) {
+        link = sorted_rank[link];
+      }
     }
   }
 }
@@ -240,11 +345,31 @@ const std::vector<Simplex>& SimplicialComplex::simplices_of_dim(int d) const {
   return table ? table->faces : kNoFaces;
 }
 
-const std::unordered_map<Simplex, std::size_t, SimplexHash>&
+const std::unordered_map<Simplex, std::size_t, SimplexHash, SimplexEq>&
 SimplicialComplex::face_index_of_dim(int d) const {
-  static const std::unordered_map<Simplex, std::size_t, SimplexHash> kNoIndex;
+  static const std::unordered_map<Simplex, std::size_t, SimplexHash,
+                                  SimplexEq>
+      kNoIndex;
+  if (face_table(d) == nullptr) return kNoIndex;
+  // The index map is not needed by the homology engine, so the cache build
+  // skips it; materialize it on first request (diagnostics and tests).
+  std::lock_guard<std::mutex> lock(face_cache_mutex_);
+  FaceTable& table = face_cache_[static_cast<std::size_t>(d)];
+  if (table.index.empty() && !table.faces.empty()) {
+    table.index.reserve(table.faces.size());
+    for (std::size_t i = 0; i < table.faces.size(); ++i) {
+      table.index.emplace(table.faces[i], i);
+    }
+  }
+  return table.index;
+}
+
+const std::vector<std::size_t>& SimplicialComplex::boundary_links_of_dim(
+    int d) const {
+  static const std::vector<std::size_t> kNoLinks;
+  if (d < 1) return kNoLinks;
   const FaceTable* table = face_table(d);
-  return table ? table->index : kNoIndex;
+  return table ? table->boundary_links : kNoLinks;
 }
 
 std::size_t SimplicialComplex::count_of_dim(int d) const {

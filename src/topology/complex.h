@@ -84,8 +84,19 @@ class SimplicialComplex {
 
   /// Index map of the d-simplexes: maps each simplex to its position in
   /// simplices_of_dim(d). Same lifetime contract as simplices_of_dim.
-  const std::unordered_map<Simplex, std::size_t, SimplexHash>&
+  /// Transparent hash/equality: lookups accept a sorted vertex vector
+  /// without constructing a Simplex.
+  const std::unordered_map<Simplex, std::size_t, SimplexHash, SimplexEq>&
   face_index_of_dim(int d) const;
+
+  /// Flattened boundary-face indices of the d-simplexes, d in
+  /// [1, dimension()]: entry c*(d+1) + omit is the position in
+  /// simplices_of_dim(d-1) of the face of the c-th d-simplex obtained by
+  /// omitting its omit-th vertex (the boundary operator's row index; the
+  /// incidence sign is (-1)^omit). Built with the face cache, so boundary
+  /// matrices and Morse reductions never re-hash faces. Empty for d
+  /// outside [1, dimension()]; same lifetime contract as simplices_of_dim.
+  const std::vector<std::size_t>& boundary_links_of_dim(int d) const;
 
   /// Count of distinct d-simplexes. O(1) once the face cache is warm.
   std::size_t count_of_dim(int d) const;
@@ -131,11 +142,13 @@ class SimplicialComplex {
  private:
   friend class FacetIndex;
 
-  // One dimension's slice of the face lattice: the sorted d-simplex list
-  // plus the rank of each simplex in it (boundary-operator row/col ids).
+  // One dimension's slice of the face lattice: the sorted d-simplex list,
+  // the rank of each simplex in it (boundary-operator row/col ids), and the
+  // flattened codim-1 face links ((d+1) row indices per face, omit order).
   struct FaceTable {
     std::vector<Simplex> faces;
-    std::unordered_map<Simplex, std::size_t, SimplexHash> index;
+    std::unordered_map<Simplex, std::size_t, SimplexHash, SimplexEq> index;
+    std::vector<std::size_t> boundary_links;
   };
 
   bool dominated(const Simplex& s) const;

@@ -5,6 +5,7 @@
 
 #include "math/smith.h"
 #include "obs/obs.h"
+#include "topology/collapse.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -31,17 +32,28 @@ math::SparseMatrix boundary_matrix(const SimplicialComplex& k, int d) {
     return matrix;
   }
 
-  // Both the (d-1)-skeleton and its index map come from the complex's face
-  // cache, so building ∂_d shares one enumeration with every other query.
-  const auto& row_index = k.face_index_of_dim(d - 1);
+  // The face cache records each d-simplex's codim-1 face indices when it
+  // builds the (d-1)-level, so assembling ∂_d is a pure table read — no
+  // hashing and no face construction on this path.
+  const std::vector<std::size_t>& links = k.boundary_links_of_dim(d);
+  const std::size_t faces_per_col = static_cast<std::size_t>(d) + 1;
 
   math::SparseMatrix matrix(k.count_of_dim(d - 1), columns.size());
+  {
+    // One counting pass sizes every row exactly, so the column-major fill
+    // below never reallocates.
+    std::vector<std::uint32_t> row_count(matrix.rows(), 0);
+    for (std::size_t e = 0; e < columns.size() * faces_per_col; ++e) {
+      ++row_count[links[e]];
+    }
+    for (std::size_t r = 0; r < matrix.rows(); ++r) {
+      matrix.reserve_row(r, row_count[r]);
+    }
+  }
   for (std::size_t c = 0; c < columns.size(); ++c) {
-    const Simplex& simplex = columns[c];
     std::int64_t sign = 1;
-    for (std::size_t omit = 0; omit < simplex.size(); ++omit) {
-      const Simplex face = simplex.face_without_index(omit);
-      matrix.set(row_index.at(face), c, sign);
+    for (std::size_t omit = 0; omit < faces_per_col; ++omit) {
+      matrix.set(links[c * faces_per_col + omit], c, sign);
       sign = -sign;
     }
   }
@@ -78,19 +90,33 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
     obs::SpanTimer span("homology.warm_face_cache");
     k.warm_face_cache();
   }
-  for (int d = 0; d <= options.max_dim + 1; ++d) {
-    counts[static_cast<std::size_t>(d)] = k.count_of_dim(d);
+  if (options.morse) {
+    // Morse preprocessing: the critical-cell complex has the same homology
+    // (Betti and torsion) as the full one, with typically far fewer cells.
+    // The cascade is serial and deterministic, so counts/boundaries — and
+    // everything downstream — are identical at every thread count.
+    MorseComplex mc = morse_reduce(k, options.max_dim + 1);
+    for (std::size_t slot = 0; slot < counts.size(); ++slot) {
+      counts[slot] = mc.critical[slot];
+      boundaries[slot] = std::move(mc.boundary[slot]);
+    }
+  } else {
+    for (int d = 0; d <= options.max_dim + 1; ++d) {
+      counts[static_cast<std::size_t>(d)] = k.count_of_dim(d);
+    }
   }
   util::parallel_for(counts.size(), [&](std::size_t slot) {
     if (counts[slot] == 0) {
-      // No d-simplexes: the boundary map is zero from an empty space.
-      boundaries[slot] = math::SparseMatrix(0, 0);
+      // No d-cells: the boundary map is zero from an empty space.
+      if (!options.morse) boundaries[slot] = math::SparseMatrix(0, 0);
       ranks[slot] = 0;
       return;
     }
     obs::SpanTimer span("homology.rank", static_cast<std::int64_t>(slot));
     g_obs_rank_dims.add(1);
-    boundaries[slot] = boundary_matrix(k, static_cast<int>(slot));
+    if (!options.morse) {
+      boundaries[slot] = boundary_matrix(k, static_cast<int>(slot));
+    }
     ranks[slot] = boundaries[slot].rank_mod_p(options.prime);
   });
 

@@ -42,6 +42,12 @@ struct HomologyOptions {
   std::int64_t prime = math::kDefaultPrime;
   /// Additionally run exact SNF and report torsion (slow on big complexes).
   bool exact = false;
+  /// Run the discrete-Morse/coreduction preprocessor (collapse.h) and
+  /// eliminate only the critical-cell matrices. Betti numbers and torsion
+  /// are identical either way (enforced by tests/property_test.cpp); off
+  /// exists for differential testing and for benchmarking the raw
+  /// elimination path.
+  bool morse = true;
 };
 
 struct HomologyReport {

@@ -244,6 +244,100 @@ TEST(PropertyDifferential, HomologyAgreesAcrossEnginesAndFields) {
       << "generator degenerated; seed=" << seed;
 }
 
+// ---- Morse preprocessor differential suite ----
+//
+// The coreduction/free-face cascade must be invisible in the output:
+// Betti numbers over every field AND exact torsion identical with the
+// preprocessor on and off, on seed-reproducible random complexes.
+
+TEST(PropertyDifferential, MorseReducedHomologyMatchesUnreduced) {
+  const std::uint64_t seed = test_seed(20260808);
+  util::Rng rng(seed);
+  constexpr int kCases = 120;
+  int nonempty_cases = 0;
+  for (int trial = 0; trial < kCases; ++trial) {
+    const int vertices = 4 + static_cast<int>(rng.next_below(5));
+    const int facets = 1 + static_cast<int>(rng.next_below(10));
+    const int max_dim = 1 + static_cast<int>(rng.next_below(3));
+    const SimplicialComplex k =
+        random_complex(rng, vertices, facets, max_dim);
+    if (k.empty()) continue;
+    ++nonempty_cases;
+    const int top = k.dimension();
+    for (const std::int64_t prime : {std::int64_t{2}, std::int64_t{3}}) {
+      const HomologyReport with_morse = reduced_homology(
+          k, {.max_dim = top, .prime = prime, .exact = true, .morse = true});
+      const HomologyReport without_morse = reduced_homology(
+          k, {.max_dim = top, .prime = prime, .exact = true, .morse = false});
+      EXPECT_EQ(with_morse.reduced_betti, without_morse.reduced_betti)
+          << "betti mod " << prime << "; seed=" << seed
+          << " trial=" << trial;
+      EXPECT_EQ(with_morse.torsion, without_morse.torsion)
+          << "torsion mod " << prime << "; seed=" << seed
+          << " trial=" << trial;
+    }
+  }
+  EXPECT_GT(nonempty_cases, kCases / 2)
+      << "generator degenerated; seed=" << seed;
+}
+
+TEST(PropertyDifferential, MorseCriticalCellsKeepEulerCharacteristic) {
+  // Every reduction pair removes two cells of adjacent dimension, so the
+  // alternating sum over critical cells (augmentation included) equals the
+  // alternating sum over all cells — for every truncation depth.
+  const std::uint64_t seed = test_seed(20260809);
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 60; ++trial) {
+    const SimplicialComplex k = random_complex(rng, 8, 8, 3);
+    if (k.empty()) continue;
+    for (int top = 1; top <= k.dimension() + 1; ++top) {
+      const MorseComplex mc = morse_reduce(k, top);
+      long long cells = -1;  // the augmentation cell, dimension -1
+      long long critical =
+          -static_cast<long long>(mc.boundary[0].rows());  // aug if alive
+      for (int d = 0; d <= std::min(top, k.dimension()); ++d) {
+        const long long sign = (d % 2 == 0) ? 1 : -1;
+        cells += sign * static_cast<long long>(k.count_of_dim(d));
+        critical +=
+            sign * static_cast<long long>(mc.critical[static_cast<std::size_t>(d)]);
+      }
+      EXPECT_EQ(cells, critical)
+          << "top=" << top << "; seed=" << seed << " trial=" << trial;
+      EXPECT_EQ(mc.cells_before - mc.cells_after, 2 * mc.pairs)
+          << "top=" << top << "; seed=" << seed << " trial=" << trial;
+    }
+  }
+}
+
+TEST(PropertyDifferential, MorsePreservesProjectivePlaneTorsion) {
+  // The 6-vertex triangulation of RP²: H̃_0 = 0, H̃_1 = Z/2, H̃_2 = 0.
+  // Torsion is the sharp test — a preprocessor that only preserved field
+  // Betti numbers could still corrupt it.
+  // The minimal triangulation RP²_6 (antipodal icosahedron quotient):
+  // 6 vertices, 15 edges (each pair), 10 triangles, every edge in exactly
+  // two triangles, χ = 1.
+  SimplicialComplex rp2;
+  for (const auto& f :
+       {Simplex{0, 1, 2}, Simplex{0, 2, 3}, Simplex{0, 3, 4}, Simplex{0, 4, 5},
+        Simplex{0, 1, 5}, Simplex{1, 2, 4}, Simplex{2, 4, 5}, Simplex{2, 3, 5},
+        Simplex{1, 3, 5}, Simplex{1, 3, 4}}) {
+    rp2.add_facet(f);
+  }
+  for (const bool morse : {true, false}) {
+    const HomologyReport report = reduced_homology(
+        rp2, {.max_dim = 2, .prime = 3, .exact = true, .morse = morse});
+    ASSERT_EQ(report.reduced_betti.size(), 3u);
+    EXPECT_EQ(report.reduced_betti[0], 0) << "morse=" << morse;
+    EXPECT_EQ(report.reduced_betti[1], 0) << "morse=" << morse;
+    EXPECT_EQ(report.reduced_betti[2], 0) << "morse=" << morse;
+    ASSERT_EQ(report.torsion.size(), 3u);
+    EXPECT_TRUE(report.torsion[0].empty()) << "morse=" << morse;
+    ASSERT_EQ(report.torsion[1].size(), 1u) << "morse=" << morse;
+    EXPECT_EQ(report.torsion[1][0], "2") << "morse=" << morse;
+    EXPECT_TRUE(report.torsion[2].empty()) << "morse=" << morse;
+  }
+}
+
 TEST(Property, EulerMatchesComponentsOnGraphs) {
   // For a 1-dimensional complex, χ = #components - #independent cycles;
   // in particular χ <= #components.

@@ -711,5 +711,110 @@ TEST(Property, IntersectionIsSubcomplexOfBoth) {
   }
 }
 
+// ------------------------------------------------- boundary link table --
+
+TEST(Complex, BoundaryLinksMatchFaceIndexLookups) {
+  // The link table the cache build records must agree with what explicit
+  // face_without_index + index lookups produce, for every simplex and
+  // omitted vertex, on an irregular complex.
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1, 2, 3});
+  k.add_facet(Simplex{2, 3, 4});
+  k.add_facet(Simplex{4, 5});
+  k.add_facet(Simplex{6});
+  for (int d = 1; d <= k.dimension(); ++d) {
+    const std::vector<Simplex>& simplices = k.simplices_of_dim(d);
+    const std::vector<std::size_t>& links = k.boundary_links_of_dim(d);
+    const auto& index = k.face_index_of_dim(d - 1);
+    ASSERT_EQ(links.size(),
+              simplices.size() * (static_cast<std::size_t>(d) + 1));
+    for (std::size_t c = 0; c < simplices.size(); ++c) {
+      for (std::size_t omit = 0; omit <= static_cast<std::size_t>(d);
+           ++omit) {
+        const Simplex face = simplices[c].face_without_index(omit);
+        EXPECT_EQ(links[c * (static_cast<std::size_t>(d) + 1) + omit],
+                  index.at(face))
+            << "d=" << d << " c=" << c << " omit=" << omit;
+      }
+    }
+  }
+  EXPECT_TRUE(k.boundary_links_of_dim(0).empty());
+  EXPECT_TRUE(k.boundary_links_of_dim(9).empty());
+}
+
+// ----------------------------------------------------- Morse reduction --
+
+TEST(Morse, SolidSimplexReducesToNothing) {
+  // A solid simplex is collapsible, and with the augmentation cell in play
+  // the coreduction cascade pairs away every cell: no critical cells, all
+  // reduced matrices empty.
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1, 2, 3});
+  const MorseComplex mc = morse_reduce(k, 4);
+  EXPECT_EQ(mc.cells_after, 0u);
+  EXPECT_EQ(2 * mc.pairs, mc.cells_before);
+  for (const std::size_t c : mc.critical) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(mc.boundary[0].rows(), 0u);
+}
+
+TEST(Morse, BoundaryOfTetrahedronKeepsTopHomology) {
+  // ∂Δ³ ≃ S²: β̃ = [0, 0, 1]. The cascade cannot eat the 2-sphere cycle,
+  // and homology through the reduced matrices must see it.
+  SimplicialComplex k;
+  for (const auto& f : {Simplex{0, 1, 2}, Simplex{0, 1, 3}, Simplex{0, 2, 3},
+                        Simplex{1, 2, 3}}) {
+    k.add_facet(f);
+  }
+  const MorseComplex mc = morse_reduce(k, 3);
+  EXPECT_LT(mc.cells_after, mc.cells_before);
+  const HomologyReport with_morse =
+      reduced_homology(k, {.max_dim = 2, .morse = true});
+  const HomologyReport without_morse =
+      reduced_homology(k, {.max_dim = 2, .morse = false});
+  const std::vector<long long> expected = {0, 0, 1};
+  EXPECT_EQ(with_morse.reduced_betti, expected);
+  EXPECT_EQ(without_morse.reduced_betti, expected);
+}
+
+TEST(Morse, DisconnectedComplexKeepsComponentCount) {
+  // Three components, one a hollow triangle: β̃_0 = 2, β̃_1 = 1. Only one
+  // component's vertex can pair with the augmentation cell.
+  SimplicialComplex k;
+  k.add_facet(Simplex{0, 1});
+  k.add_facet(Simplex{1, 2});
+  k.add_facet(Simplex{0, 2});  // hollow triangle 0-1-2
+  k.add_facet(Simplex{3, 4});
+  k.add_facet(Simplex{5});
+  for (const bool morse : {true, false}) {
+    const HomologyReport report =
+        reduced_homology(k, {.max_dim = 1, .morse = morse});
+    const std::vector<long long> expected = {2, 1};
+    EXPECT_EQ(report.reduced_betti, expected) << "morse=" << morse;
+  }
+}
+
+TEST(Morse, TruncationDepthOnlyAffectsDimensionsAtOrAboveIt) {
+  // Reducing with top_dim = t preserves homology strictly below t; the
+  // engine always passes t = max_dim + 1 so every reported dimension is
+  // safe. Cross-check on the 3-sphere pseudosphere-like boundary ∂Δ⁴.
+  SimplicialComplex k;
+  for (VertexId drop = 0; drop < 5; ++drop) {
+    std::vector<VertexId> vs;
+    for (VertexId v = 0; v < 5; ++v) {
+      if (v != drop) vs.push_back(v);
+    }
+    k.add_facet(Simplex(vs));
+  }
+  for (int max_dim = 0; max_dim <= 3; ++max_dim) {
+    const HomologyReport report =
+        reduced_homology(k, {.max_dim = max_dim, .morse = true});
+    for (int d = 0; d <= max_dim; ++d) {
+      const long long expected = (d == 3) ? 1 : 0;
+      EXPECT_EQ(report.reduced_betti[static_cast<std::size_t>(d)], expected)
+          << "max_dim=" << max_dim << " d=" << d;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace psph::topology
