@@ -208,15 +208,12 @@ int main(int argc, char** argv) {
   argc = psph::bench::apply_threads_flag(argc, argv);
   argc = psph::bench::apply_obs_flags(argc, argv, &obs_options);
   psph::bench::warn_if_unoptimized_build();
-  const unsigned cpus = psph::bench::warn_if_single_cpu();
+  psph::bench::warn_if_single_cpu();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::AddCustomContext("build_type", psph::bench::build_type());
-  benchmark::AddCustomContext("hardware_concurrency", std::to_string(cpus));
-  benchmark::AddCustomContext(
-      "psph_threads", std::to_string(psph::util::thread_count()));
-  benchmark::AddCustomContext(
-      "simd_dispatch", psph::math::simd_level_name(psph::math::simd_level()));
+  for (const auto& [key, value] : psph::bench::bench_context()) {
+    benchmark::AddCustomContext(key, value);
+  }
   benchmark::RunSpecifiedBenchmarks();
   const int obs_exit = psph::bench::finish_obs(obs_options);
   benchmark::Shutdown();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 
 namespace psph::core {
@@ -152,6 +153,10 @@ topology::SimplicialComplex run_pipeline(
 
   topology::SimplicialComplex result;
   while (!frontier.empty()) {
+    // Cooperative cancellation boundary: a deadlined caller (the serving
+    // layer) aborts between levels, never mid-expand, so partial state
+    // stays confined to locals that unwind cleanly.
+    util::poll_deadline();
     obs::SpanTimer level_span("construction.level",
                               static_cast<std::int64_t>(frontier.size()));
     g_obs_frontier.add(frontier.size());

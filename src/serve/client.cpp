@@ -1,0 +1,38 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include "serve/wire.h"
+
+namespace psph::serve {
+
+Client::Client(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send(const Json& request) { write_frame(fd_, request.dump()); }
+
+Json Client::recv() {
+  std::string payload;
+  if (read_frame(fd_, &payload) == FrameStatus::kClosed) {
+    throw WireError("client: server closed the connection");
+  }
+  return Json::parse(payload);
+}
+
+Json Client::call(const Json& request) {
+  send(request);
+  return recv();
+}
+
+Json Client::request(std::int64_t id, const std::string& kind) {
+  Json out = Json::object();
+  out.set("id", Json::integer(id));
+  out.set("kind", Json::string(kind));
+  return out;
+}
+
+}  // namespace psph::serve

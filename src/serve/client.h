@@ -1,0 +1,41 @@
+#pragma once
+
+// Blocking client for psph_serve. One connection, synchronous call() for
+// simple users, and split send()/recv() for pipelined windows (the load
+// generator keeps several requests in flight and matches responses by id).
+
+#include <cstdint>
+#include <string>
+
+#include "serve/json.h"
+
+namespace psph::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's AF_UNIX socket; throws WireError on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Fire-and-forget one request frame.
+  void send(const Json& request);
+  /// Blocks for the next response frame. Throws WireError if the server
+  /// closed the connection, JsonError on an unparseable response.
+  Json recv();
+  /// send() + recv(): correct only when no other request is in flight on
+  /// this connection.
+  Json call(const Json& request);
+
+  /// Convenience builder: {"id": id, "kind": kind}.
+  static Json request(std::int64_t id, const std::string& kind);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace psph::serve

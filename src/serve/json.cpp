@@ -1,0 +1,417 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace psph::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw JsonError(message); }
+
+const char* type_name(Json::Type type) {
+  switch (type) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kInt: return "int";
+    case Json::Type::kDouble: return "double";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void fail_type(const char* wanted, Json::Type got) {
+  fail(std::string("json: expected ") + wanted + ", got " + type_name(got));
+}
+
+void append_escaped(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Recursive-descent parser over a byte range. Strict: one document, no
+// extensions, bounded depth.
+class Parser {
+ public:
+  Parser(const char* data, std::size_t size)
+      : cursor_(data), end_(data + size) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (cursor_ != end_) fail("json: trailing bytes after document");
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (cursor_ != end_ &&
+           (*cursor_ == ' ' || *cursor_ == '\t' || *cursor_ == '\n' ||
+            *cursor_ == '\r')) {
+      ++cursor_;
+    }
+  }
+
+  char peek() {
+    if (cursor_ == end_) fail("json: unexpected end of input");
+    return *cursor_;
+  }
+
+  char take() {
+    const char c = peek();
+    ++cursor_;
+    return c;
+  }
+
+  void expect_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (cursor_ == end_ || *cursor_ != *p) {
+        fail(std::string("json: bad literal (wanted '") + literal + "')");
+      }
+      ++cursor_;
+    }
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > Json::kMaxDepth) fail("json: nesting too deep");
+    skip_whitespace();
+    switch (peek()) {
+      case 'n': expect_literal("null"); return Json();
+      case 't': expect_literal("true"); return Json::boolean(true);
+      case 'f': expect_literal("false"); return Json::boolean(false);
+      case '"': return Json::string(parse_string());
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    take();  // '['
+    Json out = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      take();
+      return out;
+    }
+    while (true) {
+      out.push(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') return out;
+      if (c != ',') fail("json: expected ',' or ']' in array");
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    take();  // '{'
+    Json out = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      take();
+      return out;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("json: object key must be a string");
+      std::string key = parse_string();
+      skip_whitespace();
+      if (take() != ':') fail("json: expected ':' after object key");
+      out.set(key, parse_value(depth + 1));
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') return out;
+      if (c != ',') fail("json: expected ',' or '}' in object");
+    }
+  }
+
+  std::string parse_string() {
+    take();  // opening quote
+    std::string out;
+    while (true) {
+      if (cursor_ == end_) fail("json: unterminated string");
+      const char c = *cursor_++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("json: raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = cursor_ == end_ ? '\0' : *cursor_++;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(&out); break;
+        default: fail("json: bad escape in string");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (cursor_ == end_) fail("json: truncated \\u escape");
+      const char c = *cursor_++;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("json: bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string* out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: require the paired low surrogate.
+      if (end_ - cursor_ < 2 || cursor_[0] != '\\' || cursor_[1] != 'u') {
+        fail("json: lone high surrogate");
+      }
+      cursor_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("json: bad surrogate pair");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("json: lone low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const char* start = cursor_;
+    bool is_double = false;
+    if (cursor_ != end_ && *cursor_ == '-') ++cursor_;
+    if (cursor_ == end_ || *cursor_ < '0' || *cursor_ > '9') {
+      fail("json: bad number");
+    }
+    if (*cursor_ == '0' && cursor_ + 1 != end_ && cursor_[1] >= '0' &&
+        cursor_[1] <= '9') {
+      fail("json: leading zero in number");
+    }
+    while (cursor_ != end_ && *cursor_ >= '0' && *cursor_ <= '9') ++cursor_;
+    if (cursor_ != end_ && *cursor_ == '.') {
+      is_double = true;
+      ++cursor_;
+      if (cursor_ == end_ || *cursor_ < '0' || *cursor_ > '9') {
+        fail("json: bad fraction");
+      }
+      while (cursor_ != end_ && *cursor_ >= '0' && *cursor_ <= '9') ++cursor_;
+    }
+    if (cursor_ != end_ && (*cursor_ == 'e' || *cursor_ == 'E')) {
+      is_double = true;
+      ++cursor_;
+      if (cursor_ != end_ && (*cursor_ == '+' || *cursor_ == '-')) ++cursor_;
+      if (cursor_ == end_ || *cursor_ < '0' || *cursor_ > '9') {
+        fail("json: bad exponent");
+      }
+      while (cursor_ != end_ && *cursor_ >= '0' && *cursor_ <= '9') ++cursor_;
+    }
+    const std::string text(start, cursor_);
+    if (!is_double) {
+      errno = 0;
+      char* parse_end = nullptr;
+      const long long value = std::strtoll(text.c_str(), &parse_end, 10);
+      if (errno == 0 && parse_end == text.c_str() + text.size()) {
+        return Json::integer(static_cast<std::int64_t>(value));
+      }
+      // Integer literal out of int64 range: fall through to double.
+    }
+    char* parse_end = nullptr;
+    const double value = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size() || !std::isfinite(value)) {
+      fail("json: unrepresentable number");
+    }
+    return Json::number(value);
+  }
+
+  const char* cursor_;
+  const char* end_;
+};
+
+}  // namespace
+
+Json Json::number(double v) {
+  if (!std::isfinite(v)) fail("json: NaN/Infinity not representable");
+  return Json(Value(v));
+}
+
+bool Json::as_bool() const {
+  if (const bool* v = std::get_if<bool>(&value_)) return *v;
+  fail_type("bool", type());
+}
+
+std::int64_t Json::as_int() const {
+  if (const std::int64_t* v = std::get_if<std::int64_t>(&value_)) return *v;
+  fail_type("int", type());
+}
+
+double Json::as_double() const {
+  if (const std::int64_t* v = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*v);
+  }
+  if (const double* v = std::get_if<double>(&value_)) return *v;
+  fail_type("number", type());
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* v = std::get_if<std::string>(&value_)) return *v;
+  fail_type("string", type());
+}
+
+const Json::Array& Json::items() const {
+  if (const Array* v = std::get_if<Array>(&value_)) return *v;
+  fail_type("array", type());
+}
+
+Json::Array& Json::items() {
+  if (Array* v = std::get_if<Array>(&value_)) return *v;
+  fail_type("array", type());
+}
+
+const Json::Object& Json::entries() const {
+  if (const Object* v = std::get_if<Object>(&value_)) return *v;
+  fail_type("object", type());
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  Object* object = std::get_if<Object>(&value_);
+  if (object == nullptr) fail_type("object", type());
+  for (auto& entry : *object) {
+    if (entry.first == key) {
+      entry.second = std::move(value);
+      return *this;
+    }
+  }
+  object->emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::get(const std::string& key) const {
+  const Object* object = std::get_if<Object>(&value_);
+  if (object == nullptr) fail_type("object", type());
+  for (const auto& entry : *object) {
+    if (entry.first == key) return &entry.second;
+  }
+  return nullptr;
+}
+
+Json& Json::push(Json value) {
+  Array* array = std::get_if<Array>(&value_);
+  if (array == nullptr) fail_type("array", type());
+  array->push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_to(std::string* out) const {
+  switch (type()) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += std::get<bool>(value_) ? "true" : "false";
+      return;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(std::get<std::int64_t>(value_)));
+      *out += buf;
+      return;
+    }
+    case Type::kDouble: {
+      // %.17g round-trips IEEE doubles exactly; the ".0" suffix keeps the
+      // value a double through a parse round-trip.
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", std::get<double>(value_));
+      *out += buf;
+      if (std::strpbrk(buf, ".eE") == nullptr) *out += ".0";
+      return;
+    }
+    case Type::kString:
+      append_escaped(std::get<std::string>(value_), out);
+      return;
+    case Type::kArray: {
+      out->push_back('[');
+      const Array& array = std::get<Array>(value_);
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        array[i].dump_to(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      const Object& object = std::get<Object>(value_);
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        append_escaped(object[i].first, out);
+        out->push_back(':');
+        object[i].second.dump_to(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(&out);
+  return out;
+}
+
+Json Json::parse(const char* data, std::size_t size) {
+  return Parser(data, size).run();
+}
+
+Json Json::parse(const std::string& text) {
+  return parse(text.data(), text.size());
+}
+
+}  // namespace psph::serve

@@ -1,0 +1,96 @@
+#pragma once
+
+// Minimal JSON value for the serve wire protocol (DESIGN §5.14).
+//
+// Deliberately small and strict: standard JSON only (no comments, no
+// trailing commas, no NaN/Infinity), a recursion-depth cap so adversarial
+// nesting cannot blow the stack, and 64-bit integers kept exact — a number
+// without '.'/'e' that fits std::int64_t stays an integer through a
+// round-trip, which is what lets responses rendered from cached and freshly
+// computed results be byte-identical. Objects preserve insertion order and
+// dump() emits exactly that order, so serialization is deterministic: equal
+// values built the same way produce equal bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace psph::serve {
+
+/// Thrown on malformed JSON text (parse) and type mismatches (accessors).
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; keys are unique (set() overwrites in place).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+
+  static Json boolean(bool v) { return Json(Value(v)); }
+  static Json integer(std::int64_t v) { return Json(Value(v)); }
+  /// Throws JsonError on NaN/Infinity (not representable in JSON).
+  static Json number(double v);
+  static Json string(std::string v) { return Json(Value(std::move(v))); }
+  static Json array() { return Json(Value(Array{})); }
+  static Json object() { return Json(Value(Object{})); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; each throws JsonError naming the mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Accepts both kInt and kDouble.
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& items() const;
+  Array& items();
+  const Object& entries() const;
+
+  /// Object: sets `key` (overwriting an existing entry in place, so the
+  /// original insertion order survives updates). Returns *this for chains.
+  Json& set(const std::string& key, Json value);
+  /// Object: pointer to the value at `key`, or nullptr when absent.
+  const Json* get(const std::string& key) const;
+  /// Array: appends.
+  Json& push(Json value);
+
+  /// Deterministic serialization (insertion order, fixed number format).
+  std::string dump() const;
+
+  /// Strict parse of a complete JSON document; trailing non-whitespace,
+  /// depth > kMaxDepth, and every grammar violation throw JsonError.
+  static Json parse(const std::string& text);
+  static Json parse(const char* data, std::size_t size);
+
+  static constexpr std::size_t kMaxDepth = 64;
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  using Value = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                             std::string, Array, Object>;
+  explicit Json(Value value) : value_(std::move(value)) {}
+
+  void dump_to(std::string* out) const;
+
+  Value value_;
+};
+
+}  // namespace psph::serve

@@ -1,0 +1,256 @@
+#include "serve/protocol.h"
+
+namespace psph::serve {
+
+namespace {
+
+// Tractability bounds: protocol complexes grow super-exponentially in these
+// parameters, so anything past the caps would hog a worker for hours. The
+// caps comfortably cover every instance the paper's experiments use.
+constexpr int kMaxProcesses = 8;
+constexpr int kMaxRounds = 8;
+constexpr int kMaxMu = 16;
+constexpr int kMaxHomologyDim = 8;
+constexpr std::size_t kMaxSizes = 8;
+constexpr int kMaxSizeEntry = 8;
+constexpr std::int64_t kMaxDeadlineMs = 3'600'000;
+
+std::optional<ErrorInfo> bad(const std::string& message) {
+  return ErrorInfo{"bad_request", message};
+}
+
+/// Reads an optional integer field with range validation.
+std::optional<ErrorInfo> read_int(const Json& request, const char* name,
+                                  std::int64_t lo, std::int64_t hi,
+                                  int* target) {
+  const Json* field = request.get(name);
+  if (field == nullptr) return std::nullopt;
+  if (!field->is_int()) {
+    return bad(std::string(name) + " must be an integer");
+  }
+  const std::int64_t value = field->as_int();
+  if (value < lo || value > hi) {
+    return bad(std::string(name) + "=" + std::to_string(value) +
+               " out of range [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "]");
+  }
+  *target = static_cast<int>(value);
+  return std::nullopt;
+}
+
+/// Zeroes every field the (kind, model) pair does not consume, so the cache
+/// key — and therefore coalescing — only sees meaningful parameters.
+void normalize(Query* q) {
+  const bool homology = q->kind == QueryKind::kHomology;
+  const bool decide = q->kind == QueryKind::kDecide;
+  if (!homology) {
+    q->max_dim = 0;
+    q->exact = false;
+  }
+  if (q->model == "pseudosphere") {
+    q->processes = 0;
+    q->participants = 0;
+    q->f = 0;
+    q->k = 0;
+    q->mu = 0;
+    q->rounds = 0;
+    return;
+  }
+  q->sizes.clear();
+  if (decide) {
+    // decide uses processes, f, k, rounds (+ mu for semisync); the input
+    // complex is full, so participants is meaningless.
+    q->participants = 0;
+    if (q->model != "semisync") q->mu = 0;
+    return;
+  }
+  if (q->model == "async") {
+    q->k = 0;
+    q->mu = 0;
+  } else {  // sync / semisync connectivity: per-round cap k, no budget f
+    q->f = 0;
+    if (q->model != "semisync") q->mu = 0;
+  }
+}
+
+std::optional<ErrorInfo> fill_query(const Json& request, Query* q) {
+  if (const Json* model = request.get("model")) {
+    if (!model->is_string()) return bad("model must be a string");
+    q->model = model->as_string();
+  }
+  if (q->model != "async" && q->model != "sync" && q->model != "semisync" &&
+      q->model != "pseudosphere") {
+    return bad("unknown model '" + q->model +
+               "' (choices: async sync semisync pseudosphere)");
+  }
+  if (q->model == "pseudosphere" && q->kind == QueryKind::kDecide) {
+    return bad("decide needs a timing model, not 'pseudosphere'");
+  }
+
+  if (auto err = read_int(request, "processes", 1, kMaxProcesses,
+                          &q->processes)) {
+    return err;
+  }
+  q->participants = q->processes;  // default before an explicit override
+  if (auto err = read_int(request, "participants", 1, kMaxProcesses,
+                          &q->participants)) {
+    return err;
+  }
+  if (q->participants > q->processes) {
+    return bad("participants must be <= processes");
+  }
+  if (auto err = read_int(request, "f", 0, kMaxProcesses - 1, &q->f)) {
+    return err;
+  }
+  if (auto err = read_int(request, "k", 1, kMaxProcesses, &q->k)) return err;
+  if (auto err = read_int(request, "mu", 1, kMaxMu, &q->mu)) return err;
+  if (auto err = read_int(request, "rounds", 1, kMaxRounds, &q->rounds)) {
+    return err;
+  }
+  if (auto err = read_int(request, "max_dim", 0, kMaxHomologyDim,
+                          &q->max_dim)) {
+    return err;
+  }
+  if (q->f >= q->processes) return bad("f must be < processes");
+
+  if (const Json* exact = request.get("exact")) {
+    if (!exact->is_bool()) return bad("exact must be a bool");
+    q->exact = exact->as_bool();
+  }
+
+  if (const Json* sizes = request.get("sizes")) {
+    if (!sizes->is_array()) return bad("sizes must be an array");
+    for (const Json& entry : sizes->items()) {
+      if (!entry.is_int() || entry.as_int() < 1 ||
+          entry.as_int() > kMaxSizeEntry) {
+        return bad("sizes entries must be integers in [1, " +
+                   std::to_string(kMaxSizeEntry) + "]");
+      }
+      q->sizes.push_back(static_cast<int>(entry.as_int()));
+    }
+    if (q->sizes.size() > kMaxSizes) {
+      return bad("sizes may list at most " + std::to_string(kMaxSizes) +
+                 " positions");
+    }
+  }
+  if (q->model == "pseudosphere" && q->sizes.empty()) {
+    return bad("model 'pseudosphere' needs a nonempty sizes array");
+  }
+
+  if (const Json* deadline = request.get("deadline_ms")) {
+    if (!deadline->is_int() || deadline->as_int() < 0 ||
+        deadline->as_int() > kMaxDeadlineMs) {
+      return bad("deadline_ms must be an integer in [0, " +
+                 std::to_string(kMaxDeadlineMs) + "]");
+    }
+    q->deadline_ms = deadline->as_int();
+  }
+
+  normalize(q);
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kConnectivity: return "connectivity";
+    case QueryKind::kHomology: return "homology";
+    case QueryKind::kComplexStats: return "complex_stats";
+    case QueryKind::kDecide: return "decide";
+  }
+  return "?";
+}
+
+store::CacheKeyBuilder cache_key(const Query& q) {
+  store::CacheKeyBuilder key(std::string("serve/") + kind_name(q.kind));
+  key.param_string(q.model);
+  key.param(q.processes)
+      .param(q.participants)
+      .param(q.f)
+      .param(q.k)
+      .param(q.mu)
+      .param(q.rounds)
+      .param(q.max_dim)
+      .param(q.exact ? 1 : 0);
+  key.param(static_cast<std::int64_t>(q.sizes.size()));
+  for (const int size : q.sizes) key.param(size);
+  return key;
+}
+
+ParsedRequest parse_request(const Json& request) {
+  ParsedRequest parsed;
+  if (!request.is_object()) {
+    parsed.error = ErrorInfo{"bad_request", "request must be a JSON object"};
+    return parsed;
+  }
+  if (const Json* id = request.get("id")) {
+    if (!id->is_int()) {
+      parsed.error = ErrorInfo{"bad_request", "id must be an integer"};
+      return parsed;
+    }
+    parsed.id = id->as_int();
+  }
+  const Json* kind = request.get("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    parsed.error = ErrorInfo{"bad_request", "kind must be a string"};
+    return parsed;
+  }
+  parsed.kind = kind->as_string();
+
+  if (parsed.kind == "ping" || parsed.kind == "stats" ||
+      parsed.kind == "shutdown") {
+    parsed.is_admin = true;
+    return parsed;
+  }
+
+  Query q;
+  if (parsed.kind == "connectivity") {
+    q.kind = QueryKind::kConnectivity;
+  } else if (parsed.kind == "homology") {
+    q.kind = QueryKind::kHomology;
+  } else if (parsed.kind == "complex_stats") {
+    q.kind = QueryKind::kComplexStats;
+  } else if (parsed.kind == "decide") {
+    q.kind = QueryKind::kDecide;
+  } else {
+    parsed.error = ErrorInfo{
+        "bad_request",
+        "unknown kind '" + parsed.kind +
+            "' (choices: connectivity homology complex_stats decide ping "
+            "stats shutdown)"};
+    return parsed;
+  }
+
+  if (auto err = fill_query(request, &q)) {
+    parsed.error = std::move(err);
+    return parsed;
+  }
+  parsed.query = std::move(q);
+  return parsed;
+}
+
+Json make_ok_response(std::int64_t id, const std::string& kind, Json result,
+                      bool cached, bool coalesced) {
+  Json response = Json::object();
+  response.set("id", Json::integer(id));
+  response.set("ok", Json::boolean(true));
+  response.set("kind", Json::string(kind));
+  response.set("cached", Json::boolean(cached));
+  response.set("coalesced", Json::boolean(coalesced));
+  response.set("result", std::move(result));
+  return response;
+}
+
+Json make_error_response(std::int64_t id, const ErrorInfo& error) {
+  Json body = Json::object();
+  body.set("code", Json::string(error.code));
+  body.set("message", Json::string(error.message));
+  Json response = Json::object();
+  response.set("id", Json::integer(id));
+  response.set("ok", Json::boolean(false));
+  response.set("error", std::move(body));
+  return response;
+}
+
+}  // namespace psph::serve

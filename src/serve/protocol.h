@@ -1,0 +1,78 @@
+#pragma once
+
+// Request/response schema for psph_serve (DESIGN §5.14).
+//
+// A request is one JSON object per frame:
+//
+//   {"id": 7, "kind": "connectivity", "model": "async",
+//    "processes": 4, "participants": 4, "f": 1, "rounds": 1}
+//
+// Compute kinds are `connectivity`, `homology`, `complex_stats`, `decide`;
+// admin kinds are `ping`, `stats`, `shutdown`. Responses echo the id:
+//
+//   {"id": 7, "ok": true, "kind": "connectivity", "cached": false,
+//    "coalesced": false, "result": {...}}
+//   {"id": 7, "ok": false, "error": {"code": "bad_request", "message": ...}}
+//
+// Parsing *normalizes* the query: every parameter a given kind/model does
+// not consume is reset to zero before the cache key is formed, so requests
+// that differ only in irrelevant fields hash to the same key and coalesce.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "store/store.h"
+
+namespace psph::serve {
+
+enum class QueryKind { kConnectivity, kHomology, kComplexStats, kDecide };
+
+const char* kind_name(QueryKind kind);
+
+/// One validated, normalized compute query. Process counts follow the
+/// codebase convention: `processes` = n+1 and `participants` = m+1.
+struct Query {
+  QueryKind kind = QueryKind::kConnectivity;
+  std::string model = "async";  // async | sync | semisync | pseudosphere
+  int processes = 3;
+  int participants = 3;
+  int f = 1;        // failure budget (async connectivity; every decide)
+  int k = 1;        // per-round cap (sync/semisync) and set-agreement k
+  int mu = 2;       // semisync spacing
+  int rounds = 1;
+  int max_dim = 2;  // homology only
+  bool exact = false;  // homology only
+  std::vector<int> sizes;  // pseudosphere value-set sizes, |U_i| each
+  /// Per-query deadline; 0 means "use the server default".
+  std::int64_t deadline_ms = 0;
+};
+
+/// Canonical cache key over the normalized query (kind, model, and every
+/// parameter that can affect the result — never the deadline).
+store::CacheKeyBuilder cache_key(const Query& q);
+
+struct ErrorInfo {
+  std::string code;  // bad_request|overloaded|deadline_exceeded|internal|bad_frame
+  std::string message;
+};
+
+struct ParsedRequest {
+  std::int64_t id = 0;
+  std::string kind;              // raw kind string, "" when absent
+  std::optional<Query> query;    // set for valid compute kinds
+  std::optional<ErrorInfo> error;  // set on any validation failure
+  bool is_admin = false;         // ping / stats / shutdown
+};
+
+/// Parses and validates a request object. Never throws: malformed shapes
+/// come back as a bad_request ErrorInfo so the connection can keep serving.
+ParsedRequest parse_request(const Json& request);
+
+Json make_ok_response(std::int64_t id, const std::string& kind, Json result,
+                      bool cached, bool coalesced);
+Json make_error_response(std::int64_t id, const ErrorInfo& error);
+
+}  // namespace psph::serve

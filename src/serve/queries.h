@@ -1,0 +1,46 @@
+#pragma once
+
+// Query execution for psph_serve: the bridge between a validated protocol
+// Query and the batch engines (theorems.h checks, reduced_homology).
+//
+// The bit-identical-serving guarantee lives here: compute_sealed() calls
+// the *same* check_* / reduced_homology entry points the batch binaries
+// call, and serializes with the same store:: encoders, so a daemon response
+// and a batch run of the identical query produce the same sealed bytes —
+// which is exactly what the serve_smoke CI target asserts. The JSON body is
+// always rendered from the *decoded sealed bytes* (never from the in-memory
+// struct), so a cache hit and a fresh computation render identically too.
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "store/store.h"
+
+namespace psph::serve {
+
+struct QueryResult {
+  /// Sealed store envelope of the result — the canonical byte form.
+  std::vector<std::uint8_t> sealed;
+  /// JSON rendering of `sealed`, placed in the response's "result" field.
+  Json body;
+  bool cache_hit = false;
+};
+
+/// Computes the query from scratch (no store involved): exactly what the
+/// batch binaries do. Polls the thread-local deadline (util/cancel.h)
+/// through the underlying engines, so it throws util::DeadlineExceeded when
+/// a DeadlineScope expires mid-computation.
+std::vector<std::uint8_t> compute_sealed(const Query& q);
+
+/// Decodes sealed bytes for `q` and renders the response body. Throws
+/// store::SerializationError on damaged bytes.
+Json render_result(const Query& q, const std::vector<std::uint8_t>& sealed);
+
+/// Store-first execution: load (any store fault degrades to a miss), else
+/// compute and write back (a failed save degrades to "not cached"). `store`
+/// may be null for a storeless server.
+QueryResult execute_query(const Query& q, store::ResultStore* store);
+
+}  // namespace psph::serve

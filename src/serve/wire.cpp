@@ -1,0 +1,136 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace psph::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw WireError(what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly n bytes. Returns the number read before EOF (== n on
+/// success); throws WireError on a socket error.
+std::size_t read_exact(int fd, void* buffer, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got =
+        ::read(fd, static_cast<char*>(buffer) + done, n - done);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return done;  // EOF
+    if (errno == EINTR) continue;
+    fail_errno("wire: read");
+  }
+  return done;
+}
+
+void write_exact(int fd, const void* buffer, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::send(fd, static_cast<const char*>(buffer) + done,
+                               n - done, MSG_NOSIGNAL);
+    if (put >= 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    fail_errno("wire: write");
+  }
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string* payload) {
+  std::uint8_t header[4];
+  const std::size_t got = read_exact(fd, header, sizeof header);
+  if (got == 0) return FrameStatus::kClosed;
+  if (got < sizeof header) throw WireError("wire: torn frame header");
+  const std::uint32_t length = static_cast<std::uint32_t>(header[0]) |
+                               (static_cast<std::uint32_t>(header[1]) << 8) |
+                               (static_cast<std::uint32_t>(header[2]) << 16) |
+                               (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > kMaxFrameBytes) {
+    throw WireError("wire: frame length " + std::to_string(length) +
+                    " exceeds limit " + std::to_string(kMaxFrameBytes));
+  }
+  payload->resize(length);
+  if (length != 0 && read_exact(fd, payload->data(), length) < length) {
+    throw WireError("wire: torn frame payload");
+  }
+  return FrameStatus::kFrame;
+}
+
+void write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw WireError("wire: refusing to send oversized frame");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(length & 0xFF),
+      static_cast<std::uint8_t>((length >> 8) & 0xFF),
+      static_cast<std::uint8_t>((length >> 16) & 0xFF),
+      static_cast<std::uint8_t>((length >> 24) & 0xFF),
+  };
+  write_exact(fd, header, sizeof header);
+  write_exact(fd, payload.data(), payload.size());
+}
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw WireError("wire: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail_errno("wire: socket");
+  ::unlink(path.c_str());  // remove a stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("wire: bind " + path);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("wire: listen " + path);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail_errno("wire: socket");
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) < 0) {
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("wire: connect " + path);
+  }
+  return fd;
+}
+
+}  // namespace psph::serve

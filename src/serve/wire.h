@@ -1,0 +1,51 @@
+#pragma once
+
+// Length-prefixed framing over local (AF_UNIX) stream sockets.
+//
+// A frame is a 4-byte little-endian payload length followed by that many
+// bytes of UTF-8 JSON. The length prefix makes message boundaries explicit,
+// so a reader can reject an oversized announcement *before* allocating, and
+// can tell a clean close (EOF between frames) from a torn one (EOF inside a
+// frame). All syscall loops retry EINTR; writes use MSG_NOSIGNAL so a peer
+// hanging up yields an error return instead of SIGPIPE.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace psph::serve {
+
+/// Frames larger than this are rejected without allocation. Generous for
+/// this protocol: the largest legitimate responses (homology tables, stats)
+/// are a few KiB.
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+/// Thrown on unrecoverable stream damage: oversized length prefix, EOF in
+/// the middle of a frame, or a socket error. After a WireError the stream
+/// position is unknown, so the connection must be closed.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FrameStatus {
+  kFrame,   // *payload holds one complete frame
+  kClosed,  // clean EOF: the peer closed between frames
+};
+
+/// Reads one frame. Returns kClosed only on EOF at a frame boundary;
+/// mid-frame EOF and oversized prefixes throw WireError.
+FrameStatus read_frame(int fd, std::string* payload);
+
+/// Writes one frame (header + payload). Throws WireError if the payload
+/// exceeds kMaxFrameBytes or the peer is gone.
+void write_frame(int fd, const std::string& payload);
+
+/// Creates, binds, and listens on an AF_UNIX stream socket, unlinking any
+/// stale socket file first. Throws WireError (with errno text) on failure.
+int listen_unix(const std::string& path, int backlog);
+
+/// Connects to an AF_UNIX stream socket. Throws WireError on failure.
+int connect_unix(const std::string& path);
+
+}  // namespace psph::serve

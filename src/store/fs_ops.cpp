@@ -1,6 +1,7 @@
 #include "store/fs_ops.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -76,6 +77,24 @@ class RealFsOps final : public FsOps {
 };
 
 }  // namespace
+
+int FsOps::lock_file(const fs::path& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) fail("store: cannot open lock file", path);
+  while (::flock(fd, LOCK_EX) != 0) {
+    if (errno == EINTR) continue;
+    ::close(fd);
+    fail("store: flock failed on", path);
+  }
+  return fd;
+}
+
+void FsOps::unlock_file(int handle) {
+  // Closing the descriptor releases the flock; an explicit unlock first
+  // keeps the release visible even if the close is delayed by a dup.
+  ::flock(handle, LOCK_UN);
+  ::close(handle);
+}
 
 std::shared_ptr<FsOps> FsOps::real() {
   static const std::shared_ptr<FsOps> instance = std::make_shared<RealFsOps>();

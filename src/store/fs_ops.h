@@ -47,8 +47,34 @@ class FsOps {
   /// Throws std::runtime_error on failure.
   virtual void fsync_dir(const std::filesystem::path& dir) = 0;
 
+  /// Acquires an advisory exclusive flock(2) on `path` (created if
+  /// missing), blocking until granted, and returns an opaque handle for
+  /// unlock_file. Advisory: it serializes only cooperating lockers — which
+  /// is exactly what multiple daemon processes publishing into one store
+  /// are. The base implementation is real flock and is intentionally NOT
+  /// routed through the fault plan: a lost lock would serialize nothing,
+  /// and the property under test for faults is payload integrity, not
+  /// mutual exclusion. Throws std::runtime_error on failure.
+  virtual int lock_file(const std::filesystem::path& path);
+  virtual void unlock_file(int handle);
+
   /// The shared POSIX-backed implementation.
   static std::shared_ptr<FsOps> real();
+};
+
+/// RAII exclusive advisory lock over FsOps::lock_file/unlock_file.
+class FileLock {
+ public:
+  FileLock(FsOps& fs, const std::filesystem::path& path)
+      : fs_(fs), handle_(fs.lock_file(path)) {}
+  ~FileLock() { fs_.unlock_file(handle_); }
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  FsOps& fs_;
+  int handle_;
 };
 
 }  // namespace psph::store

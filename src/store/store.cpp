@@ -184,8 +184,16 @@ void ResultStore::save(const CacheKeyBuilder& key,
   // itself durable. Readers see either no entry or the whole entry — even
   // across a power cut.
   fs_->write_file(tmp_path, sealed.data(), sealed.size());
-  fs_->rename(tmp_path, final_path);
-  fs_->fsync_dir(final_path.parent_path());
+  {
+    // Advisory cross-process serialization of the publish step: rename is
+    // atomic on its own, but N daemons sharing one root would otherwise
+    // interleave rename+dir-fsync pairs, leaving a window where a crash
+    // strands a rename that no surviving process ever fsyncs. The lock
+    // covers only rename+fsync — the (slow) temp write stays concurrent.
+    FileLock publish_lock(*fs_, root_ / "lock");
+    fs_->rename(tmp_path, final_path);
+    fs_->fsync_dir(final_path.parent_path());
+  }
   writes_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(sealed.size(), std::memory_order_relaxed);
   if (obs::enabled()) g_obs_writes.add(1);

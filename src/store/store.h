@@ -21,7 +21,11 @@
 // filesystem is atomic, so concurrent writers race benignly (last rename
 // wins with identical content); the fsyncs mean a crash at any instant —
 // even a power cut mid-publish — leaves either no entry or a fully written
-// one after reboot, never a torn entry. All filesystem I/O goes through an
+// one after reboot, never a torn entry. The rename+fsync pair additionally
+// holds an advisory flock on <root>/lock, so multiple *processes* (daemon
+// fleets sharing one store) publish one at a time — the only cross-process
+// coordination the store needs, and it goes through FsOps like every other
+// filesystem touch. All filesystem I/O goes through an
 // injectable FsOps (fs_ops.h) so the fault-injection harness can exercise
 // short writes, failed renames, ENOSPC, and read bit-rot against the real
 // store logic.

@@ -6,6 +6,7 @@
 #include "math/smith.h"
 #include "obs/obs.h"
 #include "topology/collapse.h"
+#include "util/cancel.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -90,6 +91,10 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
     obs::SpanTimer span("homology.warm_face_cache");
     k.warm_face_cache();
   }
+  // Cooperative cancellation boundaries (serve deadlines): once before the
+  // Morse cascade and once per dimension ahead of each elimination. With no
+  // deadline active each poll is a single thread-local load.
+  util::poll_deadline();
   if (options.morse) {
     // Morse preprocessing: the critical-cell complex has the same homology
     // (Betti and torsion) as the full one, with typically far fewer cells.
@@ -112,6 +117,7 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
       ranks[slot] = 0;
       return;
     }
+    util::poll_deadline();
     obs::SpanTimer span("homology.rank", static_cast<std::int64_t>(slot));
     g_obs_rank_dims.add(1);
     if (!options.morse) {
@@ -136,6 +142,7 @@ HomologyReport reduced_homology(const SimplicialComplex& k,
         static_cast<std::size_t>(options.max_dim) + 1);
     util::parallel_for(snfs.size(), [&](std::size_t slot) {
       if (counts[slot + 1] == 0) return;
+      util::poll_deadline();
       obs::SpanTimer span("homology.snf",
                           static_cast<std::int64_t>(slot + 1));
       g_obs_snf_dims.add(1);

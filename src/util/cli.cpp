@@ -1,8 +1,10 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -57,7 +59,7 @@ Cli& Cli::add(Flag flag) {
 }
 
 Cli& Cli::flag(const std::string& name, int* target, const std::string& help) {
-  return add({name, help, std::to_string(*target), false,
+  return add({name, help, std::to_string(*target), {}, false,
               [target](const std::string& text) {
                 std::int64_t wide = 0;
                 if (!parse_int64(text, &wide)) return false;
@@ -72,7 +74,7 @@ Cli& Cli::flag(const std::string& name, int* target, const std::string& help) {
 
 Cli& Cli::flag(const std::string& name, std::int64_t* target,
                const std::string& help) {
-  return add({name, help, std::to_string(*target), false,
+  return add({name, help, std::to_string(*target), {}, false,
               [target](const std::string& text) {
                 return parse_int64(text, target);
               }});
@@ -80,7 +82,7 @@ Cli& Cli::flag(const std::string& name, std::int64_t* target,
 
 Cli& Cli::flag(const std::string& name, double* target,
                const std::string& help) {
-  return add({name, help, std::to_string(*target), false,
+  return add({name, help, std::to_string(*target), {}, false,
               [target](const std::string& text) {
                 return parse_double(text, target);
               }});
@@ -88,7 +90,7 @@ Cli& Cli::flag(const std::string& name, double* target,
 
 Cli& Cli::flag(const std::string& name, bool* target,
                const std::string& help) {
-  return add({name, help, *target ? "true" : "false", true,
+  return add({name, help, *target ? "true" : "false", {}, true,
               [target](const std::string& text) {
                 return parse_bool(text, target);
               }});
@@ -96,11 +98,29 @@ Cli& Cli::flag(const std::string& name, bool* target,
 
 Cli& Cli::flag(const std::string& name, std::string* target,
                const std::string& help) {
-  return add({name, help, *target, false,
+  return add({name, help, *target, {}, false,
               [target](const std::string& text) {
                 *target = text;
                 return true;
               }});
+}
+
+Cli& Cli::flag_choice(const std::string& name, std::string* target,
+                      std::vector<std::string> choices,
+                      const std::string& help) {
+  auto shared_choices =
+      std::make_shared<std::vector<std::string>>(std::move(choices));
+  Flag flag{name, help, *target, *shared_choices, false,
+            [target, shared_choices](const std::string& text) {
+              for (const std::string& choice : *shared_choices) {
+                if (text == choice) {
+                  *target = text;
+                  return true;
+                }
+              }
+              return false;
+            }};
+  return add(std::move(flag));
 }
 
 const Cli::Flag* Cli::find(const std::string& name) const {
@@ -110,22 +130,71 @@ const Cli::Flag* Cli::find(const std::string& name) const {
   return nullptr;
 }
 
+std::string Cli::suggest(const std::string& name) const {
+  // Plain Levenshtein over the (short) registered names; a suggestion is
+  // offered only within distance 2, past which "did you mean" reads as
+  // noise rather than help.
+  std::string best;
+  std::size_t best_distance = 3;
+  for (const Flag& flag : flags_) {
+    const std::string& candidate = flag.name;
+    std::vector<std::size_t> previous(candidate.size() + 1);
+    std::vector<std::size_t> current(candidate.size() + 1);
+    for (std::size_t j = 0; j <= candidate.size(); ++j) previous[j] = j;
+    for (std::size_t i = 1; i <= name.size(); ++i) {
+      current[0] = i;
+      for (std::size_t j = 1; j <= candidate.size(); ++j) {
+        const std::size_t substitute =
+            previous[j - 1] + (name[i - 1] == candidate[j - 1] ? 0 : 1);
+        current[j] = std::min({previous[j] + 1, current[j - 1] + 1,
+                               substitute});
+      }
+      std::swap(previous, current);
+    }
+    const std::size_t distance = previous[candidate.size()];
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 std::string Cli::usage() const {
   std::ostringstream out;
   out << program_ << " — " << description_ << "\n\nFlags:\n";
   for (const Flag& flag : flags_) {
-    out << "  --" << flag.name << (flag.is_bool ? "" : "=<value>") << "\n"
-        << "      " << flag.help << " (default: " << flag.default_repr
+    out << "  --" << flag.name;
+    if (!flag.choices.empty()) {
+      out << "=<";
+      for (std::size_t i = 0; i < flag.choices.size(); ++i) {
+        out << (i ? "|" : "") << flag.choices[i];
+      }
+      out << ">";
+    } else if (!flag.is_bool) {
+      out << "=<value>";
+    }
+    out << "\n      " << flag.help << " (default: " << flag.default_repr
         << ")\n";
   }
   out << "  --help\n      show this message\n";
+  out << "\nA bare `--` ends flag parsing; later arguments are positional.\n";
   return out.str();
 }
 
 Cli::ParseResult Cli::try_parse(int argc, char** argv) {
   ParseResult result;
+  bool flags_ended = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (flags_ended) {
+      result.positional.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      flags_ended = true;
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
       result.help = true;
       return result;
@@ -146,6 +215,8 @@ Cli::ParseResult Cli::try_parse(int argc, char** argv) {
     const Flag* flag = find(arg);
     if (flag == nullptr) {
       result.error = "unknown flag --" + arg;
+      const std::string near = suggest(arg);
+      if (!near.empty()) *result.error += " (did you mean --" + near + "?)";
       return result;
     }
     if (!has_value && !flag->is_bool) {
@@ -159,6 +230,13 @@ Cli::ParseResult Cli::try_parse(int argc, char** argv) {
     }
     if (!flag->set(value)) {
       result.error = "bad value for --" + arg + ": '" + value + "'";
+      if (!flag->choices.empty()) {
+        *result.error += " (choices:";
+        for (const std::string& choice : flag->choices) {
+          *result.error += " " + choice;
+        }
+        *result.error += ")";
+      }
       return result;
     }
   }

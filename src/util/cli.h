@@ -8,7 +8,11 @@
 //   cli.parse(argc, argv);   // exits with usage on --help or bad input
 //
 // Flags are accepted as --name=value or --name value. Boolean flags accept
-// bare --name as true.
+// bare --name as true. A literal `--` ends flag parsing: everything after
+// it is positional, even if it starts with dashes. Unknown flags fail with
+// a did-you-mean suggestion when a registered name is close, and --help
+// auto-lists every registered flag with its type, default, and (for
+// enumerated flags) the accepted choices.
 
 #include <cstdint>
 #include <functional>
@@ -29,6 +33,10 @@ class Cli {
   Cli& flag(const std::string& name, bool* target, const std::string& help);
   Cli& flag(const std::string& name, std::string* target,
             const std::string& help);
+  /// Enumerated string flag: the value must be one of `choices` (which the
+  /// usage text lists); anything else is a parse error naming the options.
+  Cli& flag_choice(const std::string& name, std::string* target,
+                   std::vector<std::string> choices, const std::string& help);
 
   /// Outcome of try_parse: exactly one of {error set, help set, success}.
   struct ParseResult {
@@ -59,12 +67,15 @@ class Cli {
     std::string name;
     std::string help;
     std::string default_repr;
+    std::vector<std::string> choices;  // nonempty only for flag_choice
     bool is_bool = false;
     std::function<bool(const std::string&)> set;
   };
 
   Cli& add(Flag flag);
   const Flag* find(const std::string& name) const;
+  /// Closest registered flag name within a small edit distance, or empty.
+  std::string suggest(const std::string& name) const;
 
   std::string program_;
   std::string description_;

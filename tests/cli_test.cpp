@@ -164,6 +164,81 @@ TEST(Cli, TryParseReportsHelpWithoutExiting) {
   EXPECT_FALSE(result.error.has_value());
 }
 
+TEST(Cli, ChoiceFlagAcceptsListedValuesOnly) {
+  util::Cli cli("test", "test");
+  std::string model = "async";
+  cli.flag_choice("model", &model, {"async", "sync", "semisync"}, "model");
+
+  std::vector<std::string> good{"prog", "--model=sync"};
+  std::vector<char*> argv = argv_of(good);
+  util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(result.error.has_value());
+  EXPECT_EQ(model, "sync");
+
+  std::vector<std::string> bad{"prog", "--model=byzantine"};
+  argv = argv_of(bad);
+  result = cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(result.error.has_value());
+  // The error must name the accepted choices, and the rejected value must
+  // not leak into the target.
+  EXPECT_NE(result.error->find("semisync"), std::string::npos);
+  EXPECT_EQ(model, "sync");
+}
+
+TEST(Cli, UsageListsEveryFlagWithChoicesAndDefaults) {
+  util::Cli cli("test", "test");
+  int n = 3;
+  std::string model = "async";
+  bool verbose = false;
+  cli.flag("n", &n, "process count");
+  cli.flag_choice("model", &model, {"async", "sync"}, "timing model");
+  cli.flag("verbose", &verbose, "chatty output");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--n=<value>"), std::string::npos);
+  EXPECT_NE(usage.find("--model=<async|sync>"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("(default: 3)"), std::string::npos);
+  EXPECT_NE(usage.find("(default: async)"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(Cli, DoubleDashEndsFlagParsing) {
+  util::Cli cli("test", "test");
+  int n = 1;
+  cli.flag("n", &n, "int");
+  std::vector<std::string> args{"prog", "--n=5", "--", "--n=9", "-x", "bare"};
+  std::vector<char*> argv = argv_of(args);
+  const util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(result.error.has_value());
+  EXPECT_EQ(n, 5);
+  ASSERT_EQ(result.positional.size(), 3u);
+  EXPECT_EQ(result.positional[0], "--n=9");
+  EXPECT_EQ(result.positional[1], "-x");
+  EXPECT_EQ(result.positional[2], "bare");
+}
+
+TEST(Cli, UnknownFlagSuggestsNearestName) {
+  util::Cli cli("test", "test");
+  int threads = 1;
+  cli.flag("threads", &threads, "int");
+  std::vector<std::string> args{"prog", "--thread", "4"};
+  std::vector<char*> argv = argv_of(args);
+  const util::Cli::ParseResult result =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_NE(result.error->find("did you mean --threads"), std::string::npos);
+
+  // Far-away names get no suggestion.
+  std::vector<std::string> far{"prog", "--zzzzzz", "4"};
+  argv = argv_of(far);
+  const util::Cli::ParseResult no_hint =
+      cli.try_parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(no_hint.error.has_value());
+  EXPECT_EQ(no_hint.error->find("did you mean"), std::string::npos);
+}
+
 TEST(Trace, RenderingMentionsStatesAndDecisions) {
   core::ViewRegistry views;
   sim::Trace trace;

@@ -1,0 +1,162 @@
+// CI smoke for psph_serve: launches the real daemon binary (argv[1]), runs
+// one query of every kind against it, asserts each response is bit-identical
+// to the batch compute path (the same check_*/reduced_homology calls the
+// batch binaries make, via serve::compute_sealed), asks it to shut down, and
+// requires a clean zero exit. Exits nonzero on the first mismatch.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/queries.h"
+#include "serve/wire.h"
+#include "store/store.h"
+
+namespace fs = std::filesystem;
+using namespace psph;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "serve_smoke FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+serve::Json base_request(const std::string& kind, const std::string& model) {
+  serve::Json request = serve::Client::request(0, kind);
+  request.set("model", serve::Json::string(model));
+  request.set("processes", serve::Json::integer(3));
+  return request;
+}
+
+std::vector<serve::Json> smoke_queries() {
+  std::vector<serve::Json> queries;
+  {
+    serve::Json q = base_request("connectivity", "async");
+    q.set("f", serve::Json::integer(1));
+    queries.push_back(q);
+  }
+  {
+    serve::Json q = base_request("homology", "sync");
+    q.set("k", serve::Json::integer(1)).set("max_dim", serve::Json::integer(2));
+    queries.push_back(q);
+  }
+  {
+    serve::Json q = base_request("complex_stats", "semisync");
+    q.set("k", serve::Json::integer(1)).set("mu", serve::Json::integer(2));
+    queries.push_back(q);
+  }
+  {
+    serve::Json q = base_request("decide", "async");
+    q.set("f", serve::Json::integer(1)).set("k", serve::Json::integer(1));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: serve_smoke <path-to-psph_serve>\n");
+    return 2;
+  }
+  const std::string daemon = argv[1];
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("psph_serve_smoke_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string socket = (dir / "serve.sock").string();
+  const std::string store_dir = (dir / "store").string();
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl(daemon.c_str(), daemon.c_str(), ("--socket=" + socket).c_str(),
+            ("--store-dir=" + store_dir).c_str(), nullptr);
+    std::perror("execl");
+    _exit(127);
+  }
+
+  // Wait for the daemon to bind its socket.
+  std::unique_ptr<serve::Client> client;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (client == nullptr) {
+    try {
+      client = std::make_unique<serve::Client>(socket);
+    } catch (const serve::WireError&) {
+      if (std::chrono::steady_clock::now() > give_up) {
+        std::fprintf(stderr, "serve_smoke FAIL: daemon never came up\n");
+        ::kill(pid, SIGKILL);
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  check(client->call(serve::Client::request(1, "ping")).get("ok")->as_bool(),
+        "ping");
+
+  std::int64_t id = 100;
+  for (serve::Json& request : smoke_queries()) {
+    const serve::ParsedRequest parsed = serve::parse_request(request);
+    check(parsed.query.has_value(), "smoke query must validate");
+    if (!parsed.query.has_value()) continue;
+
+    request.set("id", serve::Json::integer(++id));
+    const serve::Json response = client->call(request);
+    const std::string label = parsed.kind + "/" + parsed.query->model;
+    check(response.get("ok")->as_bool(), label + " responds ok");
+    if (!response.get("ok")->as_bool()) continue;
+
+    // Batch path, in this process: same engines, same encoders.
+    const std::vector<std::uint8_t> batch =
+        serve::compute_sealed(*parsed.query);
+    check(response.get("result")->dump() ==
+              serve::render_result(*parsed.query, batch).dump(),
+          label + " response matches the batch rendering");
+
+    // And the daemon's store entry holds exactly the batch bytes.
+    store::ResultStore mirror(store_dir);
+    const auto stored = mirror.load(serve::cache_key(*parsed.query));
+    check(stored.has_value(), label + " entry published");
+    if (stored.has_value()) {
+      check(*stored == batch, label + " stored bytes are bit-identical");
+    }
+  }
+
+  check(client->call(serve::Client::request(999, "shutdown"))
+            .get("ok")
+            ->as_bool(),
+        "shutdown acknowledged");
+  client.reset();
+
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) {
+    std::fprintf(stderr, "serve_smoke FAIL: waitpid\n");
+    return 1;
+  }
+  check(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+        "daemon exited cleanly (status " + std::to_string(status) + ")");
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (g_failures == 0) {
+    std::printf("serve_smoke OK: 4 kinds bit-identical, clean shutdown\n");
+    return 0;
+  }
+  return 1;
+}

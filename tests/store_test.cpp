@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/select.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -377,6 +379,131 @@ TEST(ResultStore, ConcurrentWritersToOneCacheDir) {
     }
   }
   // No temp-file droppings left behind.
+  EXPECT_TRUE(fs::is_empty(dir.path() / "tmp"));
+}
+
+// The publish step takes an advisory flock on <root>/lock. With the lock
+// held by this process, a forked child's save must block at publish; after
+// release it completes and the entry is valid. The assertions are one-sided
+// so scheduler jitter can never produce a false failure: a slow child
+// passes the "not yet" window trivially, and the final reads are blocking.
+TEST(ResultStore, CrossProcessPublishLockSerializes) {
+  TempDir dir;
+  store::ResultStore parent_store(dir.path());  // creates root layout
+  const std::shared_ptr<store::FsOps> fs = store::FsOps::real();
+  const int lock_handle = fs->lock_file(dir.path() / "lock");
+
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: no gtest, no exceptions escaping, _exit only.
+    ::close(pipe_fds[0]);
+    int code = 0;
+    try {
+      store::ResultStore child_store(dir.path());
+      store::CacheKeyBuilder key("test/flock");
+      key.param(1);
+      const char entered = 'a';
+      (void)!::write(pipe_fds[1], &entered, 1);
+      child_store.save(
+          key, store::seal(store::PayloadKind::kRawBytes, {0x42}));
+      const char done = 'b';
+      (void)!::write(pipe_fds[1], &done, 1);
+    } catch (...) {
+      code = 1;
+    }
+    ::close(pipe_fds[1]);
+    ::_exit(code);
+  }
+  ::close(pipe_fds[1]);
+
+  char byte = 0;
+  ASSERT_EQ(::read(pipe_fds[0], &byte, 1), 1);  // child reached save()
+  EXPECT_EQ(byte, 'a');
+  // While we hold the lock, "save done" must not arrive. Poll briefly;
+  // seeing nothing is the pass condition, so a slow child cannot flake.
+  ::timeval window{0, 200 * 1000};
+  fd_set readable;
+  FD_ZERO(&readable);
+  FD_SET(pipe_fds[0], &readable);
+  const int ready = ::select(pipe_fds[0] + 1, &readable, nullptr, nullptr,
+                             &window);
+  EXPECT_EQ(ready, 0) << "child published while the flock was held";
+
+  fs->unlock_file(lock_handle);
+  ASSERT_EQ(::read(pipe_fds[0], &byte, 1), 1);  // blocks until child saves
+  EXPECT_EQ(byte, 'b');
+  ::close(pipe_fds[0]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  store::CacheKeyBuilder key("test/flock");
+  key.param(1);
+  const auto loaded = parent_store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(store::unseal(*loaded, store::PayloadKind::kRawBytes),
+            std::vector<std::uint8_t>{0x42});
+}
+
+// Two writer *processes* hammering one root: every entry must come back
+// valid and the tmp dir clean — the cross-process analogue of the threaded
+// ConcurrentWriters test above.
+TEST(ResultStore, TwoProcessContention) {
+  TempDir dir;
+  constexpr int kProcs = 2;
+  constexpr int kKeysPerProc = 24;
+  std::vector<pid_t> children;
+  for (int p = 0; p < kProcs; ++p) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      int code = 0;
+      try {
+        store::ResultStore cache(dir.path());
+        for (int i = 0; i < kKeysPerProc; ++i) {
+          // Even indices collide across processes (same key, same bytes);
+          // odd ones are per-process.
+          const bool shared = i % 2 == 0;
+          store::CacheKeyBuilder key("test/two-process");
+          key.param(shared ? -1 : p).param(i);
+          store::ByteWriter payload;
+          payload.i64(shared ? -1 : p);
+          payload.i64(i);
+          cache.save(key, store::seal(store::PayloadKind::kRawBytes,
+                                      payload.bytes()));
+        }
+      } catch (...) {
+        code = 1;
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  store::ResultStore cache(dir.path());
+  for (int p = -1; p < kProcs; ++p) {
+    for (int i = 0; i < kKeysPerProc; ++i) {
+      const bool shared = i % 2 == 0;
+      if ((shared && p != -1) || (!shared && p == -1)) continue;
+      store::CacheKeyBuilder key("test/two-process");
+      key.param(p).param(i);
+      const auto loaded = cache.load(key);
+      ASSERT_TRUE(loaded.has_value()) << "proc " << p << " index " << i;
+      const std::vector<std::uint8_t> payload =
+          store::unseal(*loaded, store::PayloadKind::kRawBytes);
+      store::ByteReader in(payload);
+      EXPECT_EQ(in.i64(), p);
+      EXPECT_EQ(in.i64(), i);
+    }
+  }
   EXPECT_TRUE(fs::is_empty(dir.path() / "tmp"));
 }
 
