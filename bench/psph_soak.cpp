@@ -7,8 +7,10 @@
 // a minimal reproducer (--shrink). A saved schedule replays bit-for-bit
 // with --schedule-in.
 //
-//   ./psph_soak --runs 1000 --seed 42            # all four protocols
+//   ./psph_soak --runs 1000 --seed 42            # all six protocols
 //   ./psph_soak --protocol floodset --n 6 --f 3  # one protocol, other sizes
+//   ./psph_soak --protocol aba_byz --n 7 --byz-count 2   # Byzantine soak
+//   ./psph_soak --protocol nbac_fd --fd evstrong # NBAC over a ◇S oracle
 //   ./psph_soak --schedule-in repro.psph         # replay a saved failure
 //   ./psph_soak --schedule-in repro.psph --shrink --schedule-out min.psph
 
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
   std::int64_t seed = 42;
   std::string protocol = "all";
   int n = 4, f = 2, k = 1, monitor_k = -1;
+  int byz_count = 1, max_rounds = 48;
+  std::string fd = "somefail";
   std::int64_t c1 = 1, c2 = 2, d = 5;
   std::string schedule_out, schedule_in;
   bool do_shrink = false;
@@ -75,13 +79,21 @@ int main(int argc, char** argv) {
                 "adversaries; replay and shrink failures");
   cli.flag("runs", &runs, "seeded runs per protocol");
   cli.flag("seed", &seed, "base seed (run i uses seed+i)");
-  cli.flag("protocol", &protocol,
-           "floodset | early_stopping | async_kset | semisync_kset | all");
+  cli.flag_choice("protocol", &protocol,
+                  {"floodset", "early_stopping", "async_kset",
+                   "semisync_kset", "aba_byz", "nbac_fd", "all"},
+                  "protocol to soak");
   cli.flag("n", &n, "number of processes");
-  cli.flag("f", &f, "failure budget");
+  cli.flag("f", &f, "failure budget (nbac_fd: crash budget)");
   cli.flag("k", &k, "agreement degree");
   cli.flag("monitor-k", &monitor_k,
            "agreement degree the monitors enforce (-1 = protocol's k)");
+  cli.flag("byz-count", &byz_count,
+           "Byzantine corruption budget T (aba_byz)");
+  cli.flag_choice("fd", &fd, {"somefail", "evstrong"},
+                  "failure-detector oracle (nbac_fd)");
+  cli.flag("max-rounds", &max_rounds,
+           "adversary-controlled rounds before the drain phase (quorum)");
   cli.flag("c1", &c1, "min step spacing (semisync)");
   cli.flag("c2", &c2, "max step spacing (semisync)");
   cli.flag("d", &d, "max message delay (semisync)");
@@ -105,21 +117,18 @@ int main(int argc, char** argv) {
     protocols = {check::ProtocolKind::kFloodSet,
                  check::ProtocolKind::kEarlyStopping,
                  check::ProtocolKind::kAsyncKSet,
-                 check::ProtocolKind::kSemiSyncKSet};
+                 check::ProtocolKind::kSemiSyncKSet,
+                 check::ProtocolKind::kAbaByz,
+                 check::ProtocolKind::kNbacFd};
   } else {
-    bool found = false;
+    // flag_choice already validated the name.
     for (const check::ProtocolKind candidate :
          {check::ProtocolKind::kFloodSet, check::ProtocolKind::kEarlyStopping,
-          check::ProtocolKind::kAsyncKSet,
-          check::ProtocolKind::kSemiSyncKSet}) {
+          check::ProtocolKind::kAsyncKSet, check::ProtocolKind::kSemiSyncKSet,
+          check::ProtocolKind::kAbaByz, check::ProtocolKind::kNbacFd}) {
       if (protocol == check::protocol_name(candidate)) {
         protocols = {candidate};
-        found = true;
       }
-    }
-    if (!found) {
-      std::fprintf(stderr, "unknown protocol '%s'\n", protocol.c_str());
-      return 2;
     }
   }
 
@@ -135,6 +144,9 @@ int main(int argc, char** argv) {
     spec.c1 = c1;
     spec.c2 = c2;
     spec.d = d;
+    spec.t = byz_count;
+    spec.fd_kind = fd == "evstrong" ? 1 : 0;
+    spec.max_rounds = max_rounds;
 
     util::Timer timer;
     const check::SoakReport report =

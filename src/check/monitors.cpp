@@ -12,10 +12,17 @@ InvariantViolation::InvariantViolation(Violation violation, Schedule schedule)
       violation_(std::move(violation)),
       schedule_(std::move(schedule)) {}
 
+bool RunRecord::is_correct(sim::ProcessId pid) const {
+  if (correct.empty()) return true;
+  return std::binary_search(correct.begin(), correct.end(), pid);
+}
+
 std::optional<std::string> AgreementMonitor::check(
     const RunRecord& run) const {
   std::set<std::int64_t> values;
-  for (const sim::DecisionEvent& d : run.decisions) values.insert(d.value);
+  for (const sim::DecisionEvent& d : run.decisions) {
+    if (run.is_correct(d.pid)) values.insert(d.value);
+  }
   if (static_cast<int>(values.size()) <= run.k) return std::nullopt;
   std::ostringstream out;
   out << values.size() << " distinct decisions > k=" << run.k << " {";
@@ -30,12 +37,22 @@ std::optional<std::string> AgreementMonitor::check(
 }
 
 std::optional<std::string> ValidityMonitor::check(const RunRecord& run) const {
+  if (!run.validity_applies) return std::nullopt;
+  const auto is_correct_input = [&](std::int64_t value) {
+    for (std::size_t pid = 0; pid < run.inputs.size(); ++pid) {
+      if (run.inputs[pid] == value &&
+          run.is_correct(static_cast<sim::ProcessId>(pid))) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (const sim::DecisionEvent& d : run.decisions) {
-    if (std::find(run.inputs.begin(), run.inputs.end(), d.value) ==
-        run.inputs.end()) {
+    if (!run.is_correct(d.pid)) continue;
+    if (!is_correct_input(d.value)) {
       std::ostringstream out;
       out << "P" << d.pid << " decided " << d.value
-          << ", which is no process's input";
+          << ", which is no correct process's input";
       return out.str();
     }
   }
@@ -84,13 +101,181 @@ std::optional<std::string> NoZombieSendMonitor::check(
   return std::nullopt;
 }
 
+namespace {
+
+/// The distinct authenticated senders of (type, 1) messages any receiver
+/// ever saw — the global evidence pool certificates draw from.
+std::set<sim::ProcessId> global_senders(const sim::QuorumTrace& trace,
+                                        std::uint8_t type) {
+  std::set<sim::ProcessId> senders;
+  for (const auto& received : trace.delivered) {
+    for (const auto& [from, msg_type, value] : received) {
+      if (msg_type == type && value == 1) senders.insert(from);
+    }
+  }
+  return senders;
+}
+
+}  // namespace
+
+std::optional<std::string> QuorumCertificateMonitor::check(
+    const RunRecord& run) const {
+  if (run.quorum == nullptr || run.aba_certificates == nullptr) {
+    return std::nullopt;
+  }
+  const int guard_ready = protocols::aba_guard_ready2(run.n, run.byz_t);
+  for (const protocols::AbaCertificate& cert : *run.aba_certificates) {
+    if (static_cast<int>(cert.ready_senders.size()) < guard_ready) {
+      std::ostringstream out;
+      out << "P" << cert.pid << " decided on a ready certificate of "
+          << cert.ready_senders.size() << " senders < 2T+1=" << guard_ready;
+      return out.str();
+    }
+    const auto& received =
+        run.quorum->delivered[static_cast<std::size_t>(cert.pid)];
+    for (const sim::ProcessId sender : cert.echo_senders) {
+      if (received.count({sender, protocols::kAbaEcho, 1}) == 0) {
+        std::ostringstream out;
+        out << "P" << cert.pid << " counted a phantom ECHO sender P"
+            << sender << " never delivered on an authenticated channel";
+        return out.str();
+      }
+    }
+    for (const sim::ProcessId sender : cert.ready_senders) {
+      if (received.count({sender, protocols::kAbaReady, 1}) == 0) {
+        std::ostringstream out;
+        out << "P" << cert.pid << " counted a phantom READY sender P"
+            << sender << " never delivered on an authenticated channel";
+        return out.str();
+      }
+    }
+  }
+  bool correct_decided = false;
+  for (const sim::DecisionEvent& d : run.decisions) {
+    if (run.is_correct(d.pid)) correct_decided = true;
+  }
+  if (correct_decided) {
+    const int guard_echo = protocols::aba_guard_echo(run.n, run.byz_t);
+    const std::set<sim::ProcessId> echoers =
+        global_senders(*run.quorum, protocols::kAbaEcho);
+    if (static_cast<int>(echoers.size()) < guard_echo) {
+      std::ostringstream out;
+      out << "a decision exists on only " << echoers.size()
+          << " distinct ECHO senders globally < " << guard_echo;
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> QuorumLivenessMonitor::check(
+    const RunRecord& run) const {
+  if (run.quorum == nullptr || run.aba_final_counts == nullptr) {
+    return std::nullopt;
+  }
+  if (!run.quorum->quiescent) {
+    return std::string("run did not quiesce within the round cap");
+  }
+  std::set<sim::ProcessId> deciders;
+  for (const sim::DecisionEvent& d : run.decisions) {
+    if (run.is_correct(d.pid)) deciders.insert(d.pid);
+  }
+  std::size_t num_correct = 0;
+  bool any_one = false;
+  bool all_one = true;
+  for (std::size_t pid = 0; pid < run.inputs.size(); ++pid) {
+    if (!run.is_correct(static_cast<sim::ProcessId>(pid))) continue;
+    ++num_correct;
+    if (run.inputs[pid] == 1) {
+      any_one = true;
+    } else {
+      all_one = false;
+    }
+  }
+  if (!any_one && !deciders.empty()) {
+    std::ostringstream out;
+    out << "unforgeability: P" << *deciders.begin()
+        << " decided with no correct input 1";
+    return out.str();
+  }
+  if (all_one && num_correct > 0 && deciders.size() < num_correct) {
+    std::ostringstream out;
+    out << "correctness: all correct inputs are 1 but only "
+        << deciders.size() << "/" << num_correct
+        << " correct processes decided at quiescence";
+    return out.str();
+  }
+  if (!deciders.empty() && deciders.size() < num_correct) {
+    std::ostringstream out;
+    out << "relay: " << deciders.size() << "/" << num_correct
+        << " correct processes decided at quiescence";
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> NbacObligationMonitor::check(
+    const RunRecord& run) const {
+  if (run.quorum == nullptr || run.nbac_justifications == nullptr) {
+    return std::nullopt;
+  }
+  bool all_yes = true;
+  for (const std::int64_t vote : run.inputs) {
+    if (vote != 1) all_yes = false;
+  }
+  for (const protocols::NbacJustification& j : *run.nbac_justifications) {
+    if (j.decided == protocols::kNbacCommit) {
+      if (!all_yes) {
+        std::ostringstream out;
+        out << "P" << j.pid << " committed although some vote was NO";
+        return out.str();
+      }
+      if (j.yes_votes != run.n) {
+        std::ostringstream out;
+        out << "P" << j.pid << " committed on " << j.yes_votes << "/"
+            << run.n << " YES votes";
+        return out.str();
+      }
+    }
+    if (j.decided == protocols::kNbacAbort && !j.saw_no && !j.saw_suspicion) {
+      std::ostringstream out;
+      out << "P" << j.pid
+          << " aborted with neither a NO vote nor a suspicion";
+      return out.str();
+    }
+  }
+  if (run.quorum->quiescent) {
+    std::set<sim::ProcessId> crashed;
+    for (const auto& [pid, round] : run.quorum->crashes) crashed.insert(pid);
+    std::set<sim::ProcessId> decided;
+    for (const protocols::NbacJustification& j : *run.nbac_justifications) {
+      decided.insert(j.pid);
+    }
+    for (sim::ProcessId pid = 0; pid < run.n; ++pid) {
+      if (crashed.count(pid) != 0 || !run.is_correct(pid)) continue;
+      if (decided.count(pid) == 0) {
+        std::ostringstream out;
+        out << "termination: P" << pid
+            << " never decided although the run quiesced";
+        return out.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<std::shared_ptr<InvariantMonitor>> standard_monitors(Model model) {
   std::vector<std::shared_ptr<InvariantMonitor>> monitors;
   monitors.push_back(std::make_shared<AgreementMonitor>());
   monitors.push_back(std::make_shared<ValidityMonitor>());
   monitors.push_back(std::make_shared<DecisionBoundMonitor>());
-  if (model != Model::kSemiSync) {
+  if (model == Model::kSync || model == Model::kAsync) {
     monitors.push_back(std::make_shared<NoZombieSendMonitor>());
+  }
+  if (model == Model::kQuorum) {
+    monitors.push_back(std::make_shared<QuorumCertificateMonitor>());
+    monitors.push_back(std::make_shared<QuorumLivenessMonitor>());
+    monitors.push_back(std::make_shared<NbacObligationMonitor>());
   }
   return monitors;
 }

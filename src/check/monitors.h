@@ -27,6 +27,9 @@
 
 #include "check/schedule.h"
 #include "core/view.h"
+#include "protocols/aba_byz.h"
+#include "protocols/nbac_fd.h"
+#include "sim/quorum_executor.h"
 #include "sim/semisync_executor.h"
 #include "sim/trace.h"
 
@@ -56,6 +59,27 @@ struct RunRecord {
 
   const sim::Trace* trace = nullptr;
   const core::ViewRegistry* views = nullptr;
+
+  /// The correct (non-Byzantine) processes, sorted; empty means *all*
+  /// processes are correct — the crash-only models leave it empty and are
+  /// behaviorally unchanged. Agreement and validity quantify over these
+  /// only: a Byzantine process "deciding" garbage is not a violation, and
+  /// a corrupt process's input constrains nothing.
+  std::vector<sim::ProcessId> correct;
+  /// Whether the generic validity monitor applies. NBAC's ABORT (0) is a
+  /// legal decision even when nobody voted 0, so its records disable the
+  /// input-based check in favor of NbacObligationMonitor's obligations.
+  bool validity_applies = true;
+  /// Byzantine resilience parameter T of the run (quorum model).
+  int byz_t = 0;
+
+  const sim::QuorumTrace* quorum = nullptr;
+  const std::vector<protocols::AbaCertificate>* aba_certificates = nullptr;
+  const std::vector<protocols::AbaCertificate>* aba_final_counts = nullptr;
+  const std::vector<protocols::NbacJustification>* nbac_justifications =
+      nullptr;
+
+  bool is_correct(sim::ProcessId pid) const;
 };
 
 /// One invariant failure: which monitor fired and why.
@@ -86,14 +110,15 @@ class InvariantMonitor {
   virtual std::optional<std::string> check(const RunRecord& run) const = 0;
 };
 
-/// At most k distinct decided values.
+/// At most k distinct values decided *by correct processes*.
 class AgreementMonitor : public InvariantMonitor {
  public:
   const char* name() const override { return "agreement"; }
   std::optional<std::string> check(const RunRecord& run) const override;
 };
 
-/// Every decided value is some process's input.
+/// Every value decided by a correct process is some *correct* process's
+/// input. Skipped when the record clears validity_applies.
 class ValidityMonitor : public InvariantMonitor {
  public:
   const char* name() const override { return "validity"; }
@@ -115,8 +140,44 @@ class NoZombieSendMonitor : public InvariantMonitor {
   std::optional<std::string> check(const RunRecord& run) const override;
 };
 
+/// Quorum-certificate integrity (Byzantine quorum model): every decision
+/// carries a ready certificate of >= 2T+1 distinct senders, every sender
+/// counted in any certificate was actually delivered to that process over
+/// the authenticated channels (forged senders can never be counted), and
+/// any correct decision implies >= (N+T+2)/2 distinct echo senders exist
+/// globally — at the N = 3T+1 resilience boundary both thresholds equal
+/// N - T, the classical "no decision without N-T matching echoes" rule.
+class QuorumCertificateMonitor : public InvariantMonitor {
+ public:
+  const char* name() const override { return "quorum-certificate"; }
+  std::optional<std::string> check(const RunRecord& run) const override;
+};
+
+/// Byzantine-aware liveness/safety at quiescence: the run must be
+/// quiescent; unforgeability (no correct input 1 => nobody correct
+/// decides), correctness (all correct inputs 1 => every correct process
+/// decides), and relay (one correct decision => all correct processes
+/// decide). These are exactly the properties that break at N = 3T.
+class QuorumLivenessMonitor : public InvariantMonitor {
+ public:
+  const char* name() const override { return "quorum-liveness"; }
+  std::optional<std::string> check(const RunRecord& run) const override;
+};
+
+/// NBAC obligations: COMMIT only if every process voted YES;
+/// ABORT only with a justification (a NO vote, a crash, or a recorded
+/// suspicion); termination (quiescent => every non-crashed process
+/// decided). Agreement is deliberately NOT among these — see nbac_fd.h.
+class NbacObligationMonitor : public InvariantMonitor {
+ public:
+  const char* name() const override { return "nbac-obligation"; }
+  std::optional<std::string> check(const RunRecord& run) const override;
+};
+
 /// The standard battery: agreement, validity, decision bounds, and (for the
-/// round-based models) no-zombie-sends.
+/// round-based models) no-zombie-sends; the quorum model swaps
+/// no-zombie-sends for the certificate, liveness, and NBAC monitors
+/// (each skips silently when its outcome data is absent).
 std::vector<std::shared_ptr<InvariantMonitor>> standard_monitors(Model model);
 
 /// Runs every monitor; returns all failures (empty = run is clean).

@@ -13,6 +13,7 @@ const char* model_name(Model model) {
     case Model::kSync: return "sync";
     case Model::kAsync: return "async";
     case Model::kSemiSync: return "semisync";
+    case Model::kQuorum: return "quorum";
   }
   return "?";
 }
@@ -70,6 +71,25 @@ std::size_t Schedule::choice_count() const {
       }
       break;
     }
+    case Model::kQuorum: {
+      // Interference = corruptions + every explicit plan entry + false
+      // suspicions (suspecting a process that neither crashed in this
+      // schedule nor is corrupt; truthful suspicions are the oracle doing
+      // its job, not the adversary interfering).
+      count += corrupt.size();
+      std::set<sim::ProcessId> failed(corrupt.begin(), corrupt.end());
+      for (const sim::ByzRoundPlan& plan : quorum_rounds) {
+        count += plan.defer.size() + plan.drop.size() + plan.inject.size() +
+                 plan.crash.size();
+        failed.insert(plan.crash.begin(), plan.crash.end());
+      }
+      for (const FdSample& sample : fd_samples) {
+        for (const sim::ProcessId pid : sample.suspected) {
+          if (failed.find(pid) == failed.end()) ++count;
+        }
+      }
+      break;
+    }
   }
   return count;
 }
@@ -94,6 +114,18 @@ std::string Schedule::summary() const {
       }
       out << " steps=" << spacings.size() << " messages=" << delays.size()
           << " crashes=" << crashes;
+      break;
+    }
+    case Model::kQuorum: {
+      std::size_t crashes = 0;
+      std::size_t injects = 0;
+      for (const auto& plan : quorum_rounds) {
+        crashes += plan.crash.size();
+        injects += plan.inject.size();
+      }
+      out << " rounds=" << quorum_rounds.size()
+          << " corrupt=" << corrupt.size() << " crashes=" << crashes
+          << " injects=" << injects << " fd=" << fd_samples.size();
       break;
     }
   }
@@ -142,6 +174,38 @@ std::optional<sim::Time> RecordingSemiSyncAdversary::crash_time(
     out_.crash_times[static_cast<std::size_t>(pid)] = crash;
   }
   return crash;
+}
+
+std::vector<sim::ProcessId> RecordingByzantineAdversary::corrupt(
+    int num_processes, int max_byzantine) {
+  out_.corrupt = inner_.corrupt(num_processes, max_byzantine);
+  return out_.corrupt;
+}
+
+sim::ByzRoundPlan RecordingByzantineAdversary::plan_round(
+    int round, const std::vector<sim::PendingMessage>& in_flight,
+    const std::vector<sim::ProcessId>& alive, int crash_budget) {
+  sim::ByzRoundPlan plan =
+      inner_.plan_round(round, in_flight, alive, crash_budget);
+  out_.quorum_rounds.push_back(plan);
+  return plan;
+}
+
+RecordingFailureDetector::RecordingFailureDetector(sim::FailureDetector& inner,
+                                                   Schedule& out)
+    : inner_(inner), out_(out) {
+  out_.meta["fd_settle"] = inner_.settle_rounds();
+}
+
+std::vector<sim::ProcessId> RecordingFailureDetector::suspects(
+    sim::ProcessId observer, int round,
+    const std::vector<sim::ProcessId>& crashed) {
+  FdSample sample;
+  sample.observer = observer;
+  sample.round = round;
+  sample.suspected = inner_.suspects(observer, round, crashed);
+  out_.fd_samples.push_back(sample);
+  return sample.suspected;
 }
 
 // ---- replay ----
@@ -200,9 +264,90 @@ std::optional<sim::Time> ReplaySemiSyncAdversary::crash_time(
   return std::nullopt;
 }
 
+std::vector<sim::ProcessId> ReplayByzantineAdversary::corrupt(
+    int num_processes, int max_byzantine) {
+  num_processes_ = num_processes;
+  corrupt_.clear();
+  for (const sim::ProcessId pid : schedule_.corrupt) {
+    if (pid < 0 || pid >= num_processes) continue;
+    if (static_cast<int>(corrupt_.size()) >= max_byzantine) break;
+    if (!corrupt_.empty() && pid <= corrupt_.back()) continue;
+    corrupt_.push_back(pid);
+  }
+  return corrupt_;
+}
+
+sim::ByzRoundPlan ReplayByzantineAdversary::plan_round(
+    int round, const std::vector<sim::PendingMessage>& in_flight,
+    const std::vector<sim::ProcessId>& alive, int crash_budget) {
+  const std::size_t index = static_cast<std::size_t>(round - 1);
+  if (index >= schedule_.quorum_rounds.size()) return {};
+  const sim::ByzRoundPlan& recorded = schedule_.quorum_rounds[index];
+
+  // Sanitize against the current executor state (see class comment): an
+  // unedited recording passes through verbatim, a shrunk one degrades to
+  // fewer adversary choices instead of tripping executor validation.
+  sim::ByzRoundPlan plan;
+  const auto is_corrupt = [&](sim::ProcessId pid) {
+    return std::binary_search(corrupt_.begin(), corrupt_.end(), pid);
+  };
+  std::set<sim::ProcessId> crashing;
+  for (const sim::ProcessId pid : recorded.crash) {
+    if (static_cast<int>(plan.crash.size()) >= crash_budget) break;
+    if (std::find(alive.begin(), alive.end(), pid) == alive.end()) continue;
+    if (!crashing.insert(pid).second) continue;
+    plan.crash.push_back(pid);
+  }
+  const auto sender_crashed = [&](sim::ProcessId pid) {
+    if (is_corrupt(pid)) return false;
+    if (crashing.count(pid) != 0) return true;
+    return std::find(alive.begin(), alive.end(), pid) == alive.end();
+  };
+  std::set<std::uint32_t> in_flight_ids;
+  std::map<std::uint32_t, sim::ProcessId> sender_of;
+  for (const sim::PendingMessage& pm : in_flight) {
+    in_flight_ids.insert(pm.id);
+    sender_of[pm.id] = pm.msg.from;
+  }
+  for (const std::uint32_t id : recorded.drop) {
+    if (in_flight_ids.count(id) == 0) continue;
+    if (!sender_crashed(sender_of[id])) continue;
+    plan.drop.push_back(id);
+  }
+  for (const std::uint32_t id : recorded.defer) {
+    if (in_flight_ids.count(id) == 0) continue;
+    plan.defer.push_back(id);
+  }
+  for (const sim::ByzInject& inject : recorded.inject) {
+    if (!is_corrupt(inject.byz)) continue;
+    if (inject.to < 0 || inject.to >= num_processes_) continue;
+    plan.inject.push_back(inject);
+  }
+  return plan;
+}
+
+ReplayFailureDetector::ReplayFailureDetector(const Schedule& schedule)
+    : settle_rounds_(static_cast<int>(schedule.meta_or("fd_settle", 1))) {
+  for (const FdSample& sample : schedule.fd_samples) {
+    by_query_.emplace(std::make_pair(sample.observer, sample.round), &sample);
+  }
+}
+
+std::vector<sim::ProcessId> ReplayFailureDetector::suspects(
+    sim::ProcessId observer, int round,
+    const std::vector<sim::ProcessId>& crashed) {
+  const auto it = by_query_.find(std::make_pair(observer, round));
+  if (it == by_query_.end()) return crashed;
+  return it->second->suspected;
+}
+
 // ---- serialization ----
 
 namespace {
+
+/// v2 payloads start with this marker; v1 payloads start with a model tag,
+/// which is always <= 2 (the quorum model never existed in v1).
+constexpr std::uint8_t kSchedulePayloadV2 = 0xF2;
 
 void encode_pid_set(store::ByteWriter& out,
                     const std::set<sim::ProcessId>& pids) {
@@ -222,6 +367,7 @@ std::set<sim::ProcessId> decode_pid_set(store::ByteReader& in) {
 }  // namespace
 
 void encode_schedule(store::ByteWriter& out, const Schedule& schedule) {
+  out.u8(kSchedulePayloadV2);
   out.u8(static_cast<std::uint8_t>(schedule.model));
   out.u64(schedule.meta.size());
   for (const auto& [key, value] : schedule.meta) {
@@ -263,12 +409,44 @@ void encode_schedule(store::ByteWriter& out, const Schedule& schedule) {
   }
   out.u64(schedule.delays.size());
   for (const sim::Time delay : schedule.delays) out.i64(delay);
+
+  out.u64(schedule.corrupt.size());
+  for (const sim::ProcessId pid : schedule.corrupt) out.i64(pid);
+  out.u64(schedule.quorum_rounds.size());
+  for (const sim::ByzRoundPlan& plan : schedule.quorum_rounds) {
+    out.u64(plan.defer.size());
+    for (const std::uint32_t id : plan.defer) out.u64(id);
+    out.u64(plan.drop.size());
+    for (const std::uint32_t id : plan.drop) out.u64(id);
+    out.u64(plan.inject.size());
+    for (const sim::ByzInject& inject : plan.inject) {
+      out.i64(inject.byz);
+      out.i64(inject.claimed_from);
+      out.i64(inject.to);
+      out.u8(inject.type);
+      out.i64(inject.value);
+    }
+    out.u64(plan.crash.size());
+    for (const sim::ProcessId pid : plan.crash) out.i64(pid);
+  }
+  out.u64(schedule.fd_samples.size());
+  for (const FdSample& sample : schedule.fd_samples) {
+    out.i64(sample.observer);
+    out.i64(sample.round);
+    out.u64(sample.suspected.size());
+    for (const sim::ProcessId pid : sample.suspected) out.i64(pid);
+  }
 }
 
 Schedule decode_schedule(store::ByteReader& in) {
   Schedule schedule;
-  const std::uint8_t model = in.u8();
-  if (model > static_cast<std::uint8_t>(Model::kSemiSync)) {
+  const std::uint8_t first = in.u8();
+  const bool v2 = first == kSchedulePayloadV2;
+  const std::uint8_t model = v2 ? in.u8() : first;
+  const std::uint8_t max_model =
+      v2 ? static_cast<std::uint8_t>(Model::kQuorum)
+         : static_cast<std::uint8_t>(Model::kSemiSync);
+  if (model > max_model) {
     throw store::SerializationError("schedule: unknown model tag " +
                                     std::to_string(model));
   }
@@ -324,6 +502,51 @@ Schedule decode_schedule(store::ByteReader& in) {
   const std::uint64_t delay_count = in.u64();
   for (std::uint64_t i = 0; i < delay_count; ++i) {
     schedule.delays.push_back(in.i64());
+  }
+
+  if (v2) {
+    const std::uint64_t corrupt_count = in.u64();
+    for (std::uint64_t i = 0; i < corrupt_count; ++i) {
+      schedule.corrupt.push_back(static_cast<sim::ProcessId>(in.i64()));
+    }
+    const std::uint64_t round_count = in.u64();
+    for (std::uint64_t r = 0; r < round_count; ++r) {
+      sim::ByzRoundPlan plan;
+      const std::uint64_t defer_count = in.u64();
+      for (std::uint64_t i = 0; i < defer_count; ++i) {
+        plan.defer.push_back(static_cast<std::uint32_t>(in.u64()));
+      }
+      const std::uint64_t drop_count = in.u64();
+      for (std::uint64_t i = 0; i < drop_count; ++i) {
+        plan.drop.push_back(static_cast<std::uint32_t>(in.u64()));
+      }
+      const std::uint64_t inject_count = in.u64();
+      for (std::uint64_t i = 0; i < inject_count; ++i) {
+        sim::ByzInject inject;
+        inject.byz = static_cast<sim::ProcessId>(in.i64());
+        inject.claimed_from = static_cast<sim::ProcessId>(in.i64());
+        inject.to = static_cast<sim::ProcessId>(in.i64());
+        inject.type = in.u8();
+        inject.value = in.i64();
+        plan.inject.push_back(inject);
+      }
+      const std::uint64_t plan_crash_count = in.u64();
+      for (std::uint64_t i = 0; i < plan_crash_count; ++i) {
+        plan.crash.push_back(static_cast<sim::ProcessId>(in.i64()));
+      }
+      schedule.quorum_rounds.push_back(std::move(plan));
+    }
+    const std::uint64_t sample_count = in.u64();
+    for (std::uint64_t s = 0; s < sample_count; ++s) {
+      FdSample sample;
+      sample.observer = static_cast<sim::ProcessId>(in.i64());
+      sample.round = static_cast<int>(in.i64());
+      const std::uint64_t suspect_count = in.u64();
+      for (std::uint64_t i = 0; i < suspect_count; ++i) {
+        sample.suspected.push_back(static_cast<sim::ProcessId>(in.i64()));
+      }
+      schedule.fd_samples.push_back(std::move(sample));
+    }
   }
   return schedule;
 }

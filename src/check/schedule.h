@@ -35,14 +35,32 @@
 #include <vector>
 
 #include "sim/adversary.h"
+#include "sim/byzantine.h"
+#include "sim/failure_detector.h"
 #include "sim/semisync_executor.h"
 #include "store/serialize.h"
 
 namespace psph::check {
 
-enum class Model : std::uint8_t { kSync = 0, kAsync = 1, kSemiSync = 2 };
+enum class Model : std::uint8_t {
+  kSync = 0,
+  kAsync = 1,
+  kSemiSync = 2,
+  kQuorum = 3,  // Byzantine/failure-detector quorum executor
+};
 
 const char* model_name(Model model);
+
+/// One failure-detector answer: what `observer` was told at `round`.
+/// Recorded in query order; replay matches on (observer, round) so shrink
+/// edits elsewhere in the schedule cannot misalign the oracle stream.
+struct FdSample {
+  sim::ProcessId observer = -1;
+  int round = 0;
+  std::vector<sim::ProcessId> suspected;
+
+  bool operator==(const FdSample&) const = default;
+};
 
 /// One run's complete adversary decisions plus the inputs and parameters
 /// needed to re-execute it. Only the section matching `model` is populated.
@@ -68,6 +86,13 @@ struct Schedule {
   std::vector<std::optional<sim::Time>> crash_times;
   std::vector<std::pair<sim::ProcessId, sim::Time>> spacings;
   std::vector<sim::Time> delays;
+
+  // --- quorum: corrupt set, one Byzantine plan per round (index =
+  // round - 1), and the failure-detector answer stream. These sections
+  // only exist in schedule-envelope v2; v1 files load with them empty. ---
+  std::vector<sim::ProcessId> corrupt;
+  std::vector<sim::ByzRoundPlan> quorum_rounds;
+  std::vector<FdSample> fd_samples;
 
   bool operator==(const Schedule&) const = default;
 
@@ -128,6 +153,40 @@ class RecordingSemiSyncAdversary : public sim::SemiSyncAdversary {
   Schedule& out_;
 };
 
+class RecordingByzantineAdversary : public sim::ByzantineAdversary {
+ public:
+  RecordingByzantineAdversary(sim::ByzantineAdversary& inner, Schedule& out)
+      : inner_(inner), out_(out) {}
+
+  std::vector<sim::ProcessId> corrupt(int num_processes,
+                                      int max_byzantine) override;
+  sim::ByzRoundPlan plan_round(int round,
+                               const std::vector<sim::PendingMessage>& in_flight,
+                               const std::vector<sim::ProcessId>& alive,
+                               int crash_budget) override;
+
+ private:
+  sim::ByzantineAdversary& inner_;
+  Schedule& out_;
+};
+
+/// Records the oracle's answer stream and pins its settle horizon into
+/// meta["fd_settle"], so replay reproduces the executor's quiescence
+/// timing exactly.
+class RecordingFailureDetector : public sim::FailureDetector {
+ public:
+  RecordingFailureDetector(sim::FailureDetector& inner, Schedule& out);
+
+  std::vector<sim::ProcessId> suspects(
+      sim::ProcessId observer, int round,
+      const std::vector<sim::ProcessId>& crashed) override;
+  int settle_rounds() const override { return inner_.settle_rounds(); }
+
+ private:
+  sim::FailureDetector& inner_;
+  Schedule& out_;
+};
+
 // ---- replay adversaries (feed a stored Schedule back) ----
 
 /// Replays recorded sync round plans; rounds beyond the recording are
@@ -177,8 +236,56 @@ class ReplaySemiSyncAdversary : public sim::SemiSyncAdversary {
   std::size_t next_delay_ = 0;
 };
 
+/// Replays the recorded corrupt set and round plans. Because the shrinker
+/// edits schedules (removing crashes, drops, injections, corruptions),
+/// every plan is sanitized against the executor's current state instead of
+/// trusted: crashes are filtered to alive processes within budget, drops
+/// to in-flight ids with crashed senders, defers to in-flight ids, and
+/// injections to processes in the (replayed) corrupt set. Rounds beyond
+/// the recording get the empty (least adversarial) plan.
+class ReplayByzantineAdversary : public sim::ByzantineAdversary {
+ public:
+  explicit ReplayByzantineAdversary(const Schedule& schedule)
+      : schedule_(schedule) {}
+
+  std::vector<sim::ProcessId> corrupt(int num_processes,
+                                      int max_byzantine) override;
+  sim::ByzRoundPlan plan_round(int round,
+                               const std::vector<sim::PendingMessage>& in_flight,
+                               const std::vector<sim::ProcessId>& alive,
+                               int crash_budget) override;
+
+ private:
+  const Schedule& schedule_;
+  std::vector<sim::ProcessId> corrupt_;
+  int num_processes_ = 0;
+};
+
+/// Replays recorded failure-detector answers, matched by (observer,
+/// round); queries with no recorded sample fall back to the truthful
+/// answer (exactly the crashed set — complete and accurate, the least
+/// adversarial oracle). settle_rounds comes from meta["fd_settle"].
+class ReplayFailureDetector : public sim::FailureDetector {
+ public:
+  explicit ReplayFailureDetector(const Schedule& schedule);
+
+  std::vector<sim::ProcessId> suspects(
+      sim::ProcessId observer, int round,
+      const std::vector<sim::ProcessId>& crashed) override;
+  int settle_rounds() const override { return settle_rounds_; }
+
+ private:
+  std::map<std::pair<sim::ProcessId, int>, const FdSample*> by_query_;
+  int settle_rounds_ = 1;
+};
+
 // ---- serialization ----
 
+/// Payload format: v2 payloads begin with the marker byte 0xF2, then the
+/// model tag and every section including the quorum ones. v1 payloads
+/// (written before the quorum model existed) begin directly with a model
+/// tag <= 2; they still decode, with the quorum sections empty. The
+/// sealed-envelope layer (magic, size, checksum) is unchanged.
 void encode_schedule(store::ByteWriter& out, const Schedule& schedule);
 Schedule decode_schedule(store::ByteReader& in);
 

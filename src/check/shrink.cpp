@@ -86,6 +86,75 @@ void semisync_candidates(const Schedule& schedule,
   }
 }
 
+void quorum_candidates(const Schedule& schedule,
+                       std::vector<Schedule>& candidates) {
+  // Un-corrupt one process (its injections in every round go with it;
+  // replay then treats it as a silent correct process).
+  for (std::size_t c = 0; c < schedule.corrupt.size(); ++c) {
+    const sim::ProcessId byz = schedule.corrupt[c];
+    Schedule candidate = schedule;
+    candidate.corrupt.erase(candidate.corrupt.begin() +
+                            static_cast<std::ptrdiff_t>(c));
+    for (sim::ByzRoundPlan& plan : candidate.quorum_rounds) {
+      plan.inject.erase(
+          std::remove_if(plan.inject.begin(), plan.inject.end(),
+                         [&](const sim::ByzInject& inject) {
+                           return inject.byz == byz;
+                         }),
+          plan.inject.end());
+    }
+    candidates.push_back(std::move(candidate));
+  }
+  for (std::size_t r = 0; r < schedule.quorum_rounds.size(); ++r) {
+    const sim::ByzRoundPlan& plan = schedule.quorum_rounds[r];
+    // Un-crash (the replay sanitizer then ignores now-invalid drops of
+    // that sender; separate remove-drop edits clean those up).
+    for (std::size_t i = 0; i < plan.crash.size(); ++i) {
+      Schedule candidate = schedule;
+      auto& edited = candidate.quorum_rounds[r].crash;
+      edited.erase(edited.begin() + static_cast<std::ptrdiff_t>(i));
+      candidates.push_back(std::move(candidate));
+    }
+    // Deliver one deferred / dropped message on time.
+    for (std::size_t i = 0; i < plan.defer.size(); ++i) {
+      Schedule candidate = schedule;
+      auto& edited = candidate.quorum_rounds[r].defer;
+      edited.erase(edited.begin() + static_cast<std::ptrdiff_t>(i));
+      candidates.push_back(std::move(candidate));
+    }
+    for (std::size_t i = 0; i < plan.drop.size(); ++i) {
+      Schedule candidate = schedule;
+      auto& edited = candidate.quorum_rounds[r].drop;
+      edited.erase(edited.begin() + static_cast<std::ptrdiff_t>(i));
+      candidates.push_back(std::move(candidate));
+    }
+    // Silence one injection.
+    for (std::size_t i = 0; i < plan.inject.size(); ++i) {
+      Schedule candidate = schedule;
+      auto& edited = candidate.quorum_rounds[r].inject;
+      edited.erase(edited.begin() + static_cast<std::ptrdiff_t>(i));
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  // Retract one false suspicion (truthful ones carry no choice weight, so
+  // removing them could not decrease choice_count and is never proposed).
+  std::set<sim::ProcessId> failed(schedule.corrupt.begin(),
+                                  schedule.corrupt.end());
+  for (const sim::ByzRoundPlan& plan : schedule.quorum_rounds) {
+    failed.insert(plan.crash.begin(), plan.crash.end());
+  }
+  for (std::size_t s = 0; s < schedule.fd_samples.size(); ++s) {
+    const FdSample& sample = schedule.fd_samples[s];
+    for (std::size_t i = 0; i < sample.suspected.size(); ++i) {
+      if (failed.count(sample.suspected[i]) != 0) continue;
+      Schedule candidate = schedule;
+      auto& edited = candidate.fd_samples[s].suspected;
+      edited.erase(edited.begin() + static_cast<std::ptrdiff_t>(i));
+      candidates.push_back(std::move(candidate));
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Schedule> shrink_candidates(const Schedule& schedule) {
@@ -94,6 +163,7 @@ std::vector<Schedule> shrink_candidates(const Schedule& schedule) {
     case Model::kSync: sync_candidates(schedule, candidates); break;
     case Model::kAsync: async_candidates(schedule, candidates); break;
     case Model::kSemiSync: semisync_candidates(schedule, candidates); break;
+    case Model::kQuorum: quorum_candidates(schedule, candidates); break;
   }
   return candidates;
 }

@@ -17,6 +17,8 @@ const char* protocol_name(ProtocolKind protocol) {
     case ProtocolKind::kEarlyStopping: return "early_stopping";
     case ProtocolKind::kAsyncKSet: return "async_kset";
     case ProtocolKind::kSemiSyncKSet: return "semisync_kset";
+    case ProtocolKind::kAbaByz: return "aba_byz";
+    case ProtocolKind::kNbacFd: return "nbac_fd";
   }
   return "?";
 }
@@ -30,14 +32,30 @@ Model protocol_model(ProtocolKind protocol) {
       return Model::kAsync;
     case ProtocolKind::kSemiSyncKSet:
       return Model::kSemiSync;
+    case ProtocolKind::kAbaByz:
+    case ProtocolKind::kNbacFd:
+      return Model::kQuorum;
   }
   return Model::kSync;
 }
 
 int RunSpec::effective_monitor_k() const {
   if (monitor_k >= 0) return monitor_k;
-  // The async protocol achieves k = f + 1 regardless of the k field.
-  return protocol == ProtocolKind::kAsyncKSet ? f + 1 : k;
+  switch (protocol) {
+    // The async protocol achieves k = f + 1 regardless of the k field.
+    case ProtocolKind::kAsyncKSet:
+      return f + 1;
+    // Binary Byzantine agreement: one value.
+    case ProtocolKind::kAbaByz:
+      return 1;
+    // Weak NBAC: commit/abort divergence is reachable by design
+    // (Guerraoui's hardness result), so agreement is not an invariant.
+    // Pinning monitor_k = 1 plants a demonstration.
+    case ProtocolKind::kNbacFd:
+      return 2;
+    default:
+      return k;
+  }
 }
 
 namespace {
@@ -45,6 +63,16 @@ namespace {
 std::vector<std::int64_t> resolve_inputs(const RunSpec& spec) {
   if (!spec.inputs.empty()) return spec.inputs;
   std::vector<std::int64_t> inputs;
+  if (protocol_model(spec.protocol) == Model::kQuorum) {
+    // Binary protocols: seed-derived random bits (the all-distinct default
+    // below would be out of domain). A labeled sub-stream keeps the bits
+    // independent of every other consumer of the seed.
+    util::Rng rng = util::Rng(spec.seed).split("inputs");
+    for (int p = 0; p < spec.n; ++p) {
+      inputs.push_back(rng.next_bool(0.5) ? 1 : 0);
+    }
+    return inputs;
+  }
   for (int p = 0; p < spec.n; ++p) inputs.push_back(p);
   return inputs;
 }
@@ -64,6 +92,11 @@ Schedule base_schedule(const RunSpec& spec) {
     schedule.meta["d"] = spec.d;
     schedule.meta["max_time"] = spec.max_time;
   }
+  if (schedule.model == Model::kQuorum) {
+    schedule.meta["t"] = spec.t;
+    schedule.meta["fd_kind"] = spec.fd_kind;
+    schedule.meta["max_rounds"] = spec.max_rounds;
+  }
   schedule.inputs = resolve_inputs(spec);
   return schedule;
 }
@@ -81,7 +114,9 @@ std::size_t total_crashes(const sim::Trace& trace) {
 RunOutcome execute(const RunSpec& spec, Schedule& schedule,
                    sim::SyncAdversary* sync_adversary,
                    sim::AsyncAdversary* async_adversary,
-                   sim::SemiSyncAdversary* semisync_adversary) {
+                   sim::SemiSyncAdversary* semisync_adversary,
+                   sim::ByzantineAdversary* byz_adversary = nullptr,
+                   sim::FailureDetector* detector = nullptr) {
   const std::vector<std::int64_t> inputs = schedule.inputs;
   RunOutcome out;
   RunRecord record;
@@ -177,6 +212,47 @@ RunOutcome execute(const RunSpec& spec, Schedule& schedule,
           static_cast<int>(out.semisync->crashes.size());
       break;
     }
+    case ProtocolKind::kAbaByz: {
+      protocols::AbaByzConfig config;
+      config.num_processes = spec.n;
+      config.max_byzantine = spec.t;
+      config.max_rounds = spec.max_rounds;
+      protocols::AbaByzOutcome result =
+          protocols::run_aba_byz(inputs, config, *byz_adversary);
+      out.aba = std::make_shared<protocols::AbaByzOutcome>(std::move(result));
+      record.decisions = out.aba->trace.decisions;
+      record.byz_t = spec.t;
+      for (sim::ProcessId pid = 0; pid < spec.n; ++pid) {
+        if (!std::binary_search(out.aba->trace.corrupt.begin(),
+                                out.aba->trace.corrupt.end(), pid)) {
+          record.correct.push_back(pid);
+        }
+      }
+      record.quorum = &out.aba->trace;
+      record.aba_certificates = &out.aba->certificates;
+      record.aba_final_counts = &out.aba->final_counts;
+      record.actual_failures =
+          static_cast<int>(out.aba->trace.corrupt.size());
+      break;
+    }
+    case ProtocolKind::kNbacFd: {
+      protocols::NbacFdConfig config;
+      config.num_processes = spec.n;
+      config.max_crashes = spec.f;
+      config.max_rounds = spec.max_rounds;
+      protocols::NbacFdOutcome result =
+          protocols::run_nbac_fd(inputs, config, *byz_adversary, *detector);
+      out.nbac = std::make_shared<protocols::NbacFdOutcome>(std::move(result));
+      record.decisions = out.nbac->trace.decisions;
+      // ABORT (0) is a legal decision even when every vote is YES; the
+      // obligation monitor owns validity for this protocol.
+      record.validity_applies = false;
+      record.quorum = &out.nbac->trace;
+      record.nbac_justifications = &out.nbac->justifications;
+      record.actual_failures =
+          static_cast<int>(out.nbac->trace.crashes.size());
+      break;
+    }
   }
 
   if (out.trace != nullptr) {
@@ -225,6 +301,29 @@ RunOutcome run_recorded(const RunSpec& spec) {
       RecordingSemiSyncAdversary recording(inner, schedule);
       return execute(spec, schedule, nullptr, nullptr, &recording);
     }
+    case Model::kQuorum: {
+      const util::Rng root(spec.seed);
+      const bool is_nbac = spec.protocol == ProtocolKind::kNbacFd;
+      sim::RandomByzantineAdversary inner(
+          root,
+          is_nbac ? protocols::nbac_fd_alphabet()
+                  : protocols::aba_byz_alphabet(),
+          /*max_crashes=*/is_nbac ? spec.f : 0);
+      RecordingByzantineAdversary recording(inner, schedule);
+      if (!is_nbac) {
+        return execute(spec, schedule, nullptr, nullptr, nullptr, &recording);
+      }
+      std::unique_ptr<sim::FailureDetector> oracle;
+      if (spec.fd_kind == 1) {
+        oracle = std::make_unique<sim::EventuallyStrongDetector>(
+            root.split("fd"), spec.n);
+      } else {
+        oracle = std::make_unique<sim::SomeFailDetector>(root.split("fd"));
+      }
+      RecordingFailureDetector recording_fd(*oracle, schedule);
+      return execute(spec, schedule, nullptr, nullptr, nullptr, &recording,
+                     &recording_fd);
+    }
   }
   throw std::logic_error("run_recorded: unknown model");
 }
@@ -243,6 +342,9 @@ RunSpec spec_from_schedule(const Schedule& schedule) {
   spec.c2 = schedule.meta_or("c2", 2);
   spec.d = schedule.meta_or("d", 4);
   spec.max_time = schedule.meta_or("max_time", 1'000'000);
+  spec.t = static_cast<int>(schedule.meta_or("t", 1));
+  spec.fd_kind = static_cast<int>(schedule.meta_or("fd_kind", 0));
+  spec.max_rounds = static_cast<int>(schedule.meta_or("max_rounds", 48));
   return spec;
 }
 
@@ -261,6 +363,15 @@ RunOutcome replay_schedule(const Schedule& schedule) {
     case Model::kSemiSync: {
       ReplaySemiSyncAdversary adversary(schedule);
       return execute(spec, copy, nullptr, nullptr, &adversary);
+    }
+    case Model::kQuorum: {
+      ReplayByzantineAdversary adversary(schedule);
+      if (spec.protocol != ProtocolKind::kNbacFd) {
+        return execute(spec, copy, nullptr, nullptr, nullptr, &adversary);
+      }
+      ReplayFailureDetector oracle(schedule);
+      return execute(spec, copy, nullptr, nullptr, nullptr, &adversary,
+                     &oracle);
     }
   }
   throw std::logic_error("replay_schedule: unknown model");

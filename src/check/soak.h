@@ -34,6 +34,8 @@ enum class ProtocolKind : std::uint8_t {
   kEarlyStopping = 1,  // sync consensus, min(f'+2, f+1) rounds
   kAsyncKSet = 2,      // async, k = f+1, one round
   kSemiSyncKSet = 3,   // semi-sync FloodMin over timeouts
+  kAbaByz = 4,         // quorum, Bracha-style Byzantine agreement, N > 3T
+  kNbacFd = 5,         // quorum, NBAC over a failure-detector oracle
 };
 
 const char* protocol_name(ProtocolKind protocol);
@@ -58,6 +60,14 @@ struct RunSpec {
   sim::Time d = 4;
   sim::Time max_time = 1'000'000;
 
+  /// Quorum model only: Byzantine corruption budget T (aba_byz), which
+  /// failure-detector oracle nbac_fd runs over (0 = someFail-style,
+  /// 1 = eventually-strong ◇S-style), and the adversary-controlled round
+  /// horizon before the drain phase. nbac_fd's crash budget is `f`.
+  int t = 1;
+  int fd_kind = 0;
+  int max_rounds = 48;
+
   /// The agreement degree the monitors use.
   int effective_monitor_k() const;
 };
@@ -73,6 +83,8 @@ struct RunOutcome {
   std::shared_ptr<core::ViewRegistry> views;
   std::shared_ptr<sim::Trace> trace;
   std::shared_ptr<sim::SemiSyncResult> semisync;
+  std::shared_ptr<protocols::AbaByzOutcome> aba;
+  std::shared_ptr<protocols::NbacFdOutcome> nbac;
 
   bool ok() const { return violations.empty(); }
 };

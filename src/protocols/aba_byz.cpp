@@ -1,0 +1,149 @@
+#include "protocols/aba_byz.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+namespace psph::protocols {
+
+namespace {
+
+class AbaProcess : public sim::QuorumProcess {
+ public:
+  AbaProcess(sim::ProcessId pid, int input, int guard_echo, int guard_ready1,
+             int guard_ready2)
+      : pid_(pid),
+        input_(input),
+        guard_echo_(guard_echo),
+        guard_ready1_(guard_ready1),
+        guard_ready2_(guard_ready2) {}
+
+  void start(std::vector<sim::QuorumBroadcast>& out) override {
+    if (input_ == 1) {
+      echoed_ = true;
+      out.push_back({kAbaEcho, 1});
+    }
+  }
+
+  void deliver(sim::ProcessId from, std::uint8_t type,
+               std::int64_t value) override {
+    if (value != 1) return;  // the ABA value domain is {absent, 1}
+    if (type == kAbaEcho) echo_senders_.insert(from);
+    if (type == kAbaReady) ready_senders_.insert(from);
+  }
+
+  void step(int /*round*/, std::vector<sim::QuorumBroadcast>& out) override {
+    // Run the local guards to fixpoint; each send happens at most once,
+    // so two passes suffice (echo may enable ready).
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool amplify =
+          static_cast<int>(echo_senders_.size()) >= guard_echo_ ||
+          static_cast<int>(ready_senders_.size()) >= guard_ready1_;
+      if (!echoed_ && amplify) {
+        echoed_ = true;
+        out.push_back({kAbaEcho, 1});
+      }
+      if (echoed_ && !readied_ && amplify) {
+        readied_ = true;
+        out.push_back({kAbaReady, 1});
+      }
+    }
+    if (!decided_ &&
+        static_cast<int>(ready_senders_.size()) >= guard_ready2_) {
+      decided_ = true;
+      decision_cert_ = certificate();  // evidence at the moment of decision
+    }
+  }
+
+  std::optional<std::int64_t> decision() const override {
+    if (decided_) return 1;
+    return std::nullopt;
+  }
+
+  AbaCertificate certificate() const {
+    AbaCertificate cert;
+    cert.pid = pid_;
+    cert.echo_senders.assign(echo_senders_.begin(), echo_senders_.end());
+    cert.ready_senders.assign(ready_senders_.begin(), ready_senders_.end());
+    cert.decided = decided_;
+    return cert;
+  }
+
+  const std::optional<AbaCertificate>& decision_certificate() const {
+    return decision_cert_;
+  }
+
+ private:
+  std::optional<AbaCertificate> decision_cert_;
+  sim::ProcessId pid_;
+  int input_;
+  int guard_echo_;
+  int guard_ready1_;
+  int guard_ready2_;
+  bool echoed_ = false;
+  bool readied_ = false;
+  bool decided_ = false;
+  std::set<sim::ProcessId> echo_senders_;
+  std::set<sim::ProcessId> ready_senders_;
+};
+
+}  // namespace
+
+sim::ByzAlphabet aba_byz_alphabet() {
+  sim::ByzAlphabet alphabet;
+  alphabet.types.push_back({kAbaEcho, {1}});
+  alphabet.types.push_back({kAbaReady, {1}});
+  return alphabet;
+}
+
+AbaByzOutcome run_aba_byz(const std::vector<std::int64_t>& inputs,
+                          const AbaByzConfig& config,
+                          sim::ByzantineAdversary& adversary) {
+  const int n = config.num_processes;
+  if (static_cast<int>(inputs.size()) != n) {
+    throw std::invalid_argument("run_aba_byz: inputs.size() != n");
+  }
+  for (const std::int64_t v : inputs) {
+    if (v != 0 && v != 1) {
+      throw std::invalid_argument("run_aba_byz: inputs must be binary");
+    }
+  }
+  const int t = config.max_byzantine;
+
+  std::vector<std::unique_ptr<sim::QuorumProcess>> processes;
+  std::vector<AbaProcess*> raw;
+  for (sim::ProcessId pid = 0; pid < n; ++pid) {
+    auto p = std::make_unique<AbaProcess>(
+        pid, static_cast<int>(inputs[static_cast<std::size_t>(pid)]),
+        aba_guard_echo(n, t), aba_guard_ready1(n, t), aba_guard_ready2(n, t));
+    raw.push_back(p.get());
+    processes.push_back(std::move(p));
+  }
+
+  sim::QuorumConfig qc;
+  qc.num_processes = n;
+  qc.max_byzantine = t;
+  qc.max_crashes = 0;  // pure Byzantine model: corrupt or correct, no crashes
+  qc.max_rounds = config.max_rounds;
+
+  AbaByzOutcome outcome;
+  outcome.trace = sim::run_quorum(qc, processes, adversary);
+
+  const auto is_corrupt = [&](sim::ProcessId pid) {
+    return std::binary_search(outcome.trace.corrupt.begin(),
+                              outcome.trace.corrupt.end(), pid);
+  };
+  for (sim::ProcessId pid = 0; pid < n; ++pid) {
+    if (is_corrupt(pid)) continue;
+    const AbaProcess* p = raw[static_cast<std::size_t>(pid)];
+    outcome.final_counts.push_back(p->certificate());
+    if (p->decision_certificate().has_value()) {
+      outcome.certificates.push_back(*p->decision_certificate());
+    }
+  }
+  return outcome;
+}
+
+}  // namespace psph::protocols

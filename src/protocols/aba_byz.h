@@ -1,0 +1,79 @@
+#pragma once
+
+// Bracha-style asynchronous binary Byzantine agreement (echo/ready quorum
+// broadcast), after the ABA exemplar: correct for N > 3T.
+//
+// Each correct process with input 1 broadcasts ECHO(1). A process that has
+// collected enough evidence amplifies:
+//
+//   * >= guard_echo   distinct ECHO senders, or >= guard_ready1 distinct
+//     READY senders  -> broadcast ECHO (if it hasn't);
+//   * same thresholds, once it has echoed -> broadcast READY;
+//   * >= guard_ready2 distinct READY senders -> decide 1.
+//
+// with guard_echo = (N+T+2)/2 (integer division, i.e. > (N+T)/2),
+// guard_ready1 = T+1, guard_ready2 = 2T+1. Safety for N > 3T:
+//
+//   * unforgeability — if no correct process has input 1, correct ones
+//     never see guard_echo echoes (at most T Byzantine echoes exist), so
+//     nobody decides;
+//   * correctness — if every correct process has input 1, the N-T >=
+//     guard_echo correct echoes push everyone through to READY and a
+//     decision once the network drains;
+//   * relay — guard_ready2 readies contain >= T+1 correct ones, which
+//     reach everyone and re-trigger the T+1 amplification, so if any
+//     correct process decides, all do.
+//
+// At N = 3T the guards lose their overlap and the quorum monitors
+// (check/monitors.h) catch the resulting violations; the boundary tests
+// drive exactly that.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/byzantine.h"
+#include "sim/quorum_executor.h"
+
+namespace psph::protocols {
+
+inline constexpr std::uint8_t kAbaEcho = 1;
+inline constexpr std::uint8_t kAbaReady = 2;
+
+inline int aba_guard_echo(int n, int t) { return (n + t + 2) / 2; }
+inline int aba_guard_ready1(int /*n*/, int t) { return t + 1; }
+inline int aba_guard_ready2(int /*n*/, int t) { return 2 * t + 1; }
+
+struct AbaByzConfig {
+  int num_processes = 4;
+  int max_byzantine = 1;  // T
+  int max_rounds = 48;
+};
+
+/// A process's quorum certificate: the distinct senders behind its state.
+/// Captured twice per run — at decision time (the evidence the decision
+/// rests on) and at quiescence (for liveness diagnosis).
+struct AbaCertificate {
+  sim::ProcessId pid = -1;
+  std::vector<sim::ProcessId> echo_senders;
+  std::vector<sim::ProcessId> ready_senders;
+  bool decided = false;
+};
+
+struct AbaByzOutcome {
+  sim::QuorumTrace trace;
+  /// One entry per correct process that decided, snapshot at decision.
+  std::vector<AbaCertificate> certificates;
+  /// One entry per correct process, final counts at end of run.
+  std::vector<AbaCertificate> final_counts;
+};
+
+/// Runs one execution. `inputs` are the N binary inputs (corrupt
+/// positions' entries are ignored); throws on non-binary input.
+AbaByzOutcome run_aba_byz(const std::vector<std::int64_t>& inputs,
+                          const AbaByzConfig& config,
+                          sim::ByzantineAdversary& adversary);
+
+/// The (type, values) injection alphabet for this protocol.
+sim::ByzAlphabet aba_byz_alphabet();
+
+}  // namespace psph::protocols

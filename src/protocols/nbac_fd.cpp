@@ -1,0 +1,118 @@
+#include "protocols/nbac_fd.h"
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+namespace psph::protocols {
+
+namespace {
+
+class NbacProcess : public sim::QuorumProcess {
+ public:
+  NbacProcess(sim::ProcessId pid, int vote, int num_processes)
+      : pid_(pid), vote_(vote), num_processes_(num_processes) {}
+
+  void start(std::vector<sim::QuorumBroadcast>& out) override {
+    out.push_back({kNbacVote, vote_});
+  }
+
+  void deliver(sim::ProcessId from, std::uint8_t type,
+               std::int64_t value) override {
+    if (type != kNbacVote) return;
+    if (value == 0) saw_no_ = true;
+    if (value == 1) yes_voters_.insert(from);
+  }
+
+  void suspect(const std::vector<sim::ProcessId>& suspected) override {
+    if (decided_.has_value()) return;
+    for (const sim::ProcessId pid : suspected) {
+      if (pid != pid_) {
+        saw_suspicion_ = true;
+        break;
+      }
+    }
+  }
+
+  void step(int /*round*/, std::vector<sim::QuorumBroadcast>& out) override {
+    (void)out;
+    if (decided_.has_value()) return;
+    // Priority: a NO vote is definitive; all-YES commits; otherwise a
+    // suspicion means some vote may never arrive, so abort.
+    if (saw_no_) {
+      decided_ = kNbacAbort;
+    } else if (static_cast<int>(yes_voters_.size()) == num_processes_) {
+      decided_ = kNbacCommit;
+    } else if (saw_suspicion_) {
+      decided_ = kNbacAbort;
+    }
+  }
+
+  std::optional<std::int64_t> decision() const override { return decided_; }
+
+  NbacJustification justification() const {
+    NbacJustification j;
+    j.pid = pid_;
+    j.saw_no = saw_no_;
+    j.saw_suspicion = saw_suspicion_;
+    j.yes_votes = static_cast<int>(yes_voters_.size());
+    j.decided = decided_.value_or(-1);
+    return j;
+  }
+
+ private:
+  sim::ProcessId pid_;
+  std::int64_t vote_;
+  int num_processes_;
+  bool saw_no_ = false;
+  bool saw_suspicion_ = false;
+  std::set<sim::ProcessId> yes_voters_;
+  std::optional<std::int64_t> decided_;
+};
+
+}  // namespace
+
+sim::ByzAlphabet nbac_fd_alphabet() { return {}; }
+
+NbacFdOutcome run_nbac_fd(const std::vector<std::int64_t>& votes,
+                          const NbacFdConfig& config,
+                          sim::ByzantineAdversary& adversary,
+                          sim::FailureDetector& detector) {
+  const int n = config.num_processes;
+  if (static_cast<int>(votes.size()) != n) {
+    throw std::invalid_argument("run_nbac_fd: votes.size() != n");
+  }
+  for (const std::int64_t v : votes) {
+    if (v != 0 && v != 1) {
+      throw std::invalid_argument("run_nbac_fd: votes must be binary");
+    }
+  }
+
+  std::vector<std::unique_ptr<sim::QuorumProcess>> processes;
+  std::vector<NbacProcess*> raw;
+  for (sim::ProcessId pid = 0; pid < n; ++pid) {
+    auto p = std::make_unique<NbacProcess>(
+        pid, static_cast<int>(votes[static_cast<std::size_t>(pid)]), n);
+    raw.push_back(p.get());
+    processes.push_back(std::move(p));
+  }
+
+  sim::QuorumConfig qc;
+  qc.num_processes = n;
+  qc.max_byzantine = 0;  // crash model
+  qc.max_crashes = config.max_crashes;
+  qc.max_rounds = config.max_rounds;
+
+  NbacFdOutcome outcome;
+  outcome.trace = sim::run_quorum(qc, processes, adversary, &detector);
+
+  // Obligations are uniform: a decider's justification counts even if it
+  // crashed afterwards.
+  for (sim::ProcessId pid = 0; pid < n; ++pid) {
+    const NbacJustification j = raw[static_cast<std::size_t>(pid)]->justification();
+    if (j.decided >= 0) outcome.justifications.push_back(j);
+  }
+  return outcome;
+}
+
+}  // namespace psph::protocols

@@ -1,0 +1,72 @@
+#pragma once
+
+// Non-blocking atomic commit over a failure-detector oracle, after the
+// weak-NBAC exemplar (Guerraoui 2001).
+//
+// Every process broadcasts VOTE(v), v in {0 = NO, 1 = YES}, then decides:
+//
+//   * saw a NO vote                      -> ABORT (abort-validity witness);
+//   * received all N YES votes          -> COMMIT;
+//   * detector suspects someone, and no  -> ABORT (the suspicion is the
+//     commit is yet possible                 justification);
+//
+// with NO taking priority over COMMIT and COMMIT over suspicion when
+// several fire in the same round.
+//
+// Deliberately, this protocol does NOT guarantee agreement: one process
+// can receive all N YES votes and commit while another, missing a crashed
+// voter's message, aborts on a (perfectly accurate) suspicion. That
+// divergence is Guerraoui's hardness result for NBAC over realistic
+// detectors, and the check layer treats it accordingly — the
+// NbacObligationMonitor enforces commit-validity, abort-validity, and
+// termination, while agreement is only *observed* (monitored k defaults
+// to 2 for this protocol; pinning k = 1 plants a demonstration of the
+// hardness, see the quorum tests).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/byzantine.h"
+#include "sim/failure_detector.h"
+#include "sim/quorum_executor.h"
+
+namespace psph::protocols {
+
+inline constexpr std::uint8_t kNbacVote = 1;
+inline constexpr std::int64_t kNbacAbort = 0;
+inline constexpr std::int64_t kNbacCommit = 1;
+
+struct NbacFdConfig {
+  int num_processes = 4;
+  int max_crashes = 1;
+  int max_rounds = 48;
+};
+
+/// Why a process decided what it decided — the evidence the obligation
+/// monitor audits.
+struct NbacJustification {
+  sim::ProcessId pid = -1;
+  bool saw_no = false;         // received a NO vote
+  bool saw_suspicion = false;  // detector suspected someone pre-decision
+  int yes_votes = 0;           // distinct YES voters received
+  std::int64_t decided = -1;   // kNbacAbort / kNbacCommit
+};
+
+struct NbacFdOutcome {
+  sim::QuorumTrace trace;
+  /// One entry per correct process that decided.
+  std::vector<NbacJustification> justifications;
+};
+
+/// Runs one execution over the given detector. `votes` are the N binary
+/// votes; the adversary controls asynchrony and crash-stop failures (this
+/// is a crash-model protocol: max_byzantine is pinned to 0).
+NbacFdOutcome run_nbac_fd(const std::vector<std::int64_t>& votes,
+                          const NbacFdConfig& config,
+                          sim::ByzantineAdversary& adversary,
+                          sim::FailureDetector& detector);
+
+/// Injection alphabet (unused in the crash model, kept for symmetry).
+sim::ByzAlphabet nbac_fd_alphabet();
+
+}  // namespace psph::protocols

@@ -1,0 +1,112 @@
+#include "sim/byzantine.h"
+
+#include <algorithm>
+#include <string>
+
+namespace psph::sim {
+
+RandomByzantineAdversary::RandomByzantineAdversary(
+    const util::Rng& base, ByzAlphabet alphabet, int max_crashes,
+    double defer_probability, double inject_probability,
+    double forge_probability, double crash_probability)
+    : base_(base),
+      net_rng_(base.split("net")),
+      crash_rng_(base.split("crash")),
+      alphabet_(std::move(alphabet)),
+      max_crashes_(max_crashes),
+      defer_probability_(defer_probability),
+      inject_probability_(inject_probability),
+      forge_probability_(forge_probability),
+      crash_probability_(crash_probability) {}
+
+std::vector<ProcessId> RandomByzantineAdversary::corrupt(int num_processes,
+                                                         int max_byzantine) {
+  num_processes_ = num_processes;
+  util::Rng rng = base_.split("corrupt");
+  int count = std::min(max_byzantine, num_processes);
+  if (count > 0 && rng.next_bool(0.25)) {
+    // Occasionally corrupt fewer than the budget allows, so soaks also
+    // cover the easier configurations.
+    count = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(count + 1)));
+  }
+  const std::vector<int> picked =
+      rng.sample_without_replacement(num_processes, count);
+  corrupt_.assign(picked.begin(), picked.end());
+  byz_rngs_.clear();
+  muted_.clear();
+  for (const ProcessId pid : corrupt_) {
+    byz_rngs_.push_back(base_.split("byz/" + std::to_string(pid)));
+    util::Rng mute_rng = base_.split("mute/" + std::to_string(pid));
+    std::set<ProcessId> muted;
+    for (ProcessId to = 0; to < num_processes; ++to) {
+      if (mute_rng.next_bool(0.3)) muted.insert(to);
+    }
+    muted_.push_back(std::move(muted));
+  }
+  return corrupt_;
+}
+
+ByzRoundPlan RandomByzantineAdversary::plan_round(
+    int round, const std::vector<PendingMessage>& in_flight,
+    const std::vector<ProcessId>& alive, int crash_budget) {
+  (void)round;
+  ByzRoundPlan plan;
+
+  // Network choices: defer any message; drop only crashed senders' ones.
+  // The crash decisions come first so newly crashed senders' messages are
+  // droppable in the same round.
+  for (const ProcessId pid : alive) {
+    if (plan.crash.size() < static_cast<std::size_t>(crash_budget) &&
+        crash_rng_.next_bool(crash_probability_)) {
+      plan.crash.push_back(pid);
+    }
+  }
+  const auto crashed_now = [&](ProcessId pid) {
+    return std::find(alive.begin(), alive.end(), pid) == alive.end() ||
+           std::find(plan.crash.begin(), plan.crash.end(), pid) !=
+               plan.crash.end();
+  };
+  const auto is_corrupt = [&](ProcessId pid) {
+    return std::binary_search(corrupt_.begin(), corrupt_.end(), pid);
+  };
+  for (const PendingMessage& pending : in_flight) {
+    if (!is_corrupt(pending.msg.from) && crashed_now(pending.msg.from) &&
+        net_rng_.next_bool(0.5)) {
+      plan.drop.push_back(pending.id);
+    } else if (net_rng_.next_bool(defer_probability_)) {
+      plan.defer.push_back(pending.id);
+    }
+  }
+
+  // Per-corrupt-process injections, each from its own labeled stream.
+  for (std::size_t i = 0; i < corrupt_.size(); ++i) {
+    const ProcessId byz = corrupt_[i];
+    util::Rng& rng = byz_rngs_[i];
+    if (alphabet_.types.empty()) break;
+    for (ProcessId to = 0; to < num_processes_; ++to) {
+      if (muted_[i].count(to) != 0) continue;
+      if (!rng.next_bool(inject_probability_)) continue;
+      const auto& entry = rng.pick(alphabet_.types);
+      ByzInject inject;
+      inject.byz = byz;
+      inject.claimed_from = byz;
+      if (rng.next_bool(forge_probability_)) {
+        inject.claimed_from = static_cast<ProcessId>(
+            rng.next_below(static_cast<std::uint64_t>(num_processes_)));
+      }
+      inject.to = to;
+      inject.type = entry.first;
+      inject.value = entry.second.empty() ? 0 : rng.pick(entry.second);
+      const auto key = std::make_tuple(inject.claimed_from, inject.to,
+                                       inject.type, inject.value);
+      if (inject.claimed_from == byz && !injected_.insert(key).second) {
+        continue;  // duplicate of an earlier (kept) injection: no effect
+      }
+      plan.inject.push_back(inject);
+    }
+  }
+  return plan;
+}
+
+}  // namespace psph::sim

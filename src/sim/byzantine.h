@@ -1,0 +1,157 @@
+#pragma once
+
+// Byzantine/message adversary for the quorum executor.
+//
+// The crash-only adversaries (adversary.h) choose who crashes and what
+// still gets delivered. A ByzantineAdversary controls strictly more:
+//
+//   * corruption — before the run it picks up to T processes to corrupt;
+//     corrupted processes run no protocol code at all, their observable
+//     behavior *is* the adversary's injection stream;
+//   * equivocation — an injection names a single receiver, so a corrupt
+//     process can tell different receivers different things (or nothing);
+//   * selective silence — simply not injecting to some receivers;
+//   * forged-sender drops — an injection whose claimed sender differs from
+//     the corrupt process is rejected by the (authenticated) channels; the
+//     executor counts the drop so monitors can assert forgeries never
+//     reach a quorum certificate;
+//   * asynchrony — per round it may defer any in-flight message (eventual
+//     delivery is forced by the executor's drain phase);
+//   * crash-stop failures — for the crash+failure-detector protocols it
+//     may crash up to `max_crashes` correct processes and selectively drop
+//     their in-flight messages (only crashed senders' messages may drop).
+//
+// Every choice is a plain value (ByzRoundPlan / the corrupt set), which is
+// what the check layer records into a Schedule and replays bit-for-bit.
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/random.h"
+
+namespace psph::sim {
+
+/// One point-to-point message waiting in the network. Ids are assigned in
+/// creation order by the executor and are stable across replay.
+struct QuorumMessage {
+  ProcessId from = -1;
+  ProcessId to = -1;
+  std::uint8_t type = 0;
+  std::int64_t value = 0;
+
+  bool operator==(const QuorumMessage&) const = default;
+};
+
+struct PendingMessage {
+  std::uint32_t id = 0;
+  QuorumMessage msg;
+
+  bool operator==(const PendingMessage&) const = default;
+};
+
+/// One injection attempt by a corrupt process. `claimed_from != byz` is a
+/// forged-sender attempt; authenticated channels drop it (and the executor
+/// records that they did).
+struct ByzInject {
+  ProcessId byz = -1;
+  ProcessId claimed_from = -1;
+  ProcessId to = -1;
+  std::uint8_t type = 0;
+  std::int64_t value = 0;
+
+  bool operator==(const ByzInject&) const = default;
+};
+
+/// One round of Byzantine-adversary choices.
+struct ByzRoundPlan {
+  /// In-flight message ids held back this round (delivered later; the
+  /// drain phase delivers everything, so deferral is finite asynchrony).
+  std::vector<std::uint32_t> defer;
+  /// In-flight message ids dropped outright; only messages whose sender
+  /// has crashed (this round or earlier) may be dropped.
+  std::vector<std::uint32_t> drop;
+  std::vector<ByzInject> inject;
+  /// Correct processes crash-stopping this round (within max_crashes).
+  std::vector<ProcessId> crash;
+
+  bool empty() const {
+    return defer.empty() && drop.empty() && inject.empty() && crash.empty();
+  }
+  bool operator==(const ByzRoundPlan&) const = default;
+};
+
+class ByzantineAdversary {
+ public:
+  virtual ~ByzantineAdversary() = default;
+
+  /// Called once before the run: which processes to corrupt (size <=
+  /// max_byzantine, each in [0, num_processes), strictly increasing).
+  virtual std::vector<ProcessId> corrupt(int num_processes,
+                                         int max_byzantine) = 0;
+
+  /// Per-round choices. `in_flight` lists the deliverable messages with
+  /// their stable ids; `alive` is the sorted set of correct, non-crashed
+  /// processes; `crash_budget` is how many more crashes are allowed.
+  virtual ByzRoundPlan plan_round(int round,
+                                  const std::vector<PendingMessage>& in_flight,
+                                  const std::vector<ProcessId>& alive,
+                                  int crash_budget) = 0;
+};
+
+/// The message alphabet a random adversary may inject from: each entry is
+/// a (type, candidate values) pair, protocol-specific.
+struct ByzAlphabet {
+  std::vector<std::pair<std::uint8_t, std::vector<std::int64_t>>> types;
+};
+
+/// Seed-driven adversary. The corrupt set, per-corrupt-process injection
+/// streams, the network (defer/drop) stream, and the crash stream are all
+/// derived from the base seed via independent labeled sub-streams
+/// (util::Rng::split(label)), so one component drawing more values never
+/// shifts another component's choices.
+class RandomByzantineAdversary : public ByzantineAdversary {
+ public:
+  RandomByzantineAdversary(const util::Rng& base, ByzAlphabet alphabet,
+                           int max_crashes = 0,
+                           double defer_probability = 0.25,
+                           double inject_probability = 0.35,
+                           double forge_probability = 0.05,
+                           double crash_probability = 0.2);
+
+  std::vector<ProcessId> corrupt(int num_processes,
+                                 int max_byzantine) override;
+
+  ByzRoundPlan plan_round(int round,
+                          const std::vector<PendingMessage>& in_flight,
+                          const std::vector<ProcessId>& alive,
+                          int crash_budget) override;
+
+ private:
+  util::Rng base_;
+  util::Rng net_rng_;
+  util::Rng crash_rng_;
+  ByzAlphabet alphabet_;
+  int num_processes_ = 0;
+  int max_crashes_;
+  double defer_probability_;
+  double inject_probability_;
+  double forge_probability_;
+  double crash_probability_;
+  std::vector<ProcessId> corrupt_;
+  std::vector<util::Rng> byz_rngs_;  // parallel to corrupt_
+  /// Per corrupt process: receivers it stays silent towards for the whole
+  /// run (drawn once at corruption time). Persistent selective silence is
+  /// what actually breaks quorum protocols at the resilience boundary —
+  /// round-local coin flips always relent eventually.
+  std::vector<std::set<ProcessId>> muted_;  // parallel to corrupt_
+  /// Injections already made, to keep schedules finite (protocols count
+  /// distinct senders, so repeats add nothing).
+  std::set<std::tuple<ProcessId, ProcessId, std::uint8_t, std::int64_t>>
+      injected_;
+};
+
+}  // namespace psph::sim

@@ -1,0 +1,50 @@
+#include "sim/failure_detector.h"
+
+#include <algorithm>
+
+namespace psph::sim {
+
+SomeFailDetector::SomeFailDetector(util::Rng rng, int max_lag)
+    : rng_(rng), max_lag_(std::max(0, max_lag)) {}
+
+std::vector<ProcessId> SomeFailDetector::suspects(
+    ProcessId observer, int round, const std::vector<ProcessId>& crashed) {
+  std::vector<ProcessId> result;
+  for (const ProcessId pid : crashed) {
+    const auto key = std::make_pair(observer, pid);
+    auto it = visible_from_.find(key);
+    if (it == visible_from_.end()) {
+      const int lag =
+          static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(
+              max_lag_ + 1)));
+      it = visible_from_.emplace(key, round + lag).first;
+    }
+    if (round >= it->second) result.push_back(pid);
+  }
+  return result;
+}
+
+EventuallyStrongDetector::EventuallyStrongDetector(
+    util::Rng rng, int num_processes, int max_unstable_rounds,
+    double false_suspicion_probability)
+    : rng_(rng),
+      num_processes_(num_processes),
+      stabilization_round_(static_cast<int>(rng_.next_below(
+          static_cast<std::uint64_t>(std::max(0, max_unstable_rounds) + 1)))),
+      false_suspicion_probability_(false_suspicion_probability) {}
+
+std::vector<ProcessId> EventuallyStrongDetector::suspects(
+    ProcessId observer, int round, const std::vector<ProcessId>& crashed) {
+  std::vector<ProcessId> result = crashed;  // lag-0 completeness
+  if (round < stabilization_round_) {
+    for (ProcessId pid = 0; pid < num_processes_; ++pid) {
+      if (pid == observer) continue;
+      if (std::binary_search(crashed.begin(), crashed.end(), pid)) continue;
+      if (rng_.next_bool(false_suspicion_probability_)) result.push_back(pid);
+    }
+    std::sort(result.begin(), result.end());
+  }
+  return result;
+}
+
+}  // namespace psph::sim

@@ -1,0 +1,104 @@
+#pragma once
+
+// Pluggable failure-detector oracles (Chandra–Toueg style).
+//
+// A failure detector is an oracle each process queries once per round of
+// the quorum executor; it answers with the set of processes the querier
+// currently suspects of having crashed. The oracle — not the querier —
+// decides how truthful that answer is, which is exactly what makes it a
+// *model* parameter in the paper's sense: the same protocol code runs
+// under different detectors and solves (or stops solving) the task.
+//
+// Two concrete oracles:
+//
+//   * SomeFailDetector — the `someFail`-style detector of the NBAC
+//     exemplar (Guerraoui 2001): strongly accurate (never suspects a
+//     process that has not crashed) and eventually complete (every crash
+//     becomes visible to every observer within a seed-chosen per-pair lag
+//     of at most max_lag rounds).
+//
+//   * EventuallyStrongDetector — a ◇S-style detector: before a seed-chosen
+//     stabilization round it may also *falsely* suspect live processes;
+//     from the stabilization round on it behaves like SomeFailDetector
+//     with lag 0 (complete and accurate). The unreliable prefix is what
+//     lets soaks exhibit Guerraoui's hardness result for NBAC.
+//
+// Both are deterministic functions of their seed and the call sequence;
+// the check layer wraps them in recording/replay shims so every answer
+// lands in the run's Schedule choice-by-choice.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/random.h"
+
+namespace psph::sim {
+
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  /// The processes `observer` suspects at round `round`, given the set
+  /// that has actually crashed so far (sorted). The executor queries every
+  /// alive process in ascending pid order each round, so implementations
+  /// may key internal state on the call sequence deterministically.
+  virtual std::vector<ProcessId> suspects(
+      ProcessId observer, int round,
+      const std::vector<ProcessId>& crashed) = 0;
+
+  /// Rounds after the last crash by which every implementation promise
+  /// (completeness, post-stabilization accuracy) is guaranteed to have
+  /// kicked in; the executor keeps stepping at least this far past the
+  /// last crash before declaring quiescence.
+  virtual int settle_rounds() const = 0;
+};
+
+/// `someFail`-style detector: strongly accurate, eventually complete.
+/// Each (observer, crashed-process) pair gets an independent lag drawn
+/// uniformly from [0, max_lag] the first time the observer could learn of
+/// the crash; the suspicion appears once the lag elapses and is permanent.
+class SomeFailDetector : public FailureDetector {
+ public:
+  explicit SomeFailDetector(util::Rng rng, int max_lag = 2);
+
+  std::vector<ProcessId> suspects(
+      ProcessId observer, int round,
+      const std::vector<ProcessId>& crashed) override;
+
+  int settle_rounds() const override { return max_lag_ + 1; }
+
+ private:
+  util::Rng rng_;
+  int max_lag_;
+  /// (observer, crashed pid) -> round from which the suspicion is visible.
+  std::map<std::pair<ProcessId, ProcessId>, int> visible_from_;
+};
+
+/// ◇S-style detector: an unreliable prefix of false suspicions, then
+/// stabilization. The stabilization round is drawn once from
+/// [0, max_unstable_rounds]; before it, each query may falsely suspect a
+/// seed-chosen subset of live processes (alongside the real crashes, lag
+/// 0); from it on, answers are exactly the crashed set.
+class EventuallyStrongDetector : public FailureDetector {
+ public:
+  EventuallyStrongDetector(util::Rng rng, int num_processes,
+                           int max_unstable_rounds = 4,
+                           double false_suspicion_probability = 0.2);
+
+  std::vector<ProcessId> suspects(
+      ProcessId observer, int round,
+      const std::vector<ProcessId>& crashed) override;
+
+  int settle_rounds() const override { return stabilization_round_ + 1; }
+  int stabilization_round() const { return stabilization_round_; }
+
+ private:
+  util::Rng rng_;
+  int num_processes_;
+  int stabilization_round_;
+  double false_suspicion_probability_;
+};
+
+}  // namespace psph::sim

@@ -1,0 +1,209 @@
+#include "sim/quorum_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace psph::sim {
+
+namespace {
+
+void validate_corrupt(const std::vector<ProcessId>& corrupt, int n,
+                      int max_byzantine) {
+  if (static_cast<int>(corrupt.size()) > std::min(max_byzantine, n)) {
+    throw std::logic_error("quorum: corrupt set exceeds max_byzantine");
+  }
+  for (std::size_t i = 0; i < corrupt.size(); ++i) {
+    if (corrupt[i] < 0 || corrupt[i] >= n) {
+      throw std::logic_error("quorum: corrupt pid out of range");
+    }
+    if (i > 0 && corrupt[i] <= corrupt[i - 1]) {
+      throw std::logic_error("quorum: corrupt set not strictly increasing");
+    }
+  }
+}
+
+}  // namespace
+
+QuorumTrace run_quorum(const QuorumConfig& config,
+                       std::vector<std::unique_ptr<QuorumProcess>>& processes,
+                       ByzantineAdversary& adversary,
+                       FailureDetector* detector) {
+  const int n = config.num_processes;
+  if (n <= 0 || static_cast<int>(processes.size()) != n) {
+    throw std::invalid_argument("run_quorum: processes.size() != n");
+  }
+
+  QuorumTrace trace;
+  trace.delivered.resize(static_cast<std::size_t>(n));
+
+  trace.corrupt = adversary.corrupt(n, config.max_byzantine);
+  validate_corrupt(trace.corrupt, n, config.max_byzantine);
+  const auto is_corrupt = [&](ProcessId pid) {
+    return std::binary_search(trace.corrupt.begin(), trace.corrupt.end(), pid);
+  };
+
+  std::vector<bool> crashed(static_cast<std::size_t>(n), false);
+  std::vector<ProcessId> crashed_sorted;
+  int last_crash_round = 0;
+
+  std::vector<PendingMessage> in_flight;
+  std::uint32_t next_id = 0;
+  const auto enqueue_broadcast = [&](ProcessId from,
+                                     const QuorumBroadcast& b) {
+    for (ProcessId to = 0; to < n; ++to) {
+      in_flight.push_back({next_id++, {from, to, b.type, b.value}});
+    }
+  };
+
+  std::vector<bool> decided(static_cast<std::size_t>(n), false);
+  const auto poll_decision = [&](ProcessId pid, int round) {
+    if (decided[static_cast<std::size_t>(pid)]) return;
+    const auto value = processes[static_cast<std::size_t>(pid)]->decision();
+    if (value.has_value()) {
+      decided[static_cast<std::size_t>(pid)] = true;
+      DecisionEvent event;
+      event.pid = pid;
+      event.value = *value;
+      event.round = round;
+      trace.decisions.push_back(event);
+    }
+  };
+  const auto deliver_to = [&](ProcessId to, ProcessId from, std::uint8_t type,
+                              std::int64_t value) {
+    trace.delivered[static_cast<std::size_t>(to)].emplace(from, type, value);
+    processes[static_cast<std::size_t>(to)]->deliver(from, type, value);
+    ++trace.messages_delivered;
+  };
+
+  // Start phase.
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    if (is_corrupt(pid)) continue;
+    std::vector<QuorumBroadcast> out;
+    processes[static_cast<std::size_t>(pid)]->start(out);
+    for (const QuorumBroadcast& b : out) enqueue_broadcast(pid, b);
+    poll_decision(pid, 0);
+  }
+
+  const int settle = detector != nullptr ? detector->settle_rounds() : 1;
+  const int hard_cap = config.max_rounds + settle + 16;
+  for (int round = 1; round <= hard_cap; ++round) {
+    std::vector<ProcessId> alive;
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      if (!is_corrupt(pid) && !crashed[static_cast<std::size_t>(pid)]) {
+        alive.push_back(pid);
+      }
+    }
+
+    ByzRoundPlan plan;
+    const int crash_budget =
+        config.max_crashes - static_cast<int>(trace.crashes.size());
+    if (round <= config.max_rounds) {
+      plan = adversary.plan_round(round, in_flight, alive, crash_budget);
+    }
+
+    // Crashes first, so a just-crashed sender's messages are droppable in
+    // the same round and a just-crashed receiver gets nothing.
+    if (static_cast<int>(plan.crash.size()) > crash_budget) {
+      throw std::logic_error("quorum: crash plan exceeds budget");
+    }
+    for (const ProcessId pid : plan.crash) {
+      if (pid < 0 || pid >= n || is_corrupt(pid) ||
+          crashed[static_cast<std::size_t>(pid)]) {
+        throw std::logic_error("quorum: invalid crash target");
+      }
+      crashed[static_cast<std::size_t>(pid)] = true;
+      crashed_sorted.insert(
+          std::lower_bound(crashed_sorted.begin(), crashed_sorted.end(), pid),
+          pid);
+      trace.crashes.emplace_back(pid, round);
+      last_crash_round = round;
+    }
+
+    std::unordered_map<std::uint32_t, const PendingMessage*> by_id;
+    for (const PendingMessage& pm : in_flight) by_id.emplace(pm.id, &pm);
+    std::unordered_set<std::uint32_t> dropped;
+    for (const std::uint32_t id : plan.drop) {
+      const auto it = by_id.find(id);
+      if (it == by_id.end()) {
+        throw std::logic_error("quorum: drop of unknown message id");
+      }
+      const ProcessId from = it->second->msg.from;
+      if (is_corrupt(from) || !crashed[static_cast<std::size_t>(from)]) {
+        throw std::logic_error("quorum: drop of a live sender's message");
+      }
+      dropped.insert(id);
+    }
+    std::unordered_set<std::uint32_t> deferred;
+    for (const std::uint32_t id : plan.defer) {
+      if (by_id.find(id) == by_id.end()) {
+        throw std::logic_error("quorum: defer of unknown message id");
+      }
+      deferred.insert(id);
+    }
+
+    // Injections: authenticated channels reject forged senders.
+    for (const ByzInject& inject : plan.inject) {
+      if (!is_corrupt(inject.byz)) {
+        throw std::logic_error("quorum: injection for non-corrupt process");
+      }
+      if (inject.to < 0 || inject.to >= n) {
+        throw std::logic_error("quorum: injection target out of range");
+      }
+      if (inject.claimed_from != inject.byz) {
+        ++trace.forged_dropped;
+        continue;
+      }
+      if (is_corrupt(inject.to) || crashed[static_cast<std::size_t>(inject.to)]) {
+        continue;
+      }
+      deliver_to(inject.to, inject.byz, inject.type, inject.value);
+    }
+
+    // Deliveries. Messages to corrupt or crashed receivers are consumed
+    // silently; deferred ones stay in flight.
+    std::vector<PendingMessage> rest;
+    for (const PendingMessage& pm : in_flight) {
+      if (dropped.count(pm.id) != 0) continue;
+      if (deferred.count(pm.id) != 0) {
+        rest.push_back(pm);
+        continue;
+      }
+      const ProcessId to = pm.msg.to;
+      if (is_corrupt(to) || crashed[static_cast<std::size_t>(to)]) continue;
+      deliver_to(to, pm.msg.from, pm.msg.type, pm.msg.value);
+    }
+    in_flight = std::move(rest);
+
+    if (detector != nullptr) {
+      for (ProcessId pid = 0; pid < n; ++pid) {
+        if (is_corrupt(pid) || crashed[static_cast<std::size_t>(pid)]) continue;
+        processes[static_cast<std::size_t>(pid)]->suspect(
+            detector->suspects(pid, round, crashed_sorted));
+      }
+    }
+
+    bool sent = false;
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      if (is_corrupt(pid) || crashed[static_cast<std::size_t>(pid)]) continue;
+      std::vector<QuorumBroadcast> out;
+      processes[static_cast<std::size_t>(pid)]->step(round, out);
+      for (const QuorumBroadcast& b : out) {
+        enqueue_broadcast(pid, b);
+        sent = true;
+      }
+      poll_decision(pid, round);
+    }
+
+    trace.rounds = round;
+    if (round > config.max_rounds && in_flight.empty() && !sent &&
+        round >= last_crash_round + settle) {
+      trace.quiescent = true;
+      break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace psph::sim

@@ -1,0 +1,108 @@
+#pragma once
+
+// Deterministic round-based executor for quorum/broadcast protocols under
+// a ByzantineAdversary and an optional FailureDetector oracle.
+//
+// Execution model (one run):
+//
+//   1. The adversary picks the corrupt set (<= max_byzantine). Corrupt
+//      processes execute no protocol code; their behavior is whatever the
+//      adversary injects on their behalf.
+//   2. Start phase: every correct process emits its initial broadcasts.
+//      A broadcast fans out into num_processes point-to-point messages
+//      with ids assigned in creation order (stable across replay).
+//   3. Rounds 1..max_rounds: the adversary sees the in-flight messages
+//      and plans the round — crash correct processes (within max_crashes),
+//      drop crashed senders' messages, defer any message, inject on
+//      behalf of corrupt processes. Forged-sender injections
+//      (claimed_from != byz) are rejected by the authenticated channels
+//      and counted. Everything not deferred/dropped is delivered to
+//      alive correct receivers, then each alive process is fed its
+//      failure-detector view (if an oracle is attached) and stepped; new
+//      broadcasts join the in-flight set.
+//   4. Drain phase: past max_rounds the adversary loses control — empty
+//      plans, so every remaining message is delivered promptly. The run
+//      is quiescent once no messages are in flight, no process sends, and
+//      the detector has settled past the last crash; this makes eventual
+//      properties (liveness under fairness) checkable as predicates on a
+//      finite trace. A hard cap bounds non-terminating protocols, which
+//      finish with quiescent == false.
+//
+// The executor validates every adversary choice (unknown message ids,
+// crashing a corrupt process, dropping a live sender's message, injecting
+// for a non-corrupt process all throw std::logic_error) so that recorded
+// schedules can only contain plans that actually mean something.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/byzantine.h"
+#include "sim/failure_detector.h"
+#include "sim/trace.h"
+
+namespace psph::sim {
+
+struct QuorumConfig {
+  int num_processes = 4;
+  /// Upper bound on |corrupt set| the adversary may pick.
+  int max_byzantine = 1;
+  /// Upper bound on crash-stop failures of *correct* processes.
+  int max_crashes = 0;
+  /// Rounds under adversary control before the drain phase.
+  int max_rounds = 48;
+};
+
+struct QuorumBroadcast {
+  std::uint8_t type = 0;
+  std::int64_t value = 0;
+};
+
+/// Protocol-side interface. deliver() only accumulates state; sends are
+/// emitted by step(), which should run the local transition to fixpoint.
+class QuorumProcess {
+ public:
+  virtual ~QuorumProcess() = default;
+
+  virtual void start(std::vector<QuorumBroadcast>& out) = 0;
+  virtual void deliver(ProcessId from, std::uint8_t type,
+                       std::int64_t value) = 0;
+  /// Current failure-detector output for this process (full suspect set,
+  /// not a delta). Only called when an oracle is attached.
+  virtual void suspect(const std::vector<ProcessId>& suspected) {
+    (void)suspected;
+  }
+  virtual void step(int round, std::vector<QuorumBroadcast>& out) = 0;
+  virtual std::optional<std::int64_t> decision() const = 0;
+};
+
+struct QuorumTrace {
+  std::vector<ProcessId> corrupt;
+  /// (pid, round) crash-stop events among correct processes.
+  std::vector<std::pair<ProcessId, int>> crashes;
+  std::vector<DecisionEvent> decisions;
+  /// Per receiver: the set of authenticated (sender, type, value) triples
+  /// it was ever delivered — what monitors audit certificates against.
+  std::vector<std::set<std::tuple<ProcessId, std::uint8_t, std::int64_t>>>
+      delivered;
+  int rounds = 0;
+  bool quiescent = false;
+  /// Forged-sender injections rejected by the channels.
+  int forged_dropped = 0;
+  int messages_delivered = 0;
+
+  bool operator==(const QuorumTrace&) const = default;
+};
+
+/// Runs the protocol to quiescence (or the hard cap). `processes` must
+/// have num_processes entries; entries at corrupt positions are never
+/// touched (and may be null).
+QuorumTrace run_quorum(const QuorumConfig& config,
+                       std::vector<std::unique_ptr<QuorumProcess>>& processes,
+                       ByzantineAdversary& adversary,
+                       FailureDetector* detector = nullptr);
+
+}  // namespace psph::sim

@@ -30,6 +30,8 @@ struct DecisionEvent {
   std::int64_t value = 0;
   int round = 0;       // round-based executors
   Time time = 0;       // semi-synchronous executor
+
+  bool operator==(const DecisionEvent&) const = default;
 };
 
 struct Trace {

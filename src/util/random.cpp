@@ -20,7 +20,7 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);
   // All-zero state is the one forbidden state for xoshiro; splitmix64 cannot
@@ -74,6 +74,20 @@ bool Rng::next_bool(double p) {
 }
 
 Rng Rng::split() { return Rng(next()); }
+
+Rng Rng::split(std::string_view label) const {
+  // FNV-1a over the label bytes, then one splitmix64 step mixing it with
+  // the construction seed. Deliberately independent of state_, so the
+  // derived stream does not shift when the parent draws more or fewer
+  // values (replay stability across schedule-format evolution).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t x = seed_ ^ h;
+  return Rng(splitmix64(x));
+}
 
 std::vector<int> Rng::sample_without_replacement(int n, int k) {
   if (k < 0 || n < 0 || k > n) {

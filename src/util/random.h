@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace psph::util {
@@ -44,6 +45,21 @@ class Rng {
   /// Returns a new independent generator split off this one's stream.
   Rng split();
 
+  /// Labeled sub-stream derivation: a new generator whose seed is a
+  /// splitmix64 mix of this generator's *construction seed* and a hash of
+  /// `label`. Unlike split(), it does not consume from (or depend on) the
+  /// parent's draw position, so the derived stream is stable no matter how
+  /// many values the parent has produced in between — the property that
+  /// keeps per-component streams (one per Byzantine process, one for the
+  /// failure-detector oracle, ...) replay-stable when an unrelated
+  /// component adds or removes draws. Distinct labels give independent
+  /// streams; the same label always gives the same stream.
+  Rng split(std::string_view label) const;
+
+  /// The seed this generator was constructed from (split(label) anchors
+  /// sub-streams to it).
+  std::uint64_t seed() const { return seed_; }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& items) {
@@ -65,6 +81,7 @@ class Rng {
   std::vector<int> sample_without_replacement(int n, int k);
 
  private:
+  std::uint64_t seed_ = 0;
   std::uint64_t state_[4];
 };
 

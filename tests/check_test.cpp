@@ -67,6 +67,43 @@ TEST(Schedule, AsyncSerializationRoundTrip) {
   EXPECT_EQ(deserialize_schedule(serialize_schedule(s)), s);
 }
 
+TEST(Schedule, QuorumSerializationRoundTrip) {
+  // Every v2-only section populated, including a forged-sender injection
+  // and a false suspicion — the fields the quorum shrinker edits.
+  Schedule s;
+  s.model = Model::kQuorum;
+  s.meta["protocol"] = 4;
+  s.meta["n"] = 4;
+  s.meta["t"] = 1;
+  s.meta["fd_settle"] = 3;
+  s.inputs = {1, 0, 1, 1};
+  s.corrupt = {3};
+  sim::ByzRoundPlan plan;
+  plan.defer = {2, 5};
+  plan.drop = {7};
+  plan.crash = {1};
+  plan.inject.push_back({3, 3, 0, 1, 1});
+  plan.inject.push_back({3, 0, 2, 2, 1});  // forged claimed_from
+  s.quorum_rounds.push_back(plan);
+  s.quorum_rounds.push_back({});
+  s.fd_samples.push_back({0, 1, {1, 2}});
+  s.fd_samples.push_back({2, 1, {}});
+  EXPECT_EQ(deserialize_schedule(serialize_schedule(s)), s);
+}
+
+TEST(Schedule, V1EnvelopeStillLoads) {
+  // A schedule file written before the quorum model existed (payload starts
+  // with the model tag, no v2 marker byte) must keep loading and replaying.
+  const Schedule loaded = load_schedule(std::string(PSPH_SOURCE_DIR) +
+                                        "/tests/data/schedule_v1.psph");
+  EXPECT_EQ(loaded.model, Model::kSync);
+  EXPECT_TRUE(loaded.corrupt.empty());
+  EXPECT_TRUE(loaded.quorum_rounds.empty());
+  EXPECT_TRUE(loaded.fd_samples.empty());
+  EXPECT_GT(loaded.choice_count(), 0u);
+  EXPECT_TRUE(replay_schedule(loaded).ok());
+}
+
 TEST(Schedule, CorruptEnvelopeThrows) {
   std::vector<std::uint8_t> bytes = serialize_schedule(sample_schedule());
   bytes[bytes.size() / 2] ^= 0x40;

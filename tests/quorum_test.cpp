@@ -1,0 +1,538 @@
+// Byzantine/failure-detector layer tests: quorum executor semantics
+// (authenticated channels, forged-sender drops, plan validation), the
+// failure-detector oracles, aba_byz across its N = 3T+1 resilience
+// boundary, nbac_fd obligations (and Guerraoui's commit/abort divergence),
+// the Byzantine-aware monitors, and schedule record/replay/shrink for the
+// quorum model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "check/monitors.h"
+#include "check/shrink.h"
+#include "check/soak.h"
+#include "protocols/aba_byz.h"
+#include "protocols/nbac_fd.h"
+#include "sim/byzantine.h"
+#include "sim/failure_detector.h"
+#include "sim/quorum_executor.h"
+#include "util/random.h"
+
+namespace psph {
+namespace {
+
+using sim::ByzRoundPlan;
+using sim::ProcessId;
+
+/// Deterministic adversary for unit tests: a fixed corrupt set and a map
+/// of round -> plan (missing rounds are failure-free).
+class ScriptedAdversary : public sim::ByzantineAdversary {
+ public:
+  std::vector<ProcessId> corrupt_set;
+  std::map<int, ByzRoundPlan> plans;
+
+  std::vector<ProcessId> corrupt(int, int) override { return corrupt_set; }
+
+  ByzRoundPlan plan_round(int round, const std::vector<sim::PendingMessage>&,
+                          const std::vector<ProcessId>&, int) override {
+    const auto it = plans.find(round);
+    return it == plans.end() ? ByzRoundPlan{} : it->second;
+  }
+};
+
+check::RunSpec aba_spec(int n, int t, std::uint64_t seed) {
+  check::RunSpec spec;
+  spec.protocol = check::ProtocolKind::kAbaByz;
+  spec.n = n;
+  spec.f = t;
+  spec.t = t;
+  spec.seed = seed;
+  return spec;
+}
+
+check::RunSpec nbac_spec(int n, int f, std::uint64_t seed, int fd_kind = 0) {
+  check::RunSpec spec;
+  spec.protocol = check::ProtocolKind::kNbacFd;
+  spec.n = n;
+  spec.f = f;
+  spec.fd_kind = fd_kind;
+  spec.seed = seed;
+  return spec;
+}
+
+// ---- failure-detector oracles ----
+
+TEST(FailureDetector, SomeFailIsStronglyAccurate) {
+  sim::SomeFailDetector fd(util::Rng(7), /*max_lag=*/2);
+  for (int round = 1; round < 20; ++round) {
+    for (ProcessId observer = 0; observer < 4; ++observer) {
+      // Nothing has crashed: nobody may be suspected, ever.
+      EXPECT_TRUE(fd.suspects(observer, round, {}).empty());
+    }
+  }
+}
+
+TEST(FailureDetector, SomeFailIsEventuallyComplete) {
+  sim::SomeFailDetector fd(util::Rng(7), /*max_lag=*/2);
+  const std::vector<ProcessId> crashed{2};
+  // First sight at round 3; by round 3 + max_lag every observer suspects.
+  for (ProcessId observer = 0; observer < 4; ++observer) {
+    fd.suspects(observer, 3, crashed);
+  }
+  for (ProcessId observer = 0; observer < 4; ++observer) {
+    const auto suspects = fd.suspects(observer, 5, crashed);
+    EXPECT_EQ(suspects, crashed) << "observer " << observer;
+  }
+}
+
+TEST(FailureDetector, EventuallyStrongStabilizes) {
+  sim::EventuallyStrongDetector fd(util::Rng(11), /*num_processes=*/5);
+  const int stable = fd.stabilization_round();
+  const std::vector<ProcessId> crashed{1};
+  for (int round = stable; round < stable + 10; ++round) {
+    for (ProcessId observer = 0; observer < 5; ++observer) {
+      EXPECT_EQ(fd.suspects(observer, round, crashed), crashed);
+    }
+  }
+}
+
+TEST(FailureDetector, EventuallyStrongFalselySuspectsBeforeStabilization) {
+  // Across seeds, some pre-stabilization query must name a live process.
+  bool saw_false_suspicion = false;
+  for (std::uint64_t seed = 0; seed < 32 && !saw_false_suspicion; ++seed) {
+    sim::EventuallyStrongDetector fd(util::Rng(seed), 5,
+                                     /*max_unstable_rounds=*/6);
+    for (int round = 0; round < fd.stabilization_round(); ++round) {
+      for (ProcessId observer = 0; observer < 5; ++observer) {
+        if (!fd.suspects(observer, round, {}).empty()) {
+          saw_false_suspicion = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_false_suspicion);
+}
+
+// ---- quorum executor ----
+
+TEST(QuorumExecutor, ForgedSenderInjectionsAreDroppedAndCounted) {
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {3};
+  ByzRoundPlan plan;
+  // A forged READY claiming to come from correct P0.
+  plan.inject.push_back({/*byz=*/3, /*claimed_from=*/0, /*to=*/1,
+                         protocols::kAbaReady, 1});
+  adversary.plans[1] = plan;
+
+  const protocols::AbaByzConfig config{4, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({0, 0, 0, 0}, config, adversary);
+  EXPECT_EQ(outcome.trace.forged_dropped, 1);
+  // The forged message reached nobody: P1 was never delivered a READY.
+  EXPECT_EQ(outcome.trace.delivered[1].count({0, protocols::kAbaReady, 1}),
+            0u);
+  EXPECT_TRUE(outcome.trace.decisions.empty());
+}
+
+TEST(QuorumExecutor, ValidInjectionIsDeliveredAsTheCorruptSender) {
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {3};
+  ByzRoundPlan plan;
+  plan.inject.push_back({3, 3, 0, protocols::kAbaEcho, 1});
+  adversary.plans[1] = plan;
+
+  const protocols::AbaByzConfig config{4, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({0, 0, 0, 0}, config, adversary);
+  EXPECT_EQ(outcome.trace.forged_dropped, 0);
+  EXPECT_EQ(outcome.trace.delivered[0].count({3, protocols::kAbaEcho, 1}),
+            1u);
+}
+
+TEST(QuorumExecutor, EquivocationReachesOnlyTheNamedReceiver) {
+  // The corrupt process tells P0 "ECHO" and tells P1 nothing.
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {3};
+  ByzRoundPlan plan;
+  plan.inject.push_back({3, 3, 0, protocols::kAbaEcho, 1});
+  adversary.plans[1] = plan;
+
+  const protocols::AbaByzConfig config{4, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({0, 0, 0, 0}, config, adversary);
+  EXPECT_EQ(outcome.trace.delivered[0].count({3, protocols::kAbaEcho, 1}),
+            1u);
+  EXPECT_EQ(outcome.trace.delivered[1].count({3, protocols::kAbaEcho, 1}),
+            0u);
+}
+
+TEST(QuorumExecutor, MalformedCorruptSetThrows) {
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {0, 1};  // budget is 1
+  const protocols::AbaByzConfig config{4, 1, 8};
+  EXPECT_THROW(protocols::run_aba_byz({0, 0, 0, 0}, config, adversary),
+               std::logic_error);
+}
+
+TEST(QuorumExecutor, DroppingALiveSendersMessageThrows) {
+  ScriptedAdversary adversary;
+  ByzRoundPlan plan;
+  plan.drop = {0};  // P0's first message, but P0 never crashes
+  adversary.plans[1] = plan;
+  const protocols::AbaByzConfig config{4, 1, 8};
+  EXPECT_THROW(protocols::run_aba_byz({1, 1, 1, 1}, config, adversary),
+               std::logic_error);
+}
+
+TEST(QuorumExecutor, CrashingACorruptProcessThrows) {
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {3};
+  ByzRoundPlan plan;
+  plan.crash = {3};
+  adversary.plans[1] = plan;
+  const protocols::AbaByzConfig config{4, 1, 8};
+  EXPECT_THROW(protocols::run_aba_byz({0, 0, 0, 0}, config, adversary),
+               std::logic_error);
+}
+
+// ---- aba_byz protocol ----
+
+TEST(AbaByz, AllOnesFailureFreeEveryoneDecides) {
+  ScriptedAdversary adversary;  // nobody corrupt, no interference
+  const protocols::AbaByzConfig config{4, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({1, 1, 1, 1}, config, adversary);
+  EXPECT_TRUE(outcome.trace.quiescent);
+  EXPECT_EQ(outcome.trace.decisions.size(), 4u);
+  for (const auto& d : outcome.trace.decisions) EXPECT_EQ(d.value, 1);
+  EXPECT_EQ(outcome.certificates.size(), 4u);
+}
+
+TEST(AbaByz, AllZerosNobodyDecides) {
+  ScriptedAdversary adversary;
+  const protocols::AbaByzConfig config{4, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({0, 0, 0, 0}, config, adversary);
+  EXPECT_TRUE(outcome.trace.quiescent);
+  EXPECT_TRUE(outcome.trace.decisions.empty());
+}
+
+TEST(AbaByz, SilentByzantineAtBoundaryCannotBlockDecision) {
+  // N = 3T+1 = 4: even a fully silent corrupt process leaves an N-T = 3
+  // quorum of correct echoes, enough for everyone to decide.
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {3};
+  const protocols::AbaByzConfig config{4, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({1, 1, 1, 0}, config, adversary);
+  EXPECT_TRUE(outcome.trace.quiescent);
+  EXPECT_EQ(outcome.trace.decisions.size(), 3u);
+}
+
+TEST(AbaByz, SilentByzantineBelowBoundaryBlocksDecision) {
+  // N = 3T = 3: two correct echoes < guard_echo = 3, so a silent corrupt
+  // process starves the quorum — the violation the monitors must catch.
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {2};
+  const protocols::AbaByzConfig config{3, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({1, 1, 0}, config, adversary);
+  EXPECT_TRUE(outcome.trace.quiescent);
+  EXPECT_TRUE(outcome.trace.decisions.empty());
+}
+
+// ---- nbac_fd protocol ----
+
+TEST(NbacFd, AllYesNoFailuresEveryoneCommits) {
+  ScriptedAdversary adversary;
+  sim::SomeFailDetector detector(util::Rng(5));
+  const protocols::NbacFdConfig config{5, 2, 8};
+  const protocols::NbacFdOutcome outcome =
+      protocols::run_nbac_fd({1, 1, 1, 1, 1}, config, adversary, detector);
+  EXPECT_TRUE(outcome.trace.quiescent);
+  ASSERT_EQ(outcome.justifications.size(), 5u);
+  for (const auto& j : outcome.justifications) {
+    EXPECT_EQ(j.decided, protocols::kNbacCommit);
+    EXPECT_EQ(j.yes_votes, 5);
+  }
+}
+
+TEST(NbacFd, SingleNoVoteAbortsEveryone) {
+  ScriptedAdversary adversary;
+  sim::SomeFailDetector detector(util::Rng(5));
+  const protocols::NbacFdConfig config{5, 2, 8};
+  const protocols::NbacFdOutcome outcome =
+      protocols::run_nbac_fd({1, 1, 0, 1, 1}, config, adversary, detector);
+  ASSERT_EQ(outcome.justifications.size(), 5u);
+  for (const auto& j : outcome.justifications) {
+    EXPECT_EQ(j.decided, protocols::kNbacAbort);
+    EXPECT_TRUE(j.saw_no);
+  }
+}
+
+TEST(NbacFd, CrashedVoterForcesJustifiedAborts) {
+  // P0 crashes in round 1 and all its votes are dropped; survivors abort
+  // on the (accurate) suspicion once the detector reports it.
+  ScriptedAdversary adversary;
+  ByzRoundPlan plan;
+  plan.crash = {0};
+  plan.drop = {0, 1, 2, 3, 4};  // P0's five vote messages
+  adversary.plans[1] = plan;
+  sim::SomeFailDetector detector(util::Rng(5), /*max_lag=*/1);
+  const protocols::NbacFdConfig config{5, 2, 16};
+  const protocols::NbacFdOutcome outcome =
+      protocols::run_nbac_fd({1, 1, 1, 1, 1}, config, adversary, detector);
+  EXPECT_TRUE(outcome.trace.quiescent);
+  ASSERT_EQ(outcome.justifications.size(), 4u);
+  for (const auto& j : outcome.justifications) {
+    EXPECT_EQ(j.decided, protocols::kNbacAbort);
+    EXPECT_TRUE(j.saw_suspicion);
+    EXPECT_FALSE(j.saw_no);
+  }
+}
+
+TEST(NbacFd, CommitAbortDivergenceIsReachable) {
+  // Guerraoui's hardness result, staged deterministically: P2 receives all
+  // three YES votes and commits; P1 misses crashed P0's vote and aborts on
+  // a perfectly accurate suspicion. Weak NBAC does not have agreement.
+  ScriptedAdversary adversary;
+  ByzRoundPlan plan;
+  plan.crash = {0};
+  plan.drop = {1};  // only P0's vote to P1 is lost
+  adversary.plans[1] = plan;
+  sim::SomeFailDetector detector(util::Rng(5), /*max_lag=*/0);
+  const protocols::NbacFdConfig config{3, 1, 16};
+  const protocols::NbacFdOutcome outcome =
+      protocols::run_nbac_fd({1, 1, 1}, config, adversary, detector);
+  std::map<ProcessId, std::int64_t> decided;
+  for (const auto& j : outcome.justifications) decided[j.pid] = j.decided;
+  EXPECT_EQ(decided[1], protocols::kNbacAbort);
+  EXPECT_EQ(decided[2], protocols::kNbacCommit);
+}
+
+// ---- Byzantine-aware monitors ----
+
+check::RunRecord aba_record(const protocols::AbaByzOutcome& outcome, int n,
+                            int t, std::vector<std::int64_t> inputs) {
+  check::RunRecord record;
+  record.model = check::Model::kQuorum;
+  record.n = n;
+  record.byz_t = t;
+  record.k = 1;
+  record.inputs = std::move(inputs);
+  record.decisions = outcome.trace.decisions;
+  record.quorum = &outcome.trace;
+  record.aba_certificates = &outcome.certificates;
+  record.aba_final_counts = &outcome.final_counts;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    if (!std::binary_search(outcome.trace.corrupt.begin(),
+                            outcome.trace.corrupt.end(), pid)) {
+      record.correct.push_back(pid);
+    }
+  }
+  return record;
+}
+
+TEST(QuorumMonitors, CleanRunPassesAllMonitors) {
+  ScriptedAdversary adversary;
+  const protocols::AbaByzConfig config{4, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({1, 1, 1, 1}, config, adversary);
+  const check::RunRecord record = aba_record(outcome, 4, 1, {1, 1, 1, 1});
+  EXPECT_TRUE(check::check_all(check::standard_monitors(check::Model::kQuorum),
+                               record)
+                  .empty());
+}
+
+TEST(QuorumMonitors, CertificateMonitorCatchesPhantomSender) {
+  ScriptedAdversary adversary;
+  const protocols::AbaByzConfig config{4, 1, 8};
+  protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({1, 1, 1, 1}, config, adversary);
+  // Forge a certificate that counts a sender nobody was delivered.
+  ASSERT_FALSE(outcome.certificates.empty());
+  outcome.certificates[0].ready_senders = {0, 1, 2, 3};
+  outcome.trace.delivered[outcome.certificates[0].pid].erase(
+      {3, protocols::kAbaReady, 1});
+  const check::RunRecord record = aba_record(outcome, 4, 1, {1, 1, 1, 1});
+  const check::QuorumCertificateMonitor monitor;
+  const auto failure = monitor.check(record);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("phantom"), std::string::npos);
+}
+
+TEST(QuorumMonitors, CertificateMonitorCatchesThinReadyQuorum) {
+  ScriptedAdversary adversary;
+  const protocols::AbaByzConfig config{4, 1, 8};
+  protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({1, 1, 1, 1}, config, adversary);
+  ASSERT_FALSE(outcome.certificates.empty());
+  outcome.certificates[0].ready_senders = {0};  // < 2T+1 = 3
+  const check::RunRecord record = aba_record(outcome, 4, 1, {1, 1, 1, 1});
+  const check::QuorumCertificateMonitor monitor;
+  const auto failure = monitor.check(record);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("2T+1"), std::string::npos);
+}
+
+TEST(QuorumMonitors, LivenessMonitorCatchesStarvedQuorum) {
+  ScriptedAdversary adversary;
+  adversary.corrupt_set = {2};
+  const protocols::AbaByzConfig config{3, 1, 8};
+  const protocols::AbaByzOutcome outcome =
+      protocols::run_aba_byz({1, 1, 0}, config, adversary);
+  const check::RunRecord record = aba_record(outcome, 3, 1, {1, 1, 0});
+  const check::QuorumLivenessMonitor monitor;
+  const auto failure = monitor.check(record);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("correctness"), std::string::npos);
+}
+
+// ---- correct-set regression: crash-only monitors unchanged ----
+
+TEST(QuorumMonitors, EmptyCorrectSetMeansEveryoneCounts) {
+  // The crash-only call sites leave `correct` empty; agreement and
+  // validity must behave exactly as before the correct-set extension.
+  check::RunRecord record;
+  record.model = check::Model::kSync;
+  record.n = 3;
+  record.k = 1;
+  record.inputs = {7, 8, 9};
+  record.decisions = {{0, 7, 1, 0}, {1, 8, 1, 0}};
+  const check::AgreementMonitor agreement;
+  EXPECT_TRUE(agreement.check(record).has_value());  // 2 values > k=1
+  record.decisions = {{0, 7, 1, 0}, {1, 7, 1, 0}};
+  EXPECT_FALSE(agreement.check(record).has_value());
+  record.decisions = {{0, 5, 1, 0}};  // 5 is nobody's input
+  const check::ValidityMonitor validity;
+  EXPECT_TRUE(validity.check(record).has_value());
+}
+
+TEST(QuorumMonitors, CorruptDecidersAreIgnoredByAgreement) {
+  check::RunRecord record;
+  record.model = check::Model::kQuorum;
+  record.n = 4;
+  record.k = 1;
+  record.inputs = {1, 1, 1, 0};
+  record.correct = {0, 1, 2};
+  // The corrupt process "decides" garbage; correct ones agree on 1.
+  record.decisions = {{0, 1, 2, 0}, {1, 1, 2, 0}, {3, 99, 2, 0}};
+  const check::AgreementMonitor agreement;
+  EXPECT_FALSE(agreement.check(record).has_value());
+  const check::ValidityMonitor validity;
+  EXPECT_FALSE(validity.check(record).has_value());
+}
+
+TEST(QuorumMonitors, ValidityRequiresACorrectProcessInput) {
+  check::RunRecord record;
+  record.model = check::Model::kQuorum;
+  record.n = 3;
+  record.k = 1;
+  record.inputs = {0, 0, 1};  // only the corrupt process "has" input 1
+  record.correct = {0, 1};
+  record.decisions = {{0, 1, 2, 0}};
+  const check::ValidityMonitor validity;
+  const auto failure = validity.check(record);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("no correct process's input"), std::string::npos);
+}
+
+// ---- soak, record/replay, shrink ----
+
+TEST(QuorumSoak, AbaByzCleanAtResilienceBoundary) {
+  // 500 seeds at N = 3T+1: every monitor (agreement quantified over the
+  // correct set, certificates, liveness) must stay silent.
+  const check::SoakReport report = check::soak(aba_spec(4, 1, 1), 500);
+  EXPECT_EQ(report.violations, 0u) << report.first_schedule.summary();
+  EXPECT_EQ(report.runs, 500u);
+}
+
+TEST(QuorumSoak, NbacObligationsHoldAcross500Seeds) {
+  const check::SoakReport somefail =
+      check::soak(nbac_spec(5, 2, 1, /*fd_kind=*/0), 500);
+  EXPECT_EQ(somefail.violations, 0u) << somefail.first_schedule.summary();
+  const check::SoakReport evstrong =
+      check::soak(nbac_spec(5, 2, 1, /*fd_kind=*/1), 500);
+  EXPECT_EQ(evstrong.violations, 0u) << evstrong.first_schedule.summary();
+}
+
+TEST(QuorumSoak, ReplayIsBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const check::RunOutcome recorded = check::run_recorded(aba_spec(4, 1, seed));
+    ASSERT_NE(recorded.aba, nullptr);
+    const check::RunOutcome replayed =
+        check::replay_schedule(recorded.schedule);
+    ASSERT_NE(replayed.aba, nullptr);
+    EXPECT_EQ(recorded.aba->trace, replayed.aba->trace) << "seed " << seed;
+  }
+  for (const int fd_kind : {0, 1}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const check::RunOutcome recorded =
+          check::run_recorded(nbac_spec(5, 2, seed, fd_kind));
+      ASSERT_NE(recorded.nbac, nullptr);
+      const check::RunOutcome replayed =
+          check::replay_schedule(recorded.schedule);
+      ASSERT_NE(replayed.nbac, nullptr);
+      EXPECT_EQ(recorded.nbac->trace, replayed.nbac->trace)
+          << "seed " << seed << " fd " << fd_kind;
+    }
+  }
+}
+
+TEST(QuorumSoak, ReplaySurvivesSerializationRoundTrip) {
+  const check::RunOutcome recorded = check::run_recorded(aba_spec(4, 1, 17));
+  const std::vector<std::uint8_t> bytes =
+      check::serialize_schedule(recorded.schedule);
+  const check::Schedule loaded = check::deserialize_schedule(bytes);
+  EXPECT_EQ(loaded, recorded.schedule);
+  const check::RunOutcome replayed = check::replay_schedule(loaded);
+  ASSERT_NE(replayed.aba, nullptr);
+  EXPECT_EQ(recorded.aba->trace, replayed.aba->trace);
+}
+
+TEST(QuorumSoak, PlantedBoundaryViolationIsCaughtAndShrinks) {
+  // N = 3T: soak until the monitors catch the quorum starvation, then
+  // delta-debug. Every accepted shrink edit strictly decreases
+  // choice_count() (the shrinker's acceptance rule), and the minimized
+  // schedule must still reproduce a violation on replay.
+  const check::SoakReport report = check::soak(aba_spec(3, 1, 1), 500);
+  ASSERT_GE(report.violations, 1u);
+  ASSERT_FALSE(report.first_violations.empty());
+
+  const std::size_t original = report.first_schedule.choice_count();
+  ASSERT_GT(original, 0u);
+  std::size_t last_seen = original;
+  const check::ShrinkResult shrunk = check::shrink(
+      report.first_schedule, [&](const check::Schedule& candidate) {
+        // The oracle sees exactly the candidates the shrinker proposes:
+        // each must already be strictly smaller than the current best.
+        EXPECT_LT(candidate.choice_count(), last_seen);
+        const bool fails = !check::replay_schedule(candidate).ok();
+        if (fails) last_seen = candidate.choice_count();
+        return fails;
+      });
+  EXPECT_GT(shrunk.accepted, 0u);
+  EXPECT_LT(shrunk.schedule.choice_count(), original);
+  EXPECT_FALSE(check::replay_schedule(shrunk.schedule).ok());
+}
+
+TEST(QuorumSoak, PinnedAgreementExposesNbacHardness) {
+  // Monitoring k = 1 turns Guerraoui's reachable commit/abort divergence
+  // into a caught violation — the planted demonstration that weak NBAC
+  // over a realistic detector cannot guarantee agreement.
+  check::RunSpec spec = nbac_spec(5, 2, 1, /*fd_kind=*/1);
+  spec.monitor_k = 1;
+  const check::SoakReport report = check::soak(spec, 2000);
+  ASSERT_GE(report.violations, 1u);
+  EXPECT_EQ(report.first_violations.front().monitor, "agreement");
+}
+
+}  // namespace
+}  // namespace psph

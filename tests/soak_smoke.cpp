@@ -6,9 +6,54 @@
 // Registered as a plain ctest target (like sweep_smoke): the gtest suites
 // cover the machinery; this covers volume.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "check/soak.h"
+
+namespace {
+
+/// 1000 aba_byz runs at the N = 3T+1 resilience boundary: every run must
+/// be monitor-clean AND replay bit-identically after a serialization
+/// round-trip — the acceptance bar for the Byzantine schedule envelope.
+bool soak_aba_byz_with_replay() {
+  using namespace psph;
+  check::RunSpec spec;
+  spec.protocol = check::ProtocolKind::kAbaByz;
+  spec.n = 4;
+  spec.f = 1;
+  spec.t = 1;
+  std::size_t clean = 0;
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    spec.seed = seed;
+    const check::RunOutcome recorded = check::run_recorded(spec);
+    if (!recorded.ok()) {
+      std::printf("aba_byz seed %llu VIOLATION in %s\n",
+                  static_cast<unsigned long long>(seed),
+                  recorded.schedule.summary().c_str());
+      for (const check::Violation& violation : recorded.violations) {
+        std::printf("  %s: %s\n", violation.monitor.c_str(),
+                    violation.detail.c_str());
+      }
+      return false;
+    }
+    const check::Schedule loaded = check::deserialize_schedule(
+        check::serialize_schedule(recorded.schedule));
+    const check::RunOutcome replayed = check::replay_schedule(loaded);
+    if (recorded.aba == nullptr || replayed.aba == nullptr ||
+        !(recorded.aba->trace == replayed.aba->trace)) {
+      std::printf("aba_byz seed %llu replay NOT bit-identical\n",
+                  static_cast<unsigned long long>(seed));
+      return false;
+    }
+    ++clean;
+  }
+  std::printf("%-14s %zu/1000 runs clean, replays bit-identical\n", "aba_byz",
+              clean);
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace psph;
@@ -28,6 +73,31 @@ int main() {
     spec.d = 5;
     const check::SoakReport report = check::soak(spec, kRuns);
     std::printf("%-14s %zu/%zu runs clean\n", check::protocol_name(protocol),
+                report.runs - report.violations, report.runs);
+    if (!report.ok()) {
+      ok = false;
+      std::printf("  FIRST VIOLATION in %s\n",
+                  report.first_schedule.summary().c_str());
+      for (const check::Violation& violation : report.first_violations) {
+        std::printf("  %s: %s\n", violation.monitor.c_str(),
+                    violation.detail.c_str());
+      }
+    }
+  }
+
+  ok = soak_aba_byz_with_replay() && ok;
+
+  // NBAC over both failure-detector oracles: 500 runs each against the
+  // obligation monitors (agreement is deliberately not among them).
+  for (const int fd_kind : {0, 1}) {
+    check::RunSpec spec;
+    spec.protocol = check::ProtocolKind::kNbacFd;
+    spec.n = 5;
+    spec.f = 2;
+    spec.fd_kind = fd_kind;
+    spec.seed = 20260101;
+    const check::SoakReport report = check::soak(spec, 500);
+    std::printf("nbac_fd fd=%d   %zu/%zu runs clean\n", fd_kind,
                 report.runs - report.violations, report.runs);
     if (!report.ok()) {
       ok = false;

@@ -171,6 +171,77 @@ TEST(Rng, GoldenSplit) {
   EXPECT_EQ(child.next(), 5745406364259058299ull);
 }
 
+TEST(Rng, SeedAccessorReturnsConstructionSeed) {
+  EXPECT_EQ(Rng(42).seed(), 42ull);
+  EXPECT_EQ(Rng(20260808).seed(), 20260808ull);
+  Rng drained(42);
+  for (int i = 0; i < 10; ++i) drained.next();
+  EXPECT_EQ(drained.seed(), 42ull);
+}
+
+TEST(Rng, LabeledSplitSameLabelSameStream) {
+  Rng parent(41);
+  Rng a = parent.split("adversary");
+  Rng b = parent.split("adversary");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, LabeledSplitDistinctLabelsDiverge) {
+  Rng parent(41);
+  Rng a = parent.split("adversary");
+  Rng b = parent.split("oracle");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, LabeledSplitIndependentOfParentDrawPosition) {
+  // The property the Byzantine adversary's per-component streams rely on:
+  // however many values the parent (or a sibling stream) has produced, the
+  // labeled sub-stream is identical — so adding draws to one component
+  // never shifts another component's schedule.
+  Rng fresh(42);
+  Rng drained(42);
+  for (int i = 0; i < 1000; ++i) drained.next();
+  Rng a = fresh.split("net");
+  Rng b = drained.split("net");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// Pin the exact labeled sub-streams, like GoldenSplit above: recorded
+// Byzantine schedules name only (seed, label) pairs, so any drift here
+// silently detaches every saved quorum schedule from its seed metadata.
+
+TEST(Rng, GoldenLabeledSplit) {
+  Rng parent(42);
+  Rng net = parent.split("net");
+  EXPECT_EQ(net.next(), 11552001902302259109ull);
+  EXPECT_EQ(net.next(), 1227428005018418537ull);
+  EXPECT_EQ(net.next(), 9955318765519601925ull);
+  Rng crash = parent.split("crash");
+  EXPECT_EQ(crash.next(), 2861851109264108858ull);
+  EXPECT_EQ(crash.next(), 5150915152732232862ull);
+  EXPECT_EQ(crash.next(), 16531265491926979579ull);
+  Rng byz = parent.split("byz/3");
+  EXPECT_EQ(byz.next(), 8115133450442858300ull);
+  EXPECT_EQ(byz.next(), 5989800560130029232ull);
+  EXPECT_EQ(byz.next(), 15259304932942162159ull);
+}
+
+TEST(Rng, GoldenLabeledSplitSoakLabels) {
+  Rng parent(20260808);
+  Rng inputs = parent.split("inputs");
+  EXPECT_EQ(inputs.next(), 5495999990669941859ull);
+  EXPECT_EQ(inputs.next(), 10810785691411696024ull);
+  EXPECT_EQ(inputs.next(), 5017956288540005255ull);
+  Rng fd = parent.split("fd");
+  EXPECT_EQ(fd.next(), 2112008911782284429ull);
+  EXPECT_EQ(fd.next(), 14745862159166575594ull);
+  EXPECT_EQ(fd.next(), 14204405154681287555ull);
+}
+
 TEST(Hash, CombineOrderSensitive) {
   const std::size_t a = hash_combine(hash_combine(0, 1), 2);
   const std::size_t b = hash_combine(hash_combine(0, 2), 1);
