@@ -21,17 +21,30 @@
 int main(int argc, char** argv) {
   using namespace psph;
   std::string cache_dir;
+  std::string mode = "full";
   int threads = 0;
   bench::ObsOptions obs_options;
   util::Cli cli("lemma12_async_connectivity",
                 "Lemma 12: A^r(S^m) connectivity sweep");
   cli.flag("cache-dir", &cache_dir,
            "result-store root; empty disables caching");
+  cli.flag("mode", &mode,
+           "construction backend: full | orbit (symmetry-reduced)");
   cli.flag("threads", &threads,
            "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
   bench::add_obs_flags(cli, &obs_options);
   cli.parse(argc, argv);
   if (threads > 0) util::set_thread_count(threads);
+  if (mode != "full" && mode != "orbit") {
+    std::fprintf(stderr, "unknown --mode '%s' (choices: full orbit)\n",
+                 mode.c_str());
+    return 2;
+  }
+  core::ConstructionOptions construction;
+  if (mode == "orbit") construction.mode = core::ConstructionMode::kOrbit;
+  // The backend is part of the job identity: cached verdicts from the two
+  // pipelines must never alias, even though their values agree.
+  const std::int64_t mode_param = mode == "orbit" ? 1 : 0;
 
   bench::Report report("Lemma 12",
                        "A^r(S^m) is (m - (n - f) - 1)-connected");
@@ -64,7 +77,7 @@ int main(int argc, char** argv) {
     for (const auto& [n1, m1, f, r] : grid) {
       util::Timer timer;
       const core::ConnectivityCheck check =
-          core::check_async_connectivity(n1, m1, f, r);
+          core::check_async_connectivity(n1, m1, f, r, construction);
       report.row("  %3d %3d %2d %2d %8zu %8zu %7d %4d  %s", n1, m1, f, r,
                  check.facet_count, check.vertex_count, check.expected,
                  check.measured, timer.pretty().c_str());
@@ -77,18 +90,19 @@ int main(int argc, char** argv) {
 
   std::vector<sweep::JobSpec> jobs;
   for (const auto& [n1, m1, f, r] : grid) {
-    jobs.push_back({"lemma12/async-connectivity", {n1, m1, f, r}, {}});
+    jobs.push_back(
+        {"lemma12/async-connectivity", {n1, m1, f, r, mode_param}, {}});
   }
   sweep::SweepEngine engine({.cache_dir = cache_dir});
   const std::vector<core::ConnectivityCheck> checks =
       sweep::run_sweep<core::ConnectivityCheck>(
           engine, jobs,
-          [](const sweep::JobSpec& spec, std::size_t) {
+          [&construction](const sweep::JobSpec& spec, std::size_t) {
             return core::check_async_connectivity(
                 static_cast<int>(spec.params[0]),
                 static_cast<int>(spec.params[1]),
                 static_cast<int>(spec.params[2]),
-                static_cast<int>(spec.params[3]));
+                static_cast<int>(spec.params[3]), construction);
           },
           store::serialize_connectivity_check,
           store::deserialize_connectivity_check);

@@ -17,17 +17,28 @@
 int main(int argc, char** argv) {
   using namespace psph;
   std::string cache_dir;
+  std::string mode = "full";
   int threads = 0;
   util::Cli cli("lemma21_semisync_connectivity",
                 "Lemma 21: M^r(S^m) connectivity sweep");
   cli.flag("cache-dir", &cache_dir,
            "result-store root; empty disables caching");
+  cli.flag("mode", &mode,
+           "construction backend: full | orbit (symmetry-reduced)");
   cli.flag("threads", &threads,
            "worker threads for uncached jobs (0 = PSPH_THREADS/default)");
   bench::ObsOptions obs_options;
   bench::add_obs_flags(cli, &obs_options);
   cli.parse(argc, argv);
   if (threads > 0) util::set_thread_count(threads);
+  if (mode != "full" && mode != "orbit") {
+    std::fprintf(stderr, "unknown --mode '%s' (choices: full orbit)\n",
+                 mode.c_str());
+    return 2;
+  }
+  core::ConstructionOptions construction;
+  if (mode == "orbit") construction.mode = core::ConstructionMode::kOrbit;
+  const std::int64_t mode_param = mode == "orbit" ? 1 : 0;
 
   bench::Report report(
       "Lemma 21",
@@ -68,7 +79,7 @@ int main(int argc, char** argv) {
       const auto& [n1, m1, k, mu, r] = point;
       util::Timer timer;
       const core::ConnectivityCheck check =
-          core::check_semisync_connectivity(n1, m1, k, mu, r);
+          core::check_semisync_connectivity(n1, m1, k, mu, r, construction);
       emit(point, check, timer.pretty().c_str());
     }
     const int obs_exit = bench::finish_obs(obs_options);
@@ -78,19 +89,21 @@ int main(int argc, char** argv) {
 
   std::vector<sweep::JobSpec> jobs;
   for (const auto& [n1, m1, k, mu, r] : grid) {
-    jobs.push_back({"lemma21/semisync-connectivity", {n1, m1, k, mu, r}, {}});
+    jobs.push_back({"lemma21/semisync-connectivity",
+                    {n1, m1, k, mu, r, mode_param},
+                    {}});
   }
   sweep::SweepEngine engine({.cache_dir = cache_dir});
   const std::vector<core::ConnectivityCheck> checks =
       sweep::run_sweep<core::ConnectivityCheck>(
           engine, jobs,
-          [](const sweep::JobSpec& spec, std::size_t) {
+          [&construction](const sweep::JobSpec& spec, std::size_t) {
             return core::check_semisync_connectivity(
                 static_cast<int>(spec.params[0]),
                 static_cast<int>(spec.params[1]),
                 static_cast<int>(spec.params[2]),
                 static_cast<int>(spec.params[3]),
-                static_cast<int>(spec.params[4]));
+                static_cast<int>(spec.params[4]), construction);
           },
           store::serialize_connectivity_check,
           store::deserialize_connectivity_check);

@@ -248,6 +248,125 @@ BENCHMARK(BM_SemisyncProtocolComplexCached)
     ->Args({4, 2})
     ->Args({5, 2});
 
+// ---- Symmetry-reduced (orbit) construction ----
+//
+// The BM_*Orbit variants build the same complexes through the orbit-quotient
+// pipeline (DESIGN §5.16). Rainbow inputs carry the full diagonal symmetric
+// group, so the frontier shrinks by a factor approaching n!; facet counts,
+// f-vectors, and homology stay bit-identical to the full pipeline
+// (tests/orbit_test.cpp proves it on every shared datapoint). Arg pairs
+// repeat the BM_*ProtocolComplex grids so the speedup is a same-JSON ratio,
+// plus larger orbit-only points the full pipeline cannot finish in bench
+// time — the "beyond the wall" rows in BENCH_complexes.json.
+
+void BM_AsyncProtocolComplexOrbit(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  std::uint64_t full_facets = 0;
+  std::uint64_t reps = 0;
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    core::ConstructionCache cache;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    const core::OrbitComplexResult result = core::async_protocol_complex_orbit(
+        input, {n1, 1, rounds}, views, arena, cache);
+    full_facets = result.full_facet_count;
+    reps = result.orbits.size();
+    benchmark::DoNotOptimize(result.reduced.facet_count());
+  }
+  state.counters["full_facets"] = static_cast<double>(full_facets);
+  state.counters["orbit_reps"] = static_cast<double>(reps);
+}
+BENCHMARK(BM_AsyncProtocolComplexOrbit)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 2})
+    // Beyond the wall: ~9.77M full facets from 83,061 orbit reps. The full
+    // pipeline does not finish this point in bench time (see EXPERIMENTS).
+    ->Args({5, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SyncProtocolComplexOrbit(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  std::uint64_t full_facets = 0;
+  std::uint64_t reps = 0;
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    core::ConstructionCache cache;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    const core::OrbitComplexResult result = core::sync_protocol_complex_orbit(
+        input, {n1, 2, 1, rounds}, views, arena, cache);
+    full_facets = result.full_facet_count;
+    reps = result.orbits.size();
+    benchmark::DoNotOptimize(result.reduced.facet_count());
+  }
+  state.counters["full_facets"] = static_cast<double>(full_facets);
+  state.counters["orbit_reps"] = static_cast<double>(reps);
+}
+BENCHMARK(BM_SyncProtocolComplexOrbit)
+    ->ArgNames({"n", "r"})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Args({5, 2})
+    ->Args({5, 3})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SemisyncProtocolComplexOrbit(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  std::uint64_t full_facets = 0;
+  std::uint64_t reps = 0;
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    core::ConstructionCache cache;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    const core::OrbitComplexResult result =
+        core::semisync_protocol_complex_orbit(input, {n1, 1, 1, 2, rounds},
+                                              views, arena, cache);
+    full_facets = result.full_facet_count;
+    reps = result.orbits.size();
+    benchmark::DoNotOptimize(result.reduced.facet_count());
+  }
+  state.counters["full_facets"] = static_cast<double>(full_facets);
+  state.counters["orbit_reps"] = static_cast<double>(reps);
+}
+BENCHMARK(BM_SemisyncProtocolComplexOrbit)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({5, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// Orbit pipeline with the frontier spilled through an in-memory chunk store
+// at a deliberately tiny budget: measures the encode/flush/replay overhead
+// of out-of-core operation, isolated from disk I/O.
+void BM_AsyncOrbitSpill(benchmark::State& state) {
+  const int n1 = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    core::ConstructionCache cache;
+    core::InMemoryFrontierStorage storage;
+    core::ConstructionOptions options;
+    options.frontier_budget_bytes = 4096;
+    options.storage = &storage;
+    const topology::Simplex input = core::rainbow_input(n1, views, arena);
+    benchmark::DoNotOptimize(core::async_protocol_complex_orbit(
+        input, {n1, 1, rounds}, views, arena, cache, options));
+  }
+}
+BENCHMARK(BM_AsyncOrbitSpill)
+    ->ArgNames({"n", "r"})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Unit(benchmark::kMillisecond);
+
 // ---- End-to-end: construction + homology in one measured unit ----
 //
 // The span coverage of a full connectivity query: construction.* spans from

@@ -85,44 +85,67 @@ ConnectivityCheck check_pseudosphere_connectivity(
 }
 
 ConnectivityCheck check_async_connectivity(int num_processes,
-                                           int participants, int f, int r) {
+                                           int participants, int f, int r,
+                                           const ConstructionOptions& options) {
   ViewRegistry views;
   topology::VertexArena arena;
   const topology::Simplex input = rainbow_input(participants, views, arena);
   AsyncParams params{num_processes, f, r};
-  const topology::SimplicialComplex complex =
-      async_protocol_complex(input, params, views, arena);
   const int m = participants - 1;
   const int n = num_processes - 1;
+  if (options.mode == ConstructionMode::kOrbit) {
+    ConstructionCache cache;
+    const OrbitComplexResult orbit = async_protocol_complex_orbit(
+        input, params, views, arena, cache, options);
+    return measure(reconstitute_full(orbit, views, arena), m - (n - f) - 1);
+  }
+  const topology::SimplicialComplex complex =
+      async_protocol_complex(input, params, views, arena);
   return measure(complex, m - (n - f) - 1);
 }
 
 ConnectivityCheck check_sync_connectivity(int num_processes, int participants,
-                                          int k, int r) {
+                                          int k, int r,
+                                          const ConstructionOptions& options) {
   ViewRegistry views;
   topology::VertexArena arena;
   const topology::Simplex input = rainbow_input(participants, views, arena);
   SyncParams params{num_processes, /*total_failures=*/r * k,
                     /*failures_per_round=*/k, r};
-  const topology::SimplicialComplex complex =
-      sync_protocol_complex(input, params, views, arena);
   const int m = participants - 1;
   const int n = num_processes - 1;
+  if (options.mode == ConstructionMode::kOrbit) {
+    ConstructionCache cache;
+    const OrbitComplexResult orbit =
+        sync_protocol_complex_orbit(input, params, views, arena, cache,
+                                    options);
+    return measure(reconstitute_full(orbit, views, arena), m - (n - k) - 1);
+  }
+  const topology::SimplicialComplex complex =
+      sync_protocol_complex(input, params, views, arena);
   return measure(complex, m - (n - k) - 1);
 }
 
 ConnectivityCheck check_semisync_connectivity(int num_processes,
                                               int participants, int k, int mu,
-                                              int r) {
+                                              int r,
+                                              const ConstructionOptions&
+                                                  options) {
   ViewRegistry views;
   topology::VertexArena arena;
   const topology::Simplex input = rainbow_input(participants, views, arena);
   SemiSyncParams params{num_processes, /*total_failures=*/r * k,
                         /*failures_per_round=*/k, mu, r};
-  const topology::SimplicialComplex complex =
-      semisync_protocol_complex(input, params, views, arena);
   const int m = participants - 1;
   const int n = num_processes - 1;
+  if (options.mode == ConstructionMode::kOrbit) {
+    ConstructionCache cache;
+    const OrbitComplexResult orbit = semisync_protocol_complex_orbit(
+        input, params, views, arena, cache, options);
+    return measure(reconstitute_full(orbit, views, arena), m - (n - k) - 1);
+  }
+  const topology::SimplicialComplex complex =
+      semisync_protocol_complex(input, params, views, arena);
   return measure(complex, m - (n - k) - 1);
 }
 

@@ -47,6 +47,14 @@ void normalize(Query* q) {
     q->max_dim = 0;
     q->exact = false;
   }
+  // Only the kinds that build a protocol complex directly consume the
+  // construction backend; connectivity/decide go through the theorem
+  // checkers and pseudospheres have no round structure to quotient.
+  const bool builds_complex =
+      homology || q->kind == QueryKind::kComplexStats;
+  if (!builds_complex || q->model == "pseudosphere") {
+    q->construction = "full";
+  }
   if (q->model == "pseudosphere") {
     q->processes = 0;
     q->participants = 0;
@@ -137,6 +145,17 @@ std::optional<ErrorInfo> fill_query(const Json& request, Query* q) {
     return bad("model 'pseudosphere' needs a nonempty sizes array");
   }
 
+  if (const Json* construction = request.get("construction")) {
+    if (!construction->is_string()) {
+      return bad("construction must be a string");
+    }
+    q->construction = construction->as_string();
+    if (q->construction != "full" && q->construction != "orbit") {
+      return bad("unknown construction '" + q->construction +
+                 "' (choices: full orbit)");
+    }
+  }
+
   if (const Json* deadline = request.get("deadline_ms")) {
     if (!deadline->is_int() || deadline->as_int() < 0 ||
         deadline->as_int() > kMaxDeadlineMs) {
@@ -165,6 +184,7 @@ const char* kind_name(QueryKind kind) {
 store::CacheKeyBuilder cache_key(const Query& q) {
   store::CacheKeyBuilder key(std::string("serve/") + kind_name(q.kind));
   key.param_string(q.model);
+  key.param_string(q.construction);
   key.param(q.processes)
       .param(q.participants)
       .param(q.f)

@@ -45,6 +45,11 @@ struct Query {
   int rounds = 1;
   int max_dim = 2;  // homology only
   bool exact = false;  // homology only
+  /// Construction backend for homology / complex_stats on timing models:
+  /// "full" expands every facet; "orbit" runs the symmetry-reduced pipeline
+  /// (DESIGN §5.16) and reconstitutes, bit-identical where both run. Kinds
+  /// and models that do not consume it are normalized back to "full".
+  std::string construction = "full";
   std::vector<int> sizes;  // pseudosphere value-set sizes, |U_i| each
   /// Per-query deadline; 0 means "use the server default".
   std::int64_t deadline_ms = 0;

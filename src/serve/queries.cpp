@@ -1,5 +1,6 @@
 #include "serve/queries.h"
 
+#include "core/construction.h"
 #include "core/pseudosphere.h"
 #include "core/theorems.h"
 #include "store/serialize.h"
@@ -9,6 +10,32 @@
 namespace psph::serve {
 
 namespace {
+
+/// Runs the symmetry-reduced pipeline for a timing-model query (DESIGN
+/// §5.16). Only reachable when normalize() kept construction == "orbit",
+/// which excludes pseudospheres.
+core::OrbitComplexResult build_orbit_result(const Query& q,
+                                            core::ViewRegistry& views,
+                                            topology::VertexArena& arena) {
+  core::ConstructionCache cache;
+  const topology::Simplex input =
+      core::rainbow_input(q.participants, views, arena);
+  if (q.model == "async") {
+    core::AsyncParams params{q.processes, q.f, q.rounds};
+    return core::async_protocol_complex_orbit(input, params, views, arena,
+                                              cache);
+  }
+  if (q.model == "sync") {
+    core::SyncParams params{q.processes, /*total_failures=*/q.rounds * q.k,
+                            /*failures_per_round=*/q.k, q.rounds};
+    return core::sync_protocol_complex_orbit(input, params, views, arena,
+                                             cache);
+  }
+  core::SemiSyncParams params{q.processes, /*total_failures=*/q.rounds * q.k,
+                              /*failures_per_round=*/q.k, q.mu, q.rounds};
+  return core::semisync_protocol_complex_orbit(input, params, views, arena,
+                                               cache);
+}
 
 /// Builds the complex a connectivity check of the same parameters measures
 /// — the identical construction path theorems.cpp uses, so homology and
@@ -64,11 +91,18 @@ std::vector<std::uint8_t> compute_connectivity(const Query& q) {
 std::vector<std::uint8_t> compute_homology(const Query& q) {
   core::ViewRegistry views;
   topology::VertexArena arena;
-  const topology::SimplicialComplex complex =
-      build_model_complex(q, views, arena);
   topology::HomologyOptions options;
   options.max_dim = q.max_dim;
   options.exact = q.exact;
+  if (q.construction == "orbit") {
+    // Homology needs the chain complex, so the full object is materialized
+    // from orbit data; the saving is in the construction, not the algebra.
+    const core::OrbitComplexResult orbit = build_orbit_result(q, views, arena);
+    return store::serialize_homology_report(topology::reduced_homology(
+        core::reconstitute_full(orbit, views, arena), options));
+  }
+  const topology::SimplicialComplex complex =
+      build_model_complex(q, views, arena);
   return store::serialize_homology_report(
       topology::reduced_homology(complex, options));
 }
@@ -76,9 +110,32 @@ std::vector<std::uint8_t> compute_homology(const Query& q) {
 std::vector<std::uint8_t> compute_complex_stats(const Query& q) {
   core::ViewRegistry views;
   topology::VertexArena arena;
+  store::ByteWriter out;
+  if (q.construction == "orbit") {
+    // Counting-only path: the full complex is never materialized. Facet
+    // count comes from orbit–stabilizer, the f-vector from face-orbit
+    // counting; both are bit-identical to the full pipeline's.
+    const core::OrbitComplexResult orbit = build_orbit_result(q, views, arena);
+    const std::vector<std::size_t> fvec =
+        core::orbit_full_f_vector(orbit, views, arena);
+    std::int64_t euler = 0;
+    for (std::size_t d = 0; d < fvec.size(); ++d) {
+      const auto count = static_cast<std::int64_t>(fvec[d]);
+      euler += (d % 2 == 0) ? count : -count;
+    }
+    out.u64(orbit.full_facet_count);
+    out.u64(fvec.empty() ? 0 : fvec[0]);
+    out.i32(static_cast<std::int32_t>(fvec.size()) - 1);
+    out.i64(euler);
+    out.u32(static_cast<std::uint32_t>(fvec.size()));
+    for (const std::size_t count : fvec) out.u64(count);
+    out.u64(orbit.group.size());
+    out.u64(orbit.orbits.size());
+    out.u64(orbit.reduced.facet_count());
+    return store::seal(store::PayloadKind::kRawBytes, out.bytes());
+  }
   const topology::SimplicialComplex complex =
       build_model_complex(q, views, arena);
-  store::ByteWriter out;
   out.u64(complex.facet_count());
   out.u64(complex.vertex_ids().size());
   out.i32(complex.dimension());
@@ -155,8 +212,18 @@ Json render_complex_stats(const std::vector<std::uint8_t>& sealed) {
   for (std::uint32_t d = 0; d < dims; ++d) {
     fvec.push(Json::integer(static_cast<std::int64_t>(in.u64())));
   }
-  in.expect_done("complex_stats payload");
   body.set("f_vector", std::move(fvec));
+  if (!in.done()) {
+    // Orbit-mode payloads carry the quotient's shape after the shared
+    // fields; full-mode payloads end here.
+    Json orbit = Json::object();
+    orbit.set("group_order", Json::integer(static_cast<std::int64_t>(in.u64())));
+    orbit.set("orbit_reps", Json::integer(static_cast<std::int64_t>(in.u64())));
+    orbit.set("reduced_facets",
+              Json::integer(static_cast<std::int64_t>(in.u64())));
+    body.set("orbit", std::move(orbit));
+  }
+  in.expect_done("complex_stats payload");
   return body;
 }
 

@@ -1,0 +1,64 @@
+#include "store/frontier.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "store/serialize.h"
+
+namespace psph::store {
+
+FrontierSpool::FrontierSpool(std::shared_ptr<FsOps> fs,
+                             std::filesystem::path dir)
+    : fs_(std::move(fs)), dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+FrontierSpool::~FrontierSpool() {
+  try {
+    clear();
+  } catch (...) {
+    // Scratch cleanup only; never throw from a destructor.
+  }
+}
+
+std::filesystem::path FrontierSpool::chunk_path(std::size_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "chunk-%06zu.psph", index);
+  return dir_ / name;
+}
+
+void FrontierSpool::append_chunk(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> sealed =
+      seal(PayloadKind::kFrontierChunk, bytes);
+  fs_->write_file(chunk_path(live_chunks_), sealed.data(), sealed.size());
+  ++live_chunks_;
+  ++stats_.chunks_written;
+  stats_.bytes_written += sealed.size();
+}
+
+std::vector<std::uint8_t> FrontierSpool::read_chunk(std::size_t index) const {
+  if (index >= live_chunks_) {
+    throw std::out_of_range("FrontierSpool: chunk index out of range");
+  }
+  const std::filesystem::path path = chunk_path(index);
+  const std::optional<std::vector<std::uint8_t>> sealed =
+      fs_->read_file(path);
+  if (!sealed) {
+    throw std::runtime_error("FrontierSpool: spilled chunk vanished: " +
+                             path.string());
+  }
+  ++stats_.chunks_read;
+  // unseal throws SerializationError on any corruption — a damaged spill
+  // must abort the construction, never feed it wrong facets.
+  return unseal(*sealed, PayloadKind::kFrontierChunk);
+}
+
+void FrontierSpool::clear() {
+  for (std::size_t i = 0; i < live_chunks_; ++i) {
+    std::error_code ec;  // best effort; a leftover file is only disk noise
+    std::filesystem::remove(chunk_path(i), ec);
+  }
+  live_chunks_ = 0;
+}
+
+}  // namespace psph::store

@@ -1,0 +1,63 @@
+#pragma once
+
+// Out-of-core frontier spill for the construction pipeline (DESIGN §5.16).
+//
+// FrontierSpool implements core::FrontierStorage by sealing each chunk the
+// pipeline hands it into a kFrontierChunk envelope (magic / version / kind /
+// size / checksum, serialize.h) and writing it to a numbered file in a
+// spool directory through FsOps — the same injectable I/O layer the result
+// store uses, so the fault harness can bit-rot spilled frontiers and prove
+// the construction fails loudly instead of building a wrong complex.
+// Chunks are read back in append order; clear() deletes the level's files.
+//
+// The spool is scratch space, not a cache: files are named by sequence
+// number (chunk-000000.psph, ...) within a caller-owned directory, and a
+// destructor best-effort clears whatever is left.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "core/construction.h"
+#include "store/fs_ops.h"
+
+namespace psph::store {
+
+struct FrontierSpoolStats {
+  std::uint64_t chunks_written = 0;
+  std::uint64_t chunks_read = 0;
+  std::uint64_t bytes_written = 0;  // sealed envelope bytes on disk
+};
+
+class FrontierSpool final : public core::FrontierStorage {
+ public:
+  /// Spills into `dir` (created if missing) through `fs`; pass
+  /// FsOps::real() outside fault tests.
+  FrontierSpool(std::shared_ptr<FsOps> fs, std::filesystem::path dir);
+  ~FrontierSpool() override;
+
+  FrontierSpool(const FrontierSpool&) = delete;
+  FrontierSpool& operator=(const FrontierSpool&) = delete;
+
+  void append_chunk(const std::vector<std::uint8_t>& bytes) override;
+  std::size_t chunk_count() const override { return live_chunks_; }
+  /// Unseals chunk `index`; throws SerializationError on corrupt bytes and
+  /// std::runtime_error if the file vanished.
+  std::vector<std::uint8_t> read_chunk(std::size_t index) const override;
+  void clear() override;
+
+  const FrontierSpoolStats& stats() const { return stats_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path chunk_path(std::size_t index) const;
+
+  std::shared_ptr<FsOps> fs_;
+  std::filesystem::path dir_;
+  std::size_t live_chunks_ = 0;
+  mutable FrontierSpoolStats stats_;  // read_chunk is const but counted
+};
+
+}  // namespace psph::store

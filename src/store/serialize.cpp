@@ -134,9 +134,10 @@ std::vector<std::uint8_t> unseal(const std::uint8_t* data, std::size_t size,
   if (std::memcmp(data, kMagic, 4) != 0) fail("bad magic: not a PSPH blob");
   ByteReader header(data + 4, kHeaderSize - 4);
   const std::uint16_t version = header.u16();
-  if (version != kFormatVersion) {
+  if (version < kMinSupportedFormatVersion || version > kFormatVersion) {
     fail("format version mismatch: file has v" + std::to_string(version) +
-         ", this build reads v" + std::to_string(kFormatVersion));
+         ", this build reads v" + std::to_string(kMinSupportedFormatVersion) +
+         "..v" + std::to_string(kFormatVersion));
   }
   const std::uint16_t kind = header.u16();
   const std::uint64_t payload_size = header.u64();

@@ -37,9 +37,14 @@
 
 namespace psph::store {
 
-/// Bumped whenever any encoding below changes shape. Old-version envelopes
-/// are rejected (the cache recomputes rather than misinterpreting bytes).
-inline constexpr std::uint16_t kFormatVersion = 1;
+/// Bumped whenever any encoding below changes shape. Envelopes older than
+/// kMinSupportedFormatVersion are rejected (the cache recomputes rather than
+/// misinterpreting bytes); versions in [kMinSupportedFormatVersion,
+/// kFormatVersion] load, because none of the existing payload encodings
+/// changed between them — v2 only *adds* the frontier-chunk kind and stamps
+/// ResultStore keys so orbit-mode results never alias full-mode ones.
+inline constexpr std::uint16_t kFormatVersion = 2;
+inline constexpr std::uint16_t kMinSupportedFormatVersion = 1;
 
 enum class PayloadKind : std::uint16_t {
   kRawBytes = 0,
@@ -49,8 +54,9 @@ enum class PayloadKind : std::uint16_t {
   kConnectivityCheck = 4,
   kAgreementCheck = 5,
   kBigInt = 6,
-  kCacheEntry = 7,  // store.h: key blob + sealed result
-  kSchedule = 8,    // check/schedule.h: recorded adversary schedule
+  kCacheEntry = 7,    // store.h: key blob + sealed result
+  kSchedule = 8,      // check/schedule.h: recorded adversary schedule
+  kFrontierChunk = 9,  // frontier.h: spilled construction frontier level
 };
 
 /// Thrown on any malformed input to a decoder.

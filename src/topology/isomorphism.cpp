@@ -36,6 +36,10 @@ bool is_isomorphism(const SimplicialComplex& a, const SimplicialComplex& b,
   return ok;
 }
 
+bool is_automorphism(const SimplicialComplex& k, const VertexMap& map) {
+  return is_isomorphism(k, k, map);
+}
+
 ComplexFingerprint fingerprint(const SimplicialComplex& k) {
   ComplexFingerprint fp;
   fp.f_vector = k.f_vector();

@@ -24,6 +24,10 @@ using VertexMap = std::unordered_map<VertexId, VertexId>;
 bool is_isomorphism(const SimplicialComplex& a, const SimplicialComplex& b,
                     const VertexMap& map);
 
+/// True iff `map` is an isomorphism from `k` onto itself (the symmetry-group
+/// membership test used by the orbit-quotient pipeline).
+bool is_automorphism(const SimplicialComplex& k, const VertexMap& map);
+
 /// Invariant fingerprint: (f-vector, sorted multiset of vertex facet-degrees,
 /// sorted multiset of facet dimensions). Equal complexes agree; unequal
 /// fingerprints refute isomorphism.

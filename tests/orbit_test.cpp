@@ -1,0 +1,433 @@
+// Orbit-quotient construction (DESIGN §5.16): symmetry groups, canonical
+// forms, and the differential guarantee — orbit-reduced facet counts,
+// f-vectors, and homology must equal the unreduced pipeline's, value for
+// value, for every model and every (n, r) the unreduced path can reach.
+// Also covers frontier spill (results bit-identical at any budget, in RAM
+// and through sealed on-disk chunks) and the mode-keyed ConstructionCache.
+
+#include "core/orbit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "core/construction.h"
+#include "core/pseudosphere.h"
+#include "core/theorems.h"
+#include "store/frontier.h"
+#include "store/fs_ops.h"
+#include "store/serialize.h"
+#include "topology/homology.h"
+
+namespace {
+
+using namespace psph;
+
+std::uint64_t factorial(int n) {
+  std::uint64_t f = 1;
+  for (int i = 2; i <= n; ++i) f *= static_cast<std::uint64_t>(i);
+  return f;
+}
+
+// ------------------------------------------------------- symmetry groups --
+
+TEST(SymmetryGroupTest, RainbowInputHasFullDiagonalSymmetricGroup) {
+  for (int n = 2; n <= 4; ++n) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(n, views, arena);
+    const core::SymmetryGroup group =
+        core::SymmetryGroup::for_input_facet(input, views, arena);
+    EXPECT_EQ(group.size(), factorial(n)) << "n=" << n;
+    EXPECT_TRUE(group.element(0).is_identity());
+  }
+}
+
+TEST(SymmetryGroupTest, UniformInputAlsoHasFullSymmetricGroup) {
+  // All processes share one input value: every pid permutation works with
+  // sigma = id.
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::input_facet({7, 7, 7}, views, arena);
+  const core::SymmetryGroup group =
+      core::SymmetryGroup::for_input_facet(input, views, arena);
+  EXPECT_EQ(group.size(), 6u);
+}
+
+TEST(SymmetryGroupTest, AsymmetricInputHasPartialGroup) {
+  // Inputs {5, 5, 9}: only the swap of the two 5-processes survives.
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::input_facet({5, 5, 9}, views, arena);
+  const core::SymmetryGroup group =
+      core::SymmetryGroup::for_input_facet(input, views, arena);
+  EXPECT_EQ(group.size(), 2u);
+}
+
+TEST(SymmetryGroupTest, InputComplexGroupActsByAutomorphisms) {
+  // psi(3; {0,1}) is symmetric under all pid permutations and the value
+  // swap: |G| = 3! * 2! = 12.
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::SimplicialComplex inputs =
+      core::input_complex(3, {0, 1}, views, arena);
+  const core::SymmetryGroup group =
+      core::SymmetryGroup::for_input_complex(inputs, views, arena);
+  EXPECT_EQ(group.size(), 12u);
+  EXPECT_TRUE(group.element(0).is_identity());
+}
+
+TEST(SymmetryGroupTest, NonRoundZeroVertexThrows) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  core::ConstructionCache cache;
+  const topology::SimplicialComplex one_round =
+      core::async_protocol_complex(input, {3, 1, 1}, views, arena, cache);
+  EXPECT_THROW(core::SymmetryGroup::for_input_facet(one_round.facets().front(),
+                                                    views, arena),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- canonicalization ----
+
+TEST(OrbitContextTest, OrbitMembersShareOneCanonicalForm) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  core::ConstructionCache cache;
+  const topology::SimplicialComplex complex =
+      core::async_protocol_complex(input, {3, 1, 1}, views, arena, cache);
+
+  core::OrbitContext ctx(
+      core::SymmetryGroup::for_input_facet(input, views, arena), views, arena);
+  for (const topology::Simplex& facet : complex.facets()) {
+    const core::CanonicalFacet canon = ctx.canonicalize(facet);
+    // Every group image of the facet canonicalizes to the same rep, and the
+    // stabilizer divides the group order (orbit–stabilizer).
+    EXPECT_EQ(ctx.group().size() % canon.stabilizer, 0u);
+    for (std::size_t gi = 0; gi < ctx.group().size(); ++gi) {
+      const topology::Simplex image = ctx.relabel_facet(gi, facet);
+      EXPECT_EQ(ctx.canonicalize(image).rep, canon.rep);
+    }
+  }
+}
+
+TEST(OrbitContextTest, IdentityGroupFixesEverything) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  core::OrbitContext ctx(core::SymmetryGroup::identity(), views, arena);
+  const core::CanonicalFacet canon = ctx.canonicalize(input);
+  EXPECT_EQ(canon.rep, input);
+  EXPECT_EQ(canon.stabilizer, 1u);
+}
+
+// --------------------------------------------- differential: 4 models ----
+
+// Values reported by the orbit pipeline (full facet count, full f-vector,
+// homology of the reconstituted complex) must equal the unreduced
+// pipeline's, and the reconstituted complex must have the same facet count
+// as the reduced orbit sum claims.
+void expect_orbit_matches_full(const topology::SimplicialComplex& full,
+                               const core::OrbitComplexResult& orbit,
+                               core::ViewRegistry& views,
+                               topology::VertexArena& arena,
+                               const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(orbit.full_facet_count, full.facet_count());
+  EXPECT_EQ(core::orbit_full_f_vector(orbit, views, arena), full.f_vector());
+
+  const topology::SimplicialComplex rebuilt =
+      core::reconstitute_full(orbit, views, arena);
+  EXPECT_EQ(rebuilt.facet_count(), full.facet_count());
+  EXPECT_EQ(rebuilt.f_vector(), full.f_vector());
+
+  topology::HomologyOptions hopts;
+  hopts.max_dim = full.dimension();
+  hopts.exact = true;
+  const topology::HomologyReport h_full = reduced_homology(full, hopts);
+  const topology::HomologyReport h_orbit = reduced_homology(rebuilt, hopts);
+  EXPECT_EQ(h_full.reduced_betti, h_orbit.reduced_betti);
+  EXPECT_EQ(h_full.torsion, h_orbit.torsion);
+
+  // The reduction is genuine whenever the group is nontrivial: at most one
+  // representative per orbit.
+  EXPECT_LE(orbit.reduced.facet_count(), full.facet_count());
+}
+
+TEST(OrbitDifferentialTest, AsyncMatchesFullPipeline) {
+  struct Case {
+    int n1, f, r;
+  };
+  const Case cases[] = {{3, 1, 1}, {3, 1, 2}, {3, 2, 1}, {4, 1, 1}, {4, 2, 1}};
+  for (const Case& c : cases) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(c.n1, views, arena);
+    core::ConstructionCache cache;
+    const core::AsyncParams params{c.n1, c.f, c.r};
+    const topology::SimplicialComplex full =
+        core::async_protocol_complex(input, params, views, arena, cache);
+    const core::OrbitComplexResult orbit = core::async_protocol_complex_orbit(
+        input, params, views, arena, cache);
+    expect_orbit_matches_full(full, orbit, views, arena,
+                              "async n1=" + std::to_string(c.n1) +
+                                  " f=" + std::to_string(c.f) +
+                                  " r=" + std::to_string(c.r));
+  }
+}
+
+TEST(OrbitDifferentialTest, SyncMatchesFullPipeline) {
+  struct Case {
+    int n1, f, k, r;
+  };
+  const Case cases[] = {{3, 1, 1, 1}, {3, 2, 1, 2}, {4, 2, 1, 2}, {4, 2, 2, 1}};
+  for (const Case& c : cases) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(c.n1, views, arena);
+    core::ConstructionCache cache;
+    const core::SyncParams params{c.n1, c.f, c.k, c.r};
+    const topology::SimplicialComplex full =
+        core::sync_protocol_complex(input, params, views, arena, cache);
+    const core::OrbitComplexResult orbit = core::sync_protocol_complex_orbit(
+        input, params, views, arena, cache);
+    expect_orbit_matches_full(full, orbit, views, arena,
+                              "sync n1=" + std::to_string(c.n1) +
+                                  " f=" + std::to_string(c.f) +
+                                  " k=" + std::to_string(c.k) +
+                                  " r=" + std::to_string(c.r));
+  }
+}
+
+TEST(OrbitDifferentialTest, SemiSyncMatchesFullPipeline) {
+  struct Case {
+    int n1, f, k, mu, r;
+  };
+  const Case cases[] = {{3, 1, 1, 2, 1}, {3, 2, 1, 2, 2}, {3, 1, 1, 3, 1}};
+  for (const Case& c : cases) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(c.n1, views, arena);
+    core::ConstructionCache cache;
+    const core::SemiSyncParams params{c.n1, c.f, c.k, c.mu, c.r};
+    const topology::SimplicialComplex full =
+        core::semisync_protocol_complex(input, params, views, arena, cache);
+    const core::OrbitComplexResult orbit =
+        core::semisync_protocol_complex_orbit(input, params, views, arena,
+                                              cache);
+    expect_orbit_matches_full(full, orbit, views, arena,
+                              "semisync n1=" + std::to_string(c.n1) +
+                                  " f=" + std::to_string(c.f) +
+                                  " mu=" + std::to_string(c.mu) +
+                                  " r=" + std::to_string(c.r));
+  }
+}
+
+TEST(OrbitDifferentialTest, IisMatchesFullPipeline) {
+  for (int r = 1; r <= 2; ++r) {
+    core::ViewRegistry views;
+    topology::VertexArena arena;
+    const topology::Simplex input = core::rainbow_input(3, views, arena);
+    core::ConstructionCache cache;
+    const topology::SimplicialComplex full =
+        core::iis_protocol_complex(input, r, views, arena, cache);
+    const core::OrbitComplexResult orbit =
+        core::iis_protocol_complex_orbit(input, r, views, arena, cache);
+    expect_orbit_matches_full(full, orbit, views, arena,
+                              "iis r=" + std::to_string(r));
+  }
+}
+
+TEST(OrbitDifferentialTest, InputComplexOverloadMatchesFullPipeline) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::SimplicialComplex inputs =
+      core::input_complex(3, {0, 1}, views, arena);
+  core::ConstructionCache cache;
+  const core::AsyncParams params{3, 1, 1};
+  const topology::SimplicialComplex full = core::async_protocol_complex_over(
+      inputs, params, views, arena, cache);
+  const core::OrbitComplexResult orbit =
+      core::async_protocol_complex_orbit_over(inputs, params, views, arena,
+                                              cache);
+  expect_orbit_matches_full(full, orbit, views, arena, "async over psi(3)");
+}
+
+TEST(OrbitDifferentialTest, AsymmetricInputDegeneratesGracefully) {
+  // With a near-trivial group (|G| = 2) the orbit pipeline still reproduces
+  // the full pipeline's values.
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::input_facet({5, 5, 9}, views, arena);
+  core::ConstructionCache cache;
+  const core::AsyncParams params{3, 1, 1};
+  const topology::SimplicialComplex full =
+      core::async_protocol_complex(input, params, views, arena, cache);
+  const core::OrbitComplexResult orbit =
+      core::async_protocol_complex_orbit(input, params, views, arena, cache);
+  expect_orbit_matches_full(full, orbit, views, arena, "async {5,5,9}");
+}
+
+// ----------------------------------------------------- frontier spill ----
+
+TEST(FrontierSpillTest, TinyBudgetIsBitIdenticalInFullMode) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  const core::AsyncParams params{3, 1, 2};
+
+  core::ConstructionCache cache_a;
+  const topology::SimplicialComplex in_ram =
+      core::async_protocol_complex(input, params, views, arena, cache_a);
+
+  // A 64-byte budget forces a flush roughly every other item; the in-memory
+  // chunk store exercises the encode/chunk/drain path exactly.
+  core::InMemoryFrontierStorage chunks;
+  core::ConstructionOptions options;
+  options.frontier_budget_bytes = 64;
+  options.storage = &chunks;
+  core::ConstructionCache cache_b;
+  const topology::SimplicialComplex spilled = core::async_protocol_complex(
+      input, params, views, arena, cache_b, options);
+
+  EXPECT_EQ(in_ram, spilled);
+  EXPECT_EQ(chunks.chunk_count(), 0u);  // every level fully drained
+}
+
+TEST(FrontierSpillTest, DiskSpoolIsBitIdenticalAcrossModels) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "psph_orbit_test_spool";
+  store::FrontierSpool spool(store::FsOps::real(), dir);
+
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+
+  core::ConstructionOptions options;
+  options.frontier_budget_bytes = 48;
+  options.storage = &spool;
+
+  {
+    core::ConstructionCache plain_cache, spool_cache;
+    const core::SyncParams params{3, 2, 1, 2};
+    EXPECT_EQ(core::sync_protocol_complex(input, params, views, arena,
+                                          plain_cache),
+              core::sync_protocol_complex(input, params, views, arena,
+                                          spool_cache, options));
+  }
+  {
+    core::ConstructionCache plain_cache, spool_cache;
+    const core::SemiSyncParams params{3, 1, 1, 2, 2};
+    EXPECT_EQ(core::semisync_protocol_complex(input, params, views, arena,
+                                              plain_cache),
+              core::semisync_protocol_complex(input, params, views, arena,
+                                              spool_cache, options));
+  }
+  EXPECT_GT(spool.stats().chunks_written, 0u);
+  EXPECT_EQ(spool.stats().chunks_read, spool.stats().chunks_written);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FrontierSpillTest, OrbitModeWithSpillMatchesOrbitModeInRam) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(4, views, arena);
+  const core::AsyncParams params{4, 1, 2};
+
+  core::ConstructionCache cache_a;
+  const core::OrbitComplexResult in_ram = core::async_protocol_complex_orbit(
+      input, params, views, arena, cache_a);
+
+  core::ConstructionOptions options;
+  options.frontier_budget_bytes = 128;
+  core::ConstructionCache cache_b;
+  const core::OrbitComplexResult spilled = core::async_protocol_complex_orbit(
+      input, params, views, arena, cache_b, options);
+
+  EXPECT_EQ(in_ram.reduced, spilled.reduced);
+  EXPECT_EQ(in_ram.full_facet_count, spilled.full_facet_count);
+  ASSERT_EQ(in_ram.orbits.size(), spilled.orbits.size());
+  for (std::size_t i = 0; i < in_ram.orbits.size(); ++i) {
+    EXPECT_EQ(in_ram.orbits[i].rep, spilled.orbits[i].rep);
+    EXPECT_EQ(in_ram.orbits[i].stabilizer, spilled.orbits[i].stabilizer);
+    EXPECT_EQ(in_ram.orbits[i].dominated, spilled.orbits[i].dominated);
+  }
+}
+
+TEST(FrontierSpillTest, CorruptSpilledChunkFailsLoudly) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "psph_orbit_test_corrupt";
+  store::FrontierSpool spool(store::FsOps::real(), dir);
+  spool.append_chunk({1, 2, 3, 4});
+
+  // Flip one payload byte on disk; the sealed envelope's checksum must
+  // catch it on read.
+  const std::filesystem::path chunk = dir / "chunk-000000.psph";
+  auto fs = store::FsOps::real();
+  std::vector<std::uint8_t> bytes = *fs->read_file(chunk);
+  bytes[bytes.size() / 2] ^= 0x40;
+  fs->write_file(chunk, bytes.data(), bytes.size());
+
+  EXPECT_THROW(spool.read_chunk(0), store::SerializationError);
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------- mode-keyed memo cache -----
+
+TEST(ConstructionCacheModeTest, MixedModeLookupsNeverCrossHit) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  const core::AsyncParams params{3, 1, 2};
+
+  core::ConstructionCache cache;
+  core::async_protocol_complex(input, params, views, arena, cache);
+  const core::ConstructionStats full_before =
+      cache.stats(core::ConstructionMode::kFull);
+  EXPECT_GT(full_before.lookups, 0u);
+  EXPECT_EQ(cache.stats(core::ConstructionMode::kOrbit).lookups, 0u);
+
+  // First orbit run: the cache holds full-mode entries for these facets,
+  // but the orbit pipeline must not hit them — its probes are keyed by
+  // mode, so the run is all misses.
+  core::async_protocol_complex_orbit(input, params, views, arena, cache);
+  const core::ConstructionStats orbit_stats =
+      cache.stats(core::ConstructionMode::kOrbit);
+  EXPECT_GT(orbit_stats.lookups, 0u);
+  EXPECT_EQ(orbit_stats.hits, 0u);
+  EXPECT_EQ(orbit_stats.misses, orbit_stats.lookups);
+  // ...and full-mode stats are untouched by the orbit run.
+  const core::ConstructionStats full_after =
+      cache.stats(core::ConstructionMode::kFull);
+  EXPECT_EQ(full_after.lookups, full_before.lookups);
+  EXPECT_EQ(full_after.hits, full_before.hits);
+
+  // A second orbit run hits its own entries.
+  core::async_protocol_complex_orbit(input, params, views, arena, cache);
+  EXPECT_GT(cache.stats(core::ConstructionMode::kOrbit).hits, 0u);
+
+  // The aggregate accessor sums both modes.
+  const core::ConstructionStats total = cache.stats();
+  EXPECT_EQ(total.lookups,
+            cache.stats(core::ConstructionMode::kFull).lookups +
+                cache.stats(core::ConstructionMode::kOrbit).lookups);
+}
+
+TEST(ConstructionCacheModeTest, FullEntryPointsRejectOrbitMode) {
+  core::ViewRegistry views;
+  topology::VertexArena arena;
+  const topology::Simplex input = core::rainbow_input(3, views, arena);
+  core::ConstructionCache cache;
+  core::ConstructionOptions options;
+  options.mode = core::ConstructionMode::kOrbit;
+  EXPECT_THROW(core::async_protocol_complex(input, {3, 1, 1}, views, arena,
+                                            cache, options),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -173,6 +173,94 @@ TEST(Protocol, ValidatesAndNormalizes) {
   }
 }
 
+TEST(Protocol, ConstructionBackendIsValidatedAndScoped) {
+  const ParsedRequest bad_value = parse_request(Json::parse(
+      R"({"kind":"complex_stats","model":"async","construction":"fast"})"));
+  ASSERT_TRUE(bad_value.error.has_value());
+  EXPECT_EQ(bad_value.error->code, "bad_request");
+
+  // Kinds that never consume the backend normalize it away, so a stray
+  // construction field cannot split the cache key or defeat coalescing.
+  const auto connectivity = [](const char* construction) {
+    Json request = make_request(1, "connectivity", "async");
+    request.set("processes", Json::integer(3)).set("f", Json::integer(1));
+    if (construction != nullptr) {
+      request.set("construction", Json::string(construction));
+    }
+    const ParsedRequest parsed = parse_request(request);
+    EXPECT_TRUE(parsed.query.has_value());
+    return cache_key(*parsed.query).key().hex();
+  };
+  EXPECT_EQ(connectivity(nullptr), connectivity("orbit"));
+
+  // complex_stats does consume it: full and orbit must cache separately.
+  const auto stats = [](const char* construction) {
+    Json request = make_request(1, "complex_stats", "async");
+    request.set("processes", Json::integer(3)).set("f", Json::integer(1));
+    if (construction != nullptr) {
+      request.set("construction", Json::string(construction));
+    }
+    const ParsedRequest parsed = parse_request(request);
+    EXPECT_TRUE(parsed.query.has_value());
+    return cache_key(*parsed.query).key().hex();
+  };
+  EXPECT_EQ(stats(nullptr), stats("full"));
+  EXPECT_NE(stats("full"), stats("orbit"));
+
+  // Pseudospheres have no round structure to quotient: orbit normalizes
+  // back to full rather than erroring.
+  Json request = make_request(1, "complex_stats", "pseudosphere");
+  Json sizes = Json::array();
+  sizes.push(Json::integer(2)).push(Json::integer(2));
+  request.set("sizes", std::move(sizes));
+  request.set("construction", Json::string("orbit"));
+  const ParsedRequest parsed = parse_request(request);
+  ASSERT_TRUE(parsed.query.has_value());
+  EXPECT_EQ(parsed.query->construction, "full");
+}
+
+TEST(Queries, OrbitBackendMatchesFullBackendValueForValue) {
+  for (const std::string model : {"async", "sync", "semisync"}) {
+    Query full;
+    full.kind = QueryKind::kComplexStats;
+    full.model = model;
+    full.processes = 3;
+    full.participants = 3;
+    full.f = 1;
+    full.k = 1;
+    full.mu = 2;
+    full.rounds = 2;
+    Query orbit = full;
+    orbit.construction = "orbit";
+
+    const Json a = execute_query(full, nullptr).body;
+    const Json b = execute_query(orbit, nullptr).body;
+    for (const char* field : {"facets", "vertices", "dimension", "euler"}) {
+      ASSERT_TRUE(a.get(field) != nullptr && b.get(field) != nullptr) << field;
+      EXPECT_EQ(a.get(field)->as_int(), b.get(field)->as_int())
+          << model << " " << field;
+    }
+    EXPECT_EQ(a.get("f_vector")->dump(), b.get("f_vector")->dump()) << model;
+    ASSERT_TRUE(b.get("orbit") != nullptr) << model;
+    EXPECT_EQ(b.get("orbit")->get("group_order")->as_int(), 6) << model;
+    EXPECT_GT(b.get("orbit")->get("orbit_reps")->as_int(), 0) << model;
+    EXPECT_LE(b.get("orbit")->get("reduced_facets")->as_int(),
+              a.get("facets")->as_int())
+        << model;
+    EXPECT_EQ(a.get("orbit"), nullptr) << model;
+
+    Query hfull = full;
+    hfull.kind = QueryKind::kHomology;
+    hfull.max_dim = 2;
+    hfull.exact = true;
+    Query horbit = hfull;
+    horbit.construction = "orbit";
+    EXPECT_EQ(execute_query(hfull, nullptr).body.dump(),
+              execute_query(horbit, nullptr).body.dump())
+        << model;
+  }
+}
+
 // -------------------------------------------------------------- server --
 
 class ServeTest : public ::testing::Test {
