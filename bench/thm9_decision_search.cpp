@@ -8,13 +8,28 @@
 #include "bench_util.h"
 #include "core/sperner.h"
 #include "core/theorems.h"
+#include "solve/decide.h"
+#include "solve/engine.h"
+#include "util/cli.h"
 #include "util/random.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psph;
+  // --engine selects who produces the search verdict: the seed backtracker
+  // (seq, the default — the seed behavior) or the solvability engine at one
+  // of its stages. Theorem 9's connectivity side is engine-independent, so
+  // the agreement column doubles as a cross-check of the chosen engine.
+  std::string engine = "seq";
+  util::Cli cli("thm9_decision_search",
+                "Theorem 9: connectivity forbids k-set agreement");
+  cli.flag_choice("engine", &engine,
+                  {"seq", "propagate", "learn", "portfolio"},
+                  "decision-search engine for the verdict column");
+  cli.parse(argc, argv);
+
   bench::Report report(
-      "Theorem 9",
+      "Theorem 9 (engine=" + engine + ")",
       "(k-1)-connectivity forbids k-set agreement; Sperner counts are odd");
 
   report.header(
@@ -30,25 +45,41 @@ int main() {
            {"sync", 3, 1, 1, 1},
            {"sync", 3, 1, 1, 2},
        }) {
-    core::AgreementCheck check;
-    core::ConnectivityCheck conn;
-    if (std::string(row.model) == "async") {
-      check = core::check_async_agreement(row.n1, row.f, row.k, row.r);
-      conn = core::check_async_connectivity(row.n1, row.n1, row.f, row.r);
+    const bool is_async = std::string(row.model) == "async";
+    bool impossible = false;
+    if (engine == "seq") {
+      const core::AgreementCheck check =
+          is_async ? core::check_async_agreement(row.n1, row.f, row.k, row.r)
+                   : core::check_sync_agreement(row.n1, row.f, row.k, row.r);
+      impossible = check.impossible;
     } else {
-      check = core::check_sync_agreement(row.n1, row.f, row.k, row.r);
-      conn = core::check_sync_connectivity(row.n1, row.n1, row.k, row.r);
+      solve::DecideRequest request;
+      request.model = is_async ? solve::Model::kAsync : solve::Model::kSync;
+      request.processes = row.n1;
+      request.f = row.f;
+      request.k = row.k;
+      request.rounds = row.r;
+      solve::EngineOptions options;
+      options.stage = engine == "propagate" ? solve::EngineStage::kPropagate
+                      : engine == "learn"   ? solve::EngineStage::kLearn
+                                            : solve::EngineStage::kPortfolio;
+      const store::DecisionRecord record =
+          solve::decide(request, options).record;
+      impossible = record.exhausted && !record.solvable;
     }
+    const core::ConnectivityCheck conn =
+        is_async
+            ? core::check_async_connectivity(row.n1, row.n1, row.f, row.r)
+            : core::check_sync_connectivity(row.n1, row.n1, row.k, row.r);
     const bool connected_enough = conn.measured >= row.k - 1;
     report.row("  %-8s %3d %2d %2d %2d  %-10s  %-14s  %s", row.model, row.n1,
                row.f, row.k, row.r, connected_enough ? "yes" : "no",
-               check.impossible ? "impossible" : "solvable",
-               connected_enough == check.impossible ? "yes" : "NO");
+               impossible ? "impossible" : "solvable",
+               connected_enough == impossible ? "yes" : "NO");
     // Theorem 9's direction: connectivity implies impossibility.
     if (connected_enough) {
-      report.check(check.impossible,
-                   "connectivity implies no decision map (" +
-                       std::string(row.model) + ")");
+      report.check(impossible, "connectivity implies no decision map (" +
+                                   std::string(row.model) + ")");
     }
   }
 

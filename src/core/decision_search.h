@@ -1,7 +1,7 @@
 #pragma once
 
 // Exhaustive search for a k-set-agreement decision map on an explicitly
-// constructed protocol complex.
+// constructed protocol complex — the *sequential reference* backtracker.
 //
 // Theorem 9 / Corollary 10 prove nonexistence from connectivity; for a
 // *finite* complex the statement "no decision map exists" is decidable by
@@ -10,6 +10,13 @@
 // assignment is a proof of possibility. Constraint propagation (most-
 // constrained vertex first, domains filtered through saturated facets)
 // makes the small instances of Corollaries 13/18/22 tractable.
+//
+// Production solvability queries go through the engine in src/solve
+// (compiled CSP, incremental propagation, conflict-driven orbit-aware
+// learning, portfolio parallelism); this backtracker is kept verbatim as
+// the oracle its differential suite (tests/solve_test.cpp) compares every
+// engine stage against. Prefer search_decision_map_seq in new call sites —
+// the name records which side of that comparison you are on.
 
 #include <cstdint>
 #include <unordered_map>
@@ -47,5 +54,13 @@ SearchResult search_decision_map(const topology::SimplicialComplex& protocol,
                                  int k, const ViewRegistry& views,
                                  const topology::VertexArena& arena,
                                  const SearchOptions& options = {});
+
+/// Canonical name for the sequential oracle (see the header comment).
+inline SearchResult search_decision_map_seq(
+    const topology::SimplicialComplex& protocol, int k,
+    const ViewRegistry& views, const topology::VertexArena& arena,
+    const SearchOptions& options = {}) {
+  return search_decision_map(protocol, k, views, arena, options);
+}
 
 }  // namespace psph::core

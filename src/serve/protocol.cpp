@@ -1,5 +1,7 @@
 #include "serve/protocol.h"
 
+#include "solve/decide.h"
+
 namespace psph::serve {
 
 namespace {
@@ -67,9 +69,11 @@ void normalize(Query* q) {
   q->sizes.clear();
   if (decide) {
     // decide uses processes, f, k, rounds (+ mu for semisync); the input
-    // complex is full, so participants is meaningless.
+    // complex is full, so participants is meaningless. iis is wait-free
+    // full-information — no failure budget either.
     q->participants = 0;
     if (q->model != "semisync") q->mu = 0;
+    if (q->model == "iis") q->f = 0;
     return;
   }
   if (q->model == "async") {
@@ -87,12 +91,15 @@ std::optional<ErrorInfo> fill_query(const Json& request, Query* q) {
     q->model = model->as_string();
   }
   if (q->model != "async" && q->model != "sync" && q->model != "semisync" &&
-      q->model != "pseudosphere") {
+      q->model != "pseudosphere" && q->model != "iis") {
     return bad("unknown model '" + q->model +
-               "' (choices: async sync semisync pseudosphere)");
+               "' (choices: async sync semisync iis pseudosphere)");
   }
   if (q->model == "pseudosphere" && q->kind == QueryKind::kDecide) {
     return bad("decide needs a timing model, not 'pseudosphere'");
+  }
+  if (q->model == "iis" && q->kind != QueryKind::kDecide) {
+    return bad("model 'iis' is only available for decide queries");
   }
 
   if (auto err = read_int(request, "processes", 1, kMaxProcesses,
@@ -183,6 +190,12 @@ const char* kind_name(QueryKind kind) {
 
 store::CacheKeyBuilder cache_key(const Query& q) {
   store::CacheKeyBuilder key(std::string("serve/") + kind_name(q.kind));
+  if (q.kind == QueryKind::kDecide) {
+    // decide responses carry a kDecision payload versioned by the solve
+    // engine; keying on the version keeps pre-engine kAgreementCheck
+    // entries (and any future engine bump) from aliasing.
+    key.param(solve::kDecisionEngineVersion);
+  }
   key.param_string(q.model);
   key.param_string(q.construction);
   key.param(q.processes)

@@ -3,6 +3,7 @@
 #include "core/construction.h"
 #include "core/pseudosphere.h"
 #include "core/theorems.h"
+#include "solve/decide.h"
 #include "store/serialize.h"
 #include "topology/homology.h"
 #include "util/cancel.h"
@@ -146,17 +147,20 @@ std::vector<std::uint8_t> compute_complex_stats(const Query& q) {
   return store::seal(store::PayloadKind::kRawBytes, out.bytes());
 }
 
-std::vector<std::uint8_t> compute_decide(const Query& q) {
-  core::AgreementCheck check;
-  if (q.model == "async") {
-    check = core::check_async_agreement(q.processes, q.f, q.k, q.rounds);
-  } else if (q.model == "sync") {
-    check = core::check_sync_agreement(q.processes, q.f, q.k, q.rounds);
-  } else {
-    check = core::check_semisync_agreement(q.processes, q.f, q.k, q.mu,
-                                           q.rounds);
+std::vector<std::uint8_t> compute_decide(const Query& q,
+                                         store::ResultStore* store) {
+  const auto model = solve::parse_model(q.model);
+  if (!model.has_value()) {
+    throw std::logic_error("compute_decide: unvalidated model " + q.model);
   }
-  return store::serialize_agreement_check(check);
+  solve::DecideRequest request;
+  request.model = *model;
+  request.processes = q.processes;
+  request.f = q.f;
+  request.k = q.k;
+  request.mu = q.mu;
+  request.rounds = q.rounds;
+  return solve::decide_sealed(request, solve::EngineOptions{}, store);
 }
 
 Json render_connectivity(const std::vector<std::uint8_t>& sealed) {
@@ -228,27 +232,33 @@ Json render_complex_stats(const std::vector<std::uint8_t>& sealed) {
 }
 
 Json render_decide(const std::vector<std::uint8_t>& sealed) {
-  const core::AgreementCheck check = store::deserialize_agreement_check(sealed);
+  const store::DecisionRecord record = store::deserialize_decision(sealed);
   Json body = Json::object();
-  body.set("impossible", Json::boolean(check.impossible));
-  body.set("possible", Json::boolean(check.possible));
-  body.set("search_exhausted", Json::boolean(check.search_exhausted));
-  body.set("nodes", Json::integer(static_cast<std::int64_t>(check.nodes)));
+  body.set("impossible", Json::boolean(record.exhausted && !record.solvable));
+  body.set("possible", Json::boolean(record.solvable));
+  body.set("search_exhausted", Json::boolean(record.exhausted));
+  // No node counts here: the record holds only deterministic fields, so a
+  // cache hit and a fresh portfolio run render byte-identically.
   body.set("protocol_facets",
-           Json::integer(static_cast<std::int64_t>(check.protocol_facets)));
+           Json::integer(static_cast<std::int64_t>(record.protocol_facets)));
   body.set("protocol_vertices",
-           Json::integer(static_cast<std::int64_t>(check.protocol_vertices)));
+           Json::integer(static_cast<std::int64_t>(record.protocol_vertices)));
+  body.set("witness_vertices",
+           Json::integer(static_cast<std::int64_t>(record.witness.size())));
+  body.set("engine_version",
+           Json::integer(static_cast<std::int64_t>(record.engine_version)));
   return body;
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> compute_sealed(const Query& q) {
+std::vector<std::uint8_t> compute_sealed(const Query& q,
+                                         store::ResultStore* store) {
   switch (q.kind) {
     case QueryKind::kConnectivity: return compute_connectivity(q);
     case QueryKind::kHomology: return compute_homology(q);
     case QueryKind::kComplexStats: return compute_complex_stats(q);
-    case QueryKind::kDecide: return compute_decide(q);
+    case QueryKind::kDecide: return compute_decide(q, store);
   }
   throw std::logic_error("compute_sealed: bad kind");
 }
@@ -279,7 +289,7 @@ QueryResult execute_query(const Query& q, store::ResultStore* store) {
     }
   }
   if (!out.cache_hit) {
-    out.sealed = compute_sealed(q);
+    out.sealed = compute_sealed(q, store);
     if (store != nullptr) {
       try {
         store->save(key, out.sealed);

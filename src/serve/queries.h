@@ -28,11 +28,17 @@ struct QueryResult {
   bool cache_hit = false;
 };
 
-/// Computes the query from scratch (no store involved): exactly what the
-/// batch binaries do. Polls the thread-local deadline (util/cancel.h)
-/// through the underlying engines, so it throws util::DeadlineExceeded when
-/// a DeadlineScope expires mid-computation.
-std::vector<std::uint8_t> compute_sealed(const Query& q);
+/// Computes the query: exactly what the batch binaries do. Polls the
+/// thread-local deadline (util/cancel.h) through the underlying engines, so
+/// it throws util::DeadlineExceeded when a DeadlineScope expires
+/// mid-computation (for decide, mid-*propagation* — the solve engine polls
+/// inside its propagate loop, not just per search node). The result bytes
+/// are deterministic, with or without `store`: a non-null store only lets
+/// the decide path reuse (and feed) the engine-level kDecision memo that
+/// sweeps share — a hit returns the identical sealed bytes a fresh
+/// computation would.
+std::vector<std::uint8_t> compute_sealed(const Query& q,
+                                         store::ResultStore* store = nullptr);
 
 /// Decodes sealed bytes for `q` and renders the response body. Throws
 /// store::SerializationError on damaged bytes.

@@ -302,6 +302,51 @@ core::AgreementCheck decode_agreement_check(ByteReader& in) {
   return check;
 }
 
+void encode_decision(ByteWriter& out, const DecisionRecord& record) {
+  out.u32(record.engine_version);
+  out.str(record.model);
+  out.i32(record.processes);
+  out.i32(record.f);
+  out.i32(record.k);
+  out.i32(record.mu);
+  out.i32(record.rounds);
+  out.u8(record.solvable ? 1 : 0);
+  out.u8(record.exhausted ? 1 : 0);
+  out.u64(record.protocol_facets);
+  out.u64(record.protocol_vertices);
+  out.u64(record.witness.size());
+  for (const auto& [vertex, value] : record.witness) {
+    out.u64(vertex);
+    out.i64(value);
+  }
+}
+
+DecisionRecord decode_decision(ByteReader& in) {
+  DecisionRecord record;
+  record.engine_version = in.u32();
+  record.model = in.str();
+  record.processes = in.i32();
+  record.f = in.i32();
+  record.k = in.i32();
+  record.mu = in.i32();
+  record.rounds = in.i32();
+  record.solvable = in.u8() != 0;
+  record.exhausted = in.u8() != 0;
+  record.protocol_facets = in.u64();
+  record.protocol_vertices = in.u64();
+  const std::uint64_t count = in.u64();
+  if (count > in.remaining() / 16) {
+    throw SerializationError("decision witness count exceeds payload");
+  }
+  record.witness.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t vertex = in.u64();
+    const std::int64_t value = in.i64();
+    record.witness.emplace_back(vertex, value);
+  }
+  return record;
+}
+
 // ---- sealed convenience round-trips ----
 
 namespace {
@@ -377,6 +422,15 @@ core::AgreementCheck deserialize_agreement_check(
     const std::vector<std::uint8_t>& bytes) {
   return unseal_with(bytes, PayloadKind::kAgreementCheck, "agreement check",
                      decode_agreement_check);
+}
+
+std::vector<std::uint8_t> serialize_decision(const DecisionRecord& record) {
+  return seal_with(PayloadKind::kDecision, record, encode_decision);
+}
+
+DecisionRecord deserialize_decision(const std::vector<std::uint8_t>& bytes) {
+  return unseal_with(bytes, PayloadKind::kDecision, "decision record",
+                     decode_decision);
 }
 
 }  // namespace psph::store

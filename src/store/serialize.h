@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/decision_search.h"
@@ -57,6 +58,31 @@ enum class PayloadKind : std::uint16_t {
   kCacheEntry = 7,    // store.h: key blob + sealed result
   kSchedule = 8,      // check/schedule.h: recorded adversary schedule
   kFrontierChunk = 9,  // frontier.h: spilled construction frontier level
+  kDecision = 10,      // solve/decide.h: memoized solvability verdict
+};
+
+/// A decided solvability query (solve/decide.h), the payload behind
+/// PayloadKind::kDecision. Holds only deterministic fields — the verdict,
+/// the canonical (lex-min) witness, and the instance parameters echoed for
+/// defence-in-depth on load. Never node counts or portfolio winners, so a
+/// cached record is bit-identical to a recomputed one.
+struct DecisionRecord {
+  std::uint32_t engine_version = 1;
+  std::string model;  // "async" | "sync" | "semisync" | "iis"
+  std::int32_t processes = 0;  // n+1
+  std::int32_t f = 0;
+  std::int32_t k = 1;
+  std::int32_t mu = 0;
+  std::int32_t rounds = 1;
+  bool solvable = false;
+  bool exhausted = false;
+  std::uint64_t protocol_facets = 0;
+  std::uint64_t protocol_vertices = 0;
+  /// Canonical decision map when solvable: (vertex id, decided value) per
+  /// protocol vertex, sorted by vertex id.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> witness;
+
+  bool operator==(const DecisionRecord&) const = default;
 };
 
 /// Thrown on any malformed input to a decoder.
@@ -156,6 +182,9 @@ core::ConnectivityCheck decode_connectivity_check(ByteReader& in);
 void encode_agreement_check(ByteWriter& out, const core::AgreementCheck& check);
 core::AgreementCheck decode_agreement_check(ByteReader& in);
 
+void encode_decision(ByteWriter& out, const DecisionRecord& record);
+DecisionRecord decode_decision(ByteReader& in);
+
 // ---- sealed convenience round-trips ----
 
 std::vector<std::uint8_t> serialize_simplex(const topology::Simplex& s);
@@ -180,5 +209,8 @@ std::vector<std::uint8_t> serialize_agreement_check(
     const core::AgreementCheck& check);
 core::AgreementCheck deserialize_agreement_check(
     const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> serialize_decision(const DecisionRecord& record);
+DecisionRecord deserialize_decision(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace psph::store

@@ -117,6 +117,10 @@ class SweepEngine {
   const SweepStats& stats() const { return stats_; }
   const std::string& manifest_path() const { return manifest_path_; }
   bool caching() const { return store_ != nullptr; }
+  /// The underlying store (null when storeless). Compute callbacks that
+  /// have their own memo layer — solve::decide's kDecision records, say —
+  /// pass this through so sweep jobs and daemon queries share one cache.
+  store::ResultStore* store() { return store_.get(); }
 
  private:
   void load_manifest();

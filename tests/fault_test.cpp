@@ -10,11 +10,13 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "check/fault_fs.h"
+#include "solve/decide.h"
 #include "store/serialize.h"
 #include "store/store.h"
 #include "sweep/sweep.h"
@@ -251,6 +253,131 @@ TEST(SweepFaults, TornEntriesRecomputeInsteadOfPoisoningResults) {
   EXPECT_EQ(recomputed.load(), 1);
   EXPECT_EQ(rerun.stats().cache_hits, 3u);
   EXPECT_EQ(rerun.stats().computed, 1u);
+}
+
+// --------------------------------------------- decision-record faults -----
+//
+// The solvability engine memoizes decided verdicts as sealed kDecision
+// entries (src/solve/decide). The store-level property specializes here to:
+// a damaged or aliased cached verdict degrades to a miss plus recompute —
+// a decide() with a store NEVER returns a different answer than one
+// without.
+
+store::DecisionRecord sample_decision() {
+  store::DecisionRecord record;
+  record.model = "async";
+  record.processes = 3;
+  record.f = 1;
+  record.k = 2;
+  record.mu = 0;
+  record.rounds = 1;
+  record.solvable = true;
+  record.exhausted = true;
+  record.protocol_facets = 12;
+  record.protocol_vertices = 9;
+  record.witness = {{4, 0}, {7, 1}, {9, 2}};
+  return record;
+}
+
+TEST(DecisionFaults, SealedRecordRoundTripsExactly) {
+  const store::DecisionRecord record = sample_decision();
+  const std::vector<std::uint8_t> bytes = store::serialize_decision(record);
+  EXPECT_EQ(store::deserialize_decision(bytes), record);
+  // Unsolvable records carry no witness and round-trip too.
+  store::DecisionRecord unsat = sample_decision();
+  unsat.solvable = false;
+  unsat.witness.clear();
+  EXPECT_EQ(store::deserialize_decision(store::serialize_decision(unsat)),
+            unsat);
+}
+
+TEST(DecisionFaults, EveryTruncationIsRejectedNeverMisread) {
+  const std::vector<std::uint8_t> bytes =
+      store::serialize_decision(sample_decision());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(len));
+    EXPECT_THROW(store::deserialize_decision(cut), store::SerializationError)
+        << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(DecisionFaults, EverySingleByteFlipIsRejectedOrHarmless) {
+  // The sealed envelope checksums its payload, so any one-byte flip either
+  // fails to decode (the expected outcome) or — if it lands in framing that
+  // re-validates, which does not happen today — decodes to the original.
+  const store::DecisionRecord record = sample_decision();
+  const std::vector<std::uint8_t> bytes = store::serialize_decision(record);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> evil = bytes;
+    evil[i] ^= 0x40;
+    try {
+      EXPECT_EQ(store::deserialize_decision(evil), record)
+          << "flip at byte " << i << " decoded to a DIFFERENT record";
+    } catch (const store::SerializationError&) {
+      // Rejected: the safe outcome.
+    }
+  }
+}
+
+TEST(DecisionFaults, TamperedCacheEntryRecomputesNeverLies) {
+  TempDir dir;
+  store::ResultStore store(dir.str());
+  const solve::DecideRequest request{solve::Model::kAsync, 3, 1, 2, 0, 1};
+
+  const solve::DecideResult first = solve::decide(request, {}, &store);
+  ASSERT_FALSE(first.cache_hit);
+  ASSERT_TRUE(first.record.exhausted);
+
+  // Corrupt the published entry on disk (flip one payload byte).
+  const std::string path =
+      store.entry_path(solve::decide_cache_key(solve::normalize(request)).key());
+  ASSERT_TRUE(fs::exists(path));
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 16);
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+
+  // The tampered entry degrades to a miss; the recomputed verdict matches
+  // the original and re-heals the cache.
+  const solve::DecideResult second = solve::decide(request, {}, &store);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(second.record, first.record);
+  const solve::DecideResult third = solve::decide(request, {}, &store);
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.record, first.record);
+}
+
+TEST(DecisionFaults, AliasedEntryWithWrongParametersIsIgnored) {
+  // A decodable record for DIFFERENT parameters planted under this query's
+  // key (a key collision, or a buggy writer) must not satisfy the query:
+  // decide() re-validates the loaded record against the request.
+  TempDir dir;
+  store::ResultStore store(dir.str());
+  const solve::DecideRequest request{solve::Model::kAsync, 3, 1, 2, 0, 1};
+
+  store::DecisionRecord alien = sample_decision();
+  alien.k = 1;           // claims to answer a different question
+  alien.solvable = false;
+  alien.witness.clear();
+  store.save(solve::decide_cache_key(solve::normalize(request)),
+             store::serialize_decision(alien));
+
+  const solve::DecideResult result = solve::decide(request, {}, &store);
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_TRUE(result.record.exhausted);
+  // (3 processes, f=1, k=2, 1 round) is solvable — the planted "unsolvable"
+  // answer for k=1 must not leak through.
+  EXPECT_TRUE(result.record.solvable);
 }
 
 }  // namespace

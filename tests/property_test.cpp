@@ -5,10 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "math/smith.h"
+#include "solve/decide.h"
+#include "solve/engine.h"
+#include "store/serialize.h"
 #include "topology/collapse.h"
 #include "topology/components.h"
 #include "topology/complex.h"
@@ -352,3 +358,117 @@ TEST(Property, EulerMatchesComponentsOnGraphs) {
 
 }  // namespace
 }  // namespace psph::topology
+
+// ---------------------------------------------------------------------------
+// Solvability-engine properties (src/solve): structural laws a correct
+// decision procedure must satisfy, checked without reference to the oracle.
+// ---------------------------------------------------------------------------
+
+namespace psph::solve {
+namespace {
+
+std::uint64_t solve_seed(std::uint64_t fallback) {
+  const char* raw = std::getenv("PSPH_TEST_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return parsed;
+}
+
+store::DecisionRecord engine_decide(DecideRequest request,
+                                    std::uint64_t seed) {
+  EngineOptions options;
+  options.seed = seed;
+  return decide(request, options).record;
+}
+
+TEST(PropertySolve, MoreRoundsNeverHurt) {
+  // A protocol solvable in r rounds is solvable in r+1: extra rounds only
+  // refine views, and a decision map factors through the refinement. An
+  // engine verdict flipping from solvable to unsolvable as rounds grow is
+  // therefore always a bug.
+  const std::uint64_t seed = solve_seed(555001);
+  const std::vector<DecideRequest> bases = {
+      {Model::kAsync, 3, 1, 2, 0, 1}, {Model::kAsync, 2, 1, 1, 0, 1},
+      {Model::kSync, 3, 1, 1, 0, 1},  {Model::kSync, 2, 1, 1, 0, 1},
+      {Model::kIis, 2, 0, 1, 0, 1},   {Model::kIis, 3, 0, 1, 0, 1},
+  };
+  for (DecideRequest base : bases) {
+    const store::DecisionRecord at_r = engine_decide(base, seed);
+    DecideRequest next = base;
+    next.rounds = base.rounds + 1;
+    const store::DecisionRecord at_r1 = engine_decide(next, seed);
+    ASSERT_TRUE(at_r.exhausted && at_r1.exhausted);
+    if (at_r.solvable) {
+      EXPECT_TRUE(at_r1.solvable)
+          << model_name(base.model) << " solvable at r=" << base.rounds
+          << " but not at r=" << next.rounds;
+    }
+  }
+}
+
+TEST(PropertySolve, HarderAgreementNeverGetsEasier) {
+  // (k-1)-set agreement is strictly more constraining than k-set: any
+  // (k-1)-witness is a k-witness. Unsolvable at k must imply unsolvable at
+  // k-1 on the same protocol.
+  const std::uint64_t seed = solve_seed(555002);
+  const std::vector<DecideRequest> bases = {
+      {Model::kAsync, 3, 1, 2, 0, 1}, {Model::kAsync, 3, 2, 2, 0, 1},
+      {Model::kAsync, 2, 1, 2, 0, 1}, {Model::kSync, 3, 2, 2, 0, 1},
+      {Model::kSync, 3, 1, 2, 0, 2},  {Model::kSemiSync, 3, 1, 2, 1, 1},
+  };
+  for (DecideRequest base : bases) {
+    const store::DecisionRecord at_k = engine_decide(base, seed);
+    DecideRequest harder = base;
+    harder.k = base.k - 1;
+    const store::DecisionRecord at_k1 = engine_decide(harder, seed);
+    ASSERT_TRUE(at_k.exhausted && at_k1.exhausted);
+    if (!at_k.solvable) {
+      EXPECT_FALSE(at_k1.solvable)
+          << model_name(base.model) << " unsolvable at k=" << base.k
+          << " but solvable at k=" << harder.k;
+    }
+  }
+}
+
+TEST(PropertySolve, LearnedNogoodsAreRefutableWithoutLearning) {
+  // Every learned nogood claims its assignments are jointly unextendable.
+  // Replaying the nogood as assumptions into a propagate-only *complete*
+  // search (no learning, no inherited database) must reproduce the
+  // refutation from first principles — a nogood that a plain search can
+  // satisfy would prune a live branch and could flip verdicts.
+  const std::vector<DecideRequest> picks = {
+      {Model::kAsync, 3, 1, 2, 0, 1},
+      {Model::kAsync, 3, 2, 1, 0, 1},
+      {Model::kSync, 3, 2, 2, 0, 1},
+  };
+  for (const DecideRequest& request : picks) {
+    SCOPED_TRACE(model_name(request.model));
+    const std::unique_ptr<Instance> instance = build_instance(request);
+    EngineOptions learn;
+    learn.stage = EngineStage::kLearn;
+    learn.collect_nogoods = true;
+    learn.canonical_witness = false;
+    const SolveOutcome outcome = solve(instance->problem, learn);
+    ASSERT_TRUE(outcome.exhausted);
+
+    EngineOptions replay;
+    replay.stage = EngineStage::kPropagate;
+    replay.root_probing = false;
+    std::size_t checked = 0;
+    for (const std::vector<Lit>& nogood : outcome.learned) {
+      if (nogood.empty() || checked >= 25) break;  // bound test cost
+      ++checked;
+      const SolveOutcome refute =
+          solve_under(instance->problem, nogood, replay);
+      ASSERT_TRUE(refute.exhausted);
+      EXPECT_FALSE(refute.solvable)
+          << "learned nogood of size " << nogood.size()
+          << " is satisfiable — it would prune a live branch";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psph::solve

@@ -492,6 +492,33 @@ TEST_F(ServeTest, RunningComputationIsCancelledCooperatively) {
             "deadline_exceeded");
 }
 
+TEST_F(ServeTest, DecideDeadlineFiresMidPropagationNotAsInternalError) {
+  StartServer();
+  Client client(socket_path());
+  // The solvability engine's propagation loop polls the cooperative
+  // deadline (the seed backtracker only polled every few thousand search
+  // nodes), so a 1 ms budget on a heavy decide query must surface as
+  // deadline_exceeded — never as an internal error, and never as a served
+  // verdict.
+  Json request = make_request(9, "decide", "async");
+  request.set("processes", Json::integer(4))
+      .set("f", Json::integer(2))
+      .set("k", Json::integer(2))
+      .set("deadline_ms", Json::integer(1));
+  const Json response = client.call(request);
+  ASSERT_FALSE(response.get("ok")->as_bool()) << response.dump();
+  EXPECT_EQ(response.get("error")->get("code")->as_string(),
+            "deadline_exceeded");
+  // The abort left no cached verdict behind: the same query with no budget
+  // computes the real answer (4 processes, f=2, k=2 is impossible by
+  // Corollary 13 — k <= f — and the verdict must say so).
+  request.set("id", Json::integer(10)).set("deadline_ms", Json::integer(0));
+  const Json full = client.call(request);
+  ASSERT_TRUE(full.get("ok")->as_bool()) << full.dump();
+  EXPECT_TRUE(full.get("result")->get("impossible")->as_bool());
+  EXPECT_TRUE(full.get("result")->get("search_exhausted")->as_bool());
+}
+
 TEST_F(ServeTest, AdminRequestsAnswerInline) {
   StartServer();
   Client client(socket_path());
